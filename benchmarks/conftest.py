@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads are generated once per session; individual benchmarks time the hot
+operations with pytest-benchmark and print ResultTable sweeps whose rows feed
+EXPERIMENTS.md.
+
+All sizes are laptop-scale stand-ins for the paper's collections (1.1M raw
+text documents; 8M lots): the absolute numbers differ, the relative shapes
+(hot vs. cold, scaling with size and query length, branch composition) are
+what each benchmark reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.strategy import StrategyExecutor, build_auction_strategy
+from repro.triples import TripleStore
+from repro.workloads import (
+    generate_auction_triples,
+    generate_collection,
+    generate_product_triples,
+    generate_queries,
+)
+
+
+@pytest.fixture(scope="session")
+def text_collection():
+    """The keyword-search collection for E2/E8/A2 (stand-in for the 1.1M-doc corpus)."""
+    return generate_collection(2000, average_length=40, seed=42)
+
+
+@pytest.fixture(scope="session")
+def text_database(text_collection):
+    db = Database()
+    db.create_table("docs", text_collection.to_relation())
+    return db
+
+
+@pytest.fixture(scope="session")
+def text_queries(text_collection):
+    return generate_queries(text_collection.vocabulary, 20, terms_per_query=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def product_workload_bench():
+    """Product catalog for the partitioning / emergent-schema benchmarks (E3/A1)."""
+    return generate_product_triples(1500, extra_properties=10, seed=17)
+
+
+@pytest.fixture(scope="session")
+def auction_workload_bench():
+    """Auction graph for the strategy benchmarks (E5/E6/E7/E8)."""
+    return generate_auction_triples(3000, seed=23)
+
+
+@pytest.fixture(scope="session")
+def auction_store_bench(auction_workload_bench):
+    store = TripleStore()
+    store.add_all(auction_workload_bench.triples)
+    store.load()
+    return store
+
+
+@pytest.fixture(scope="session")
+def auction_executor(auction_store_bench):
+    return StrategyExecutor(auction_store_bench)
+
+
+@pytest.fixture(scope="session")
+def warm_auction_strategy(auction_executor, auction_workload_bench):
+    """The Figure 3 strategy with both on-demand indexes already built (hot state)."""
+    strategy = build_auction_strategy()
+    query = " ".join(auction_workload_bench.lot_descriptions["lot1"].split()[:3])
+    auction_executor.run(strategy, query=query)
+    return strategy
+
+
+@pytest.fixture(scope="session")
+def auction_queries(auction_workload_bench):
+    return generate_queries(auction_workload_bench.vocabulary, 15, terms_per_query=3, seed=3)

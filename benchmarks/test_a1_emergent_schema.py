@@ -1,0 +1,113 @@
+"""A1 (ablation) — Section 2.2: emergent schemas as an alternative to self-joins.
+
+The paper mentions emergent-schema detection (Pham & Boncz) as "an
+interesting alternative to consider ... eliminating many join operations".
+This ablation detects the emergent tables of the product catalog, then
+answers the toy docs query both ways: via the triple self-join and via a
+simple scan of the emergent table, and reports detection cost and coverage.
+
+Expected shape: detection is a one-off cost roughly linear in the number of
+triples; once the emergent table exists, the docs query becomes a scan and is
+substantially cheaper than the self-join.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_latency
+from repro.bench.reporting import ResultTable
+from repro.relational.algebra import Project, Scan, Select
+from repro.relational.expressions import col, lit
+from repro.triples import TripleStore
+from repro.triples.emergent_schema import EmergentSchemaDetector
+
+
+@pytest.fixture(scope="module")
+def emergent_setup(product_workload_bench):
+    store = TripleStore()
+    store.add_all(product_workload_bench.triples)
+    store.load()
+    detector = EmergentSchemaDetector(min_support=5)
+    tables = detector.detect(product_workload_bench.triples)
+    # register the emergent tables in the same database
+    for table in tables:
+        store.database.create_table(table.name, table.relation, replace=True)
+    return store, detector, tables
+
+
+def find_docs_table(tables):
+    """The emergent table that carries both category and description columns."""
+    for table in tables:
+        if "category" in table.properties and "description" in table.properties:
+            return table
+    raise AssertionError("no emergent table covers category + description")
+
+
+def test_a1_detection_cost(benchmark, product_workload_bench):
+    detector = EmergentSchemaDetector(min_support=5)
+    tables = benchmark.pedantic(
+        detector.detect, args=(product_workload_bench.triples,), rounds=3, iterations=1
+    )
+    assert tables
+
+
+def test_a1_docs_query_via_emergent_table(benchmark, emergent_setup):
+    store, detector, tables = emergent_setup
+    docs_table = find_docs_table(tables)
+    plan = Project(
+        Select(Scan(docs_table.name), col("category").eq(lit("toy"))),
+        [("docID", col("subject")), ("data", col("description"))],
+    )
+    result = benchmark(store.database.execute, plan, use_cache=False)
+    assert result.num_rows > 0
+
+
+def test_a1_docs_query_via_self_join(benchmark, emergent_setup):
+    store, _, _ = emergent_setup
+    result = benchmark.pedantic(
+        store.docs_relation,
+        kwargs={
+            "filter_property": "category",
+            "filter_value": "toy",
+            "text_property": "description",
+        },
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_rows > 0
+
+
+def test_a1_summary_table(benchmark, emergent_setup, product_workload_bench):
+    store, detector, tables = emergent_setup
+    docs_table = find_docs_table(tables)
+
+    detection = measure_latency(
+        lambda: detector.detect(product_workload_bench.triples), repetitions=2
+    )
+    plan = Project(
+        Select(Scan(docs_table.name), col("category").eq(lit("toy"))),
+        [("docID", col("subject")), ("data", col("description"))],
+    )
+    emergent_query = measure_latency(
+        lambda: store.database.execute(plan, use_cache=False), repetitions=4, warmup=1
+    )
+    self_join = measure_latency(
+        lambda: store.docs_relation(
+            filter_property="category", filter_value="toy", text_property="description"
+        ),
+        repetitions=2,
+    )
+    coverage = detector.coverage(product_workload_bench.triples, tables)
+
+    table = ResultTable(
+        "A1 — emergent schema vs triple self-join (toy docs query)",
+        ["measurement", "value"],
+    )
+    table.add_row("emergent tables detected", len(tables))
+    table.add_row("subject coverage", f"{coverage:.2%}")
+    table.add_row("detection cost (ms, one-off)", detection.mean_ms)
+    table.add_row("docs query via emergent table (ms)", emergent_query.mean_ms)
+    table.add_row("docs query via triple self-join (ms)", self_join.mean_ms)
+    table.print()
+
+    assert emergent_query.mean_ms < self_join.mean_ms
+    benchmark(store.database.execute, plan, use_cache=False)

@@ -1,0 +1,78 @@
+"""A3 (ablation) — retrieval effectiveness of the auction strategy.
+
+The paper reports efficiency, not effectiveness, for the auction scenario
+("we consider this performance adequate to the complexity of this task"),
+but the strategy's *purpose* is to retrieve the right lots — in particular,
+the right branch exists to recall lots whose own description does not match
+the query.  The synthetic auction workload knows its ground truth (lots
+belong to auctions whose distinctive vocabulary the queries are drawn from),
+so this ablation measures precision/recall/MAP/nDCG for:
+
+* the lots-only branch,
+* the mixed Figure 3 strategy with the paper's weighting.
+
+Expected shape: the mixed strategy's recall at deep cutoffs is at least as
+high as the lots-only branch (the auction branch contributes sibling lots),
+with no collapse in early precision.
+"""
+
+import pytest
+
+from repro.bench.reporting import ResultTable
+from repro.eval import evaluate_strategy, judgments_from_auctions
+from repro.strategy import StrategyExecutor, build_auction_strategy
+from repro.triples import TripleStore
+from repro.workloads import generate_auction_triples
+
+
+@pytest.fixture(scope="module")
+def effectiveness_setup():
+    workload = generate_auction_triples(1200, 8, seed=101, shared_term_fraction=0.4)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+    qrels = judgments_from_auctions(workload, terms_per_query=2)
+    executor = StrategyExecutor(store)
+    return workload, executor, qrels
+
+
+def test_a3_effectiveness_comparison(benchmark, effectiveness_setup):
+    workload, executor, qrels = effectiveness_setup
+    strategies = {
+        "lots branch only (weights 1.0 / 0.0)": build_auction_strategy(
+            lot_weight=1.0, auction_weight=0.0000001
+        ),
+        "mixed Figure 3 (weights 0.7 / 0.3)": build_auction_strategy(
+            lot_weight=0.7, auction_weight=0.3
+        ),
+    }
+    cutoff = 20
+    reports = {}
+    for name, strategy in strategies.items():
+        reports[name] = evaluate_strategy(executor, strategy, qrels, cutoff=cutoff, top_k=200)
+
+    table = ResultTable(
+        f"A3 — effectiveness on auction ground truth ({len(qrels)} queries, cutoff {cutoff})",
+        ["strategy", f"P@{cutoff}", f"R@{cutoff}", "MAP", f"nDCG@{cutoff}", "MRR"],
+    )
+    for name, report in reports.items():
+        means = report.means()
+        table.add_row(
+            name,
+            means[f"precision@{cutoff}"],
+            means[f"recall@{cutoff}"],
+            means["average_precision"],
+            means[f"ndcg@{cutoff}"],
+            means["reciprocal_rank"],
+        )
+    table.print()
+
+    lots_only = reports["lots branch only (weights 1.0 / 0.0)"].means()
+    mixed = reports["mixed Figure 3 (weights 0.7 / 0.3)"].means()
+    # the auction branch must not hurt recall; it exists to add sibling lots
+    assert mixed[f"recall@{cutoff}"] >= lots_only[f"recall@{cutoff}"] - 1e-9
+    assert mixed["reciprocal_rank"] > 0.2
+
+    query = qrels.queries()[0]
+    strategy = strategies["mixed Figure 3 (weights 0.7 / 0.3)"]
+    benchmark(executor.run, strategy, query)

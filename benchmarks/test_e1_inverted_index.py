@@ -1,0 +1,55 @@
+"""E1 — Figure 1: the inverted index as a relation, term lookup as a join.
+
+Reproduces the figure's artifact (posting lists / the (term, doc, pos)
+relation) and measures the two operations it illustrates: building the index
+on demand and looking terms up via a relational join.
+"""
+
+import pytest
+
+from repro.bench.reporting import ResultTable
+from repro.ir.inverted_index import InvertedIndex, term_lookup_join
+from repro.relational.database import Database
+from repro.text.analyzers import StandardAnalyzer
+
+
+@pytest.fixture(scope="module")
+def documents(text_collection):
+    return text_collection.documents[:500]
+
+
+@pytest.fixture(scope="module")
+def built_index(documents):
+    return InvertedIndex.from_documents(documents, StandardAnalyzer())
+
+
+def test_e1_build_index_on_demand(benchmark, documents):
+    """On-demand index construction over 500 synthetic documents."""
+    index = benchmark(InvertedIndex.from_documents, documents, StandardAnalyzer())
+    assert index.num_documents == len(documents)
+
+
+def test_e1_term_lookup_join(benchmark, built_index, text_collection):
+    """Figure 1b: query terms joined against the (term, doc, pos) relation."""
+    database = Database()
+    index_relation = built_index.to_relation()
+    frequent = text_collection.vocabulary.frequent_terms(3)
+
+    result = benchmark(term_lookup_join, database, index_relation, frequent)
+    assert result.num_rows > 0
+
+    table = ResultTable(
+        "E1 — Figure 1: term lookup as a join (500 docs)",
+        ["query term", "df (docs)", "postings (rows)"],
+    )
+    for term in frequent:
+        table.add_row(term, built_index.document_frequency(term), len(built_index.posting_list(term)))
+    table.print()
+
+
+def test_e1_posting_lists_match_relation(built_index):
+    """The posting lists and the relational form describe the same occurrences."""
+    relation = built_index.to_relation()
+    assert relation.num_rows == sum(
+        len(built_index.posting_list(term)) for term in built_index.vocabulary
+    )

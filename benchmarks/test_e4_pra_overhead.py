@@ -1,0 +1,106 @@
+"""E4 — Section 2.3: the cost of probabilistic score propagation.
+
+The paper's probabilistic layer appends a probability column to every table
+and computes it per operator.  This benchmark compares the same
+sub-collection query (the toy docs view) evaluated (a) through the plain
+relational engine ignoring probabilities and (b) through the PRA evaluator
+with probability propagation, plus the SpinQL front-end on top.
+
+Expected shape: the probabilistic evaluation costs a constant factor over the
+plain relational plan (it touches one extra column and combines it per
+operator); parsing/compiling SpinQL adds microseconds, supporting the claim
+that the algebra is cheap enough to be used everywhere.
+"""
+
+import pytest
+
+from repro.bench.reporting import ResultTable
+from repro.bench.harness import measure_latency
+from repro.pra.evaluator import PRAEvaluator
+from repro.relational.algebra import Join, Project, Scan, Select
+from repro.relational.expressions import col, lit
+from repro.spinql import compile_script, evaluate
+from repro.triples import TripleStore
+
+SPINQL_DOCS = """
+docs = PROJECT [$1 AS docID, $6 AS data] (
+  JOIN INDEPENDENT [$1=$1] (
+    SELECT [$2="category" and $3="toy"] (triples),
+    SELECT [$2="description"] (triples) ) );
+"""
+
+
+@pytest.fixture(scope="module")
+def product_store(product_workload_bench):
+    store = TripleStore()
+    store.add_all(product_workload_bench.triples)
+    store.load()
+    return store
+
+
+def plain_relational_plan():
+    """The same docs view as a non-probabilistic logical plan."""
+    categories = Select(
+        Scan("triples"),
+        col("property").eq(lit("category")).and_(col("object").eq(lit("toy"))),
+    )
+    descriptions = Select(Scan("triples"), col("property").eq(lit("description")))
+    joined = Join(categories, descriptions, [("subject", "subject")])
+    return Project(
+        joined,
+        [("docID", col("subject")), ("data", col("object_right"))],
+    )
+
+
+def test_e4_plain_relational_docs_view(benchmark, product_store):
+    plan = plain_relational_plan()
+    result = benchmark(product_store.database.execute, plan, use_cache=False)
+    assert result.num_rows > 0
+
+
+def test_e4_pra_docs_view(benchmark, product_store):
+    compiled = compile_script(SPINQL_DOCS)
+    evaluator = PRAEvaluator(product_store.database)
+    result = benchmark(evaluator.evaluate, compiled.final_plan)
+    assert result.num_rows > 0
+    assert result.schema.names[-1] == "p"
+
+
+def test_e4_spinql_end_to_end(benchmark, product_store):
+    result = benchmark(evaluate, SPINQL_DOCS, product_store.database)
+    assert result.num_rows > 0
+
+
+def test_e4_compile_only(benchmark):
+    compiled = benchmark(compile_script, SPINQL_DOCS)
+    assert compiled.final_plan is not None
+
+
+def test_e4_overhead_table(benchmark, product_store):
+    """Summarise plain vs probabilistic vs SpinQL-front-end latencies."""
+    plan = plain_relational_plan()
+    compiled = compile_script(SPINQL_DOCS)
+    evaluator = PRAEvaluator(product_store.database)
+
+    plain = measure_latency(
+        lambda: product_store.database.execute(plan, use_cache=False), repetitions=5, warmup=1
+    )
+    pra = measure_latency(
+        lambda: evaluator.evaluate(compiled.final_plan), repetitions=5, warmup=1
+    )
+    spinql = measure_latency(
+        lambda: evaluate(SPINQL_DOCS, product_store.database), repetitions=5, warmup=1
+    )
+    compile_only = measure_latency(lambda: compile_script(SPINQL_DOCS), repetitions=10)
+
+    table = ResultTable(
+        "E4 — score-propagation overhead on the toy docs view",
+        ["path", "mean (ms)", "relative to plain"],
+    )
+    table.add_row("plain relational (no probabilities)", plain.mean_ms, 1.0)
+    table.add_row("PRA evaluation (p propagated)", pra.mean_ms, pra.mean_ms / max(plain.mean_ms, 1e-9))
+    table.add_row("SpinQL parse+compile+evaluate", spinql.mean_ms, spinql.mean_ms / max(plain.mean_ms, 1e-9))
+    table.add_row("SpinQL parse+compile only", compile_only.mean_ms, compile_only.mean_ms / max(plain.mean_ms, 1e-9))
+    table.print()
+
+    benchmark(evaluator.evaluate, compiled.final_plan)

@@ -1,0 +1,77 @@
+"""E5 — Figure 2: the toy strategy end to end.
+
+Measures the "rank toy products by their description" strategy on a
+generated product catalog: cold (first query builds the on-demand index for
+the filtered sub-collection) versus hot, and the per-block time breakdown,
+and regenerates the Figure 2 diagram from the strategy graph.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_latency
+from repro.bench.reporting import ResultTable
+from repro.strategy import StrategyExecutor, build_toy_strategy, render_ascii
+from repro.triples import TripleStore
+from repro.workloads import generate_queries
+
+
+@pytest.fixture(scope="module")
+def toy_setup(product_workload_bench):
+    store = TripleStore()
+    store.add_all(product_workload_bench.triples)
+    store.load()
+    executor = StrategyExecutor(store)
+    strategy = build_toy_strategy(category="toy")
+    queries = generate_queries(product_workload_bench.vocabulary, 10, terms_per_query=3, seed=9)
+    # warm up: builds the on-demand index for the toy sub-collection
+    executor.run(strategy, query=queries.queries[0])
+    return executor, strategy, queries
+
+
+def test_e5_hot_toy_strategy_query(benchmark, toy_setup):
+    executor, strategy, queries = toy_setup
+    state = {"index": 0}
+
+    def run():
+        query = queries.queries[state["index"] % len(queries)]
+        state["index"] += 1
+        return executor.run(strategy, query=query)
+
+    run_result = benchmark(run)
+    assert run_result.result is not None
+
+
+def test_e5_cold_vs_hot_and_block_breakdown(benchmark, product_workload_bench):
+    store = TripleStore()
+    store.add_all(product_workload_bench.triples)
+    store.load()
+    executor = StrategyExecutor(store)
+    strategy = build_toy_strategy(category="toy")
+    queries = generate_queries(product_workload_bench.vocabulary, 6, terms_per_query=3, seed=19)
+
+    cold_run = executor.run(strategy, query=queries.queries[0])
+    hot = measure_latency(
+        lambda: executor.run(strategy, query=queries.queries[1]), repetitions=5, warmup=1
+    )
+
+    table = ResultTable(
+        "E5 — Figure 2 toy strategy (generated catalog)",
+        ["measurement", "value (ms)"],
+    )
+    table.add_row("cold first query (builds on-demand index)", cold_run.elapsed_seconds * 1000)
+    table.add_row("hot query mean", hot.mean_ms)
+    for block, seconds in cold_run.block_timings.items():
+        table.add_row(f"  cold breakdown: {block}", seconds * 1000)
+    table.print()
+
+    # regenerate the Figure 2 diagram
+    print(render_ascii(strategy))
+
+    benchmark(executor.run, strategy, queries.queries[2])
+
+
+def test_e5_results_respect_category_filter(toy_setup, product_workload_bench):
+    executor, strategy, queries = toy_setup
+    toys = set(product_workload_bench.products_in_category("toy"))
+    run = executor.run(strategy, query=queries.queries[3])
+    assert all(node in toys for node, _ in run.top(20))

@@ -1,0 +1,146 @@
+"""E6 — Figure 3 / Section 3: the auction strategy.
+
+The paper's production figure: ~150 ms per request (hot) over 8M lots in 25k
+auctions.  This benchmark measures the reproduction's auction strategy at
+laptop scale: hot per-query latency, scaling with the number of lots,
+the contribution of each branch (lots-only vs auctions-only vs the mixed
+strategy), and regenerates the Figure 3 diagram.
+
+Expected shape: the mixed strategy costs roughly the sum of its two ranking
+branches plus the traversal steps; latency grows with collection size mainly
+through the number of matching postings; the hot path is orders of magnitude
+cheaper than the cold path that builds the two on-demand indexes.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_latency
+from repro.bench.reporting import ResultTable
+from repro.strategy import StrategyExecutor, build_auction_strategy, render_ascii
+from repro.strategy.graph import StrategyGraph
+from repro.strategy.library import (
+    ExtractTextBlock,
+    QueryInputBlock,
+    RankByTextBlock,
+    SelectByTypeBlock,
+    TraversePropertyBlock,
+)
+from repro.triples import TripleStore
+from repro.workloads import generate_auction_triples, generate_queries
+
+
+def build_lots_only_strategy():
+    """The left branch of Figure 3 in isolation."""
+    graph = StrategyGraph(name="rank lots by own description")
+    graph.add_block("select_lots", SelectByTypeBlock("lot"))
+    graph.add_block("query", QueryInputBlock())
+    graph.add_block("descriptions", ExtractTextBlock("description"))
+    graph.add_block("rank", RankByTextBlock())
+    graph.connect("select_lots", "descriptions")
+    graph.connect("descriptions", "rank", port="documents")
+    graph.connect("query", "rank", port="query")
+    return graph
+
+
+def build_auction_branch_strategy():
+    """The right branch of Figure 3 in isolation."""
+    graph = StrategyGraph(name="rank lots via auction description")
+    graph.add_block("select_lots", SelectByTypeBlock("lot"))
+    graph.add_block("query", QueryInputBlock())
+    graph.add_block("to_auctions", TraversePropertyBlock("hasAuction"))
+    graph.add_block("descriptions", ExtractTextBlock("description"))
+    graph.add_block("rank", RankByTextBlock())
+    graph.add_block("back", TraversePropertyBlock("hasAuction", backward=True))
+    graph.connect("select_lots", "to_auctions")
+    graph.connect("to_auctions", "descriptions")
+    graph.connect("descriptions", "rank", port="documents")
+    graph.connect("query", "rank", port="query")
+    graph.connect("rank", "back")
+    return graph
+
+
+def test_e6_hot_auction_query(benchmark, auction_executor, warm_auction_strategy, auction_queries):
+    """The headline measurement: one hot request against the full strategy."""
+    state = {"index": 0}
+
+    def run():
+        query = auction_queries.queries[state["index"] % len(auction_queries.queries)]
+        state["index"] += 1
+        return auction_executor.run(warm_auction_strategy, query=query)
+
+    result = benchmark(run)
+    assert result.result is not None
+
+
+def test_e6_branch_composition(benchmark, auction_store_bench, auction_queries):
+    """Mixed strategy vs its two branches in isolation."""
+    executor = StrategyExecutor(auction_store_bench)
+    strategies = {
+        "lots branch only": build_lots_only_strategy(),
+        "auction branch only": build_auction_branch_strategy(),
+        "mixed (Figure 3)": build_auction_strategy(),
+    }
+    query = auction_queries.queries[0]
+    table = ResultTable(
+        "E6 — Figure 3 branch composition (hot queries)",
+        ["strategy", "mean (ms)", "results"],
+    )
+    for name, strategy in strategies.items():
+        executor.run(strategy, query=query)  # warm up on-demand indexes
+        stats = measure_latency(
+            lambda s=strategy: executor.run(s, query=auction_queries.queries[1]),
+            repetitions=4,
+            warmup=1,
+        )
+        results = executor.run(strategy, query=auction_queries.queries[1]).result.num_rows
+        table.add_row(name, stats.mean_ms, results)
+    table.print()
+    print(render_ascii(build_auction_strategy()))
+
+    benchmark(executor.run, strategies["mixed (Figure 3)"], auction_queries.queries[2])
+
+
+def test_e6_scaling_with_lots(benchmark):
+    """Hot latency as the number of lots grows (shape: ~linear in matches)."""
+    table = ResultTable(
+        "E6 — auction strategy latency vs number of lots",
+        ["lots", "auctions", "cold (ms)", "hot mean (ms)", "hot p95 (ms)"],
+    )
+    for num_lots in (500, 2000, 6000):
+        workload = generate_auction_triples(num_lots, seed=31)
+        store = TripleStore()
+        store.add_all(workload.triples)
+        store.load()
+        executor = StrategyExecutor(store)
+        strategy = build_auction_strategy()
+        queries = generate_queries(workload.vocabulary, 6, terms_per_query=3, seed=13)
+        cold = executor.run(strategy, query=queries.queries[0]).elapsed_seconds * 1000
+        hot = measure_latency(
+            lambda: executor.run(strategy, query=queries.queries[1]), repetitions=4, warmup=1
+        )
+        table.add_row(num_lots, workload.num_auctions, cold, hot.mean_ms, hot.p95_ms)
+    table.print()
+
+    workload = generate_auction_triples(500, seed=31)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+    executor = StrategyExecutor(store)
+    strategy = build_auction_strategy()
+    queries = generate_queries(workload.vocabulary, 3, terms_per_query=3, seed=13)
+    executor.run(strategy, query=queries.queries[0])
+    benchmark(executor.run, strategy, queries.queries[1])
+
+
+def test_e6_score_propagation_through_graph(auction_executor, warm_auction_strategy, auction_workload_bench):
+    """Lots reached only via their auction inherit probabilities from it (Section 3)."""
+    auction = auction_workload_bench.auction_ids[0]
+    own_terms = set(auction_workload_bench.auction_descriptions[auction].split())
+    for other in auction_workload_bench.auction_ids[1:]:
+        own_terms -= set(auction_workload_bench.auction_descriptions[other].split())
+    assert own_terms
+    query = " ".join(list(own_terms)[:2])
+    run = auction_executor.run(warm_auction_strategy, query=query)
+    returned = {node for node, _ in run.top(100)}
+    siblings = set(auction_workload_bench.lots_in_auction(auction))
+    assert returned & siblings

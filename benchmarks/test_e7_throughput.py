@@ -1,0 +1,50 @@
+"""E7 — Section 3: query-stream throughput.
+
+The paper reports the production strategy serving 150,000 requests/day (with
+peaks of 450/minute, i.e. 7.5 requests/second) at ~150 ms per request on a
+single VM.  This benchmark replays a query stream against the hot auction
+strategy and extrapolates sustainable requests/day and requests/minute from
+the measured mean latency, so the reproduction's numbers can be read in the
+same units as the paper's.
+"""
+
+from repro.bench.harness import LatencyStats, throughput_per_day
+from repro.bench.reporting import ResultTable
+
+PAPER_REQUESTS_PER_DAY = 150_000
+PAPER_PEAK_PER_MINUTE = 450
+PAPER_LATENCY_MS = 150.0
+
+
+def test_e7_query_stream_replay(benchmark, auction_executor, warm_auction_strategy, auction_queries):
+    """Replay the query stream; report latency percentiles and derived throughput."""
+    samples = []
+    for query in auction_queries.queries:
+        run = auction_executor.run(warm_auction_strategy, query=query)
+        samples.append(run.elapsed_seconds * 1000.0)
+    stats = LatencyStats(samples)
+
+    per_day = throughput_per_day(stats.mean_ms)
+    per_minute = per_day / 1440.0
+
+    table = ResultTable(
+        "E7 — throughput extrapolated from hot per-request latency",
+        ["metric", "this reproduction", "paper (production)"],
+    )
+    table.add_row("mean latency (ms)", stats.mean_ms, PAPER_LATENCY_MS)
+    table.add_row("p95 latency (ms)", stats.p95_ms, "-")
+    table.add_row("sustainable requests/day", f"{per_day:,.0f}", f"{PAPER_REQUESTS_PER_DAY:,}")
+    table.add_row("sustainable requests/minute", f"{per_minute:,.0f}", f"peak {PAPER_PEAK_PER_MINUTE}")
+    table.print()
+
+    # the reproduction must at least sustain the paper's daily load at this scale
+    assert per_day > PAPER_REQUESTS_PER_DAY
+
+    state = {"index": 0}
+
+    def run_one():
+        query = auction_queries.queries[state["index"] % len(auction_queries.queries)]
+        state["index"] += 1
+        return auction_executor.run(warm_auction_strategy, query=query)
+
+    benchmark(run_one)

@@ -1,0 +1,79 @@
+"""E8 — Section 3: the production variant with query expansion.
+
+The production strategy adds five parallel keyword-search branches and query
+expansion with synonyms and compound terms.  This benchmark measures the
+latency overhead of expansion on the ranking branches and the recall benefit
+on queries phrased in a vocabulary that only the synonym dictionary knows.
+
+Expected shape: expansion adds a modest constant overhead per query (more
+terms to look up) while recovering results for out-of-vocabulary queries that
+the plain strategy misses entirely.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_latency
+from repro.bench.reporting import ResultTable
+from repro.ir.query_expansion import ChainedExpander, CompoundExpander, SynonymExpander
+from repro.strategy import StrategyExecutor, build_auction_strategy
+from repro.strategy.prebuilt import build_expanded_auction_strategy
+
+
+@pytest.fixture(scope="module")
+def expansion_setup(auction_store_bench, auction_workload_bench):
+    frequent = auction_workload_bench.vocabulary.frequent_terms(20)
+    synonyms = {f"userword{index}": [term] for index, term in enumerate(frequent[:10])}
+    expander = ChainedExpander(
+        [
+            SynonymExpander(synonyms),
+            CompoundExpander(vocabulary=set(auction_workload_bench.vocabulary.words)),
+        ]
+    )
+    executor = StrategyExecutor(auction_store_bench)
+    plain = build_auction_strategy()
+    expanded = build_expanded_auction_strategy(expander)
+    warmup_query = " ".join(frequent[:3])
+    executor.run(plain, query=warmup_query)
+    executor.run(expanded, query=warmup_query)
+    return executor, plain, expanded, frequent
+
+
+def test_e8_plain_strategy_latency(benchmark, expansion_setup):
+    executor, plain, _, frequent = expansion_setup
+    query = " ".join(frequent[3:6])
+    result = benchmark(executor.run, plain, query)
+    assert result.result is not None
+
+
+def test_e8_expanded_strategy_latency(benchmark, expansion_setup):
+    executor, _, expanded, frequent = expansion_setup
+    query = " ".join(frequent[3:6])
+    result = benchmark(executor.run, expanded, query)
+    assert result.result is not None
+
+
+def test_e8_overhead_and_recall_table(benchmark, expansion_setup):
+    executor, plain, expanded, frequent = expansion_setup
+
+    in_vocabulary_query = " ".join(frequent[6:9])
+    out_of_vocabulary_query = "userword0 userword1 userword2"
+
+    plain_latency = measure_latency(
+        lambda: executor.run(plain, query=in_vocabulary_query), repetitions=4, warmup=1
+    )
+    expanded_latency = measure_latency(
+        lambda: executor.run(expanded, query=in_vocabulary_query), repetitions=4, warmup=1
+    )
+    plain_recall = executor.run(plain, query=out_of_vocabulary_query).result.num_rows
+    expanded_recall = executor.run(expanded, query=out_of_vocabulary_query).result.num_rows
+
+    table = ResultTable(
+        "E8 — query expansion: latency overhead and recall benefit",
+        ["strategy", "hot latency (ms)", "results for out-of-vocabulary query"],
+    )
+    table.add_row("plain (Figure 3)", plain_latency.mean_ms, plain_recall)
+    table.add_row("expanded (production variant)", expanded_latency.mean_ms, expanded_recall)
+    table.print()
+
+    assert expanded_recall > plain_recall
+    benchmark(executor.run, expanded, in_vocabulary_query)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The production variant of the auction strategy: query expansion enabled.
+
+Section 3 notes that the production strategy adds "query expansion with
+synonyms and compound terms" on top of the Figure 3 strategy, at no extra
+engineering cost.  This example builds a synonym dictionary and a compound
+expander over the collection vocabulary, runs the same queries through the
+plain and the expanded strategy, and reports the recall difference and the
+latency overhead.
+
+Run with:  python examples/expanded_auction_search.py [num_lots]
+"""
+
+import sys
+
+from repro.bench.harness import LatencyStats
+from repro.ir.query_expansion import ChainedExpander, CompoundExpander, SynonymExpander
+from repro.strategy import StrategyExecutor, build_auction_strategy
+from repro.strategy.prebuilt import build_expanded_auction_strategy
+from repro.triples import TripleStore
+from repro.workloads import generate_auction_triples
+
+
+def main() -> None:
+    num_lots = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    workload = generate_auction_triples(num_lots, seed=53)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+
+    # synonym dictionary: invented user vocabulary mapped to collection terms
+    frequent = workload.vocabulary.frequent_terms(20)
+    synonyms = {f"userword{index}": [term] for index, term in enumerate(frequent[:10])}
+    expander = ChainedExpander(
+        [
+            SynonymExpander(synonyms),
+            CompoundExpander(vocabulary=set(workload.vocabulary.words)),
+        ]
+    )
+
+    plain = build_auction_strategy()
+    expanded = build_expanded_auction_strategy(expander)
+    executor = StrategyExecutor(store)
+
+    # queries phrased in the "user vocabulary": only the expanded strategy can
+    # map them onto collection terms
+    user_queries = [f"userword{index} userword{index + 1}" for index in range(0, 8, 2)]
+    # queries phrased in collection terms: both strategies handle them
+    collection_queries = [" ".join(frequent[index : index + 3]) for index in range(0, 9, 3)]
+
+    print("Recall on user-vocabulary queries (results found):")
+    for query in user_queries:
+        plain_run = executor.run(plain, query=query)
+        expanded_run = executor.run(expanded, query=query)
+        print(
+            f"  {query!r:<28} plain: {plain_run.result.num_rows:5d}   "
+            f"expanded: {expanded_run.result.num_rows:5d}"
+        )
+
+    print("\nLatency on collection-term queries (hot, ms):")
+    plain_samples, expanded_samples = [], []
+    executor.run(plain, query=collection_queries[0])      # warm up indexes
+    executor.run(expanded, query=collection_queries[0])
+    for query in collection_queries:
+        plain_samples.append(executor.run(plain, query=query).elapsed_seconds * 1000)
+        expanded_samples.append(executor.run(expanded, query=query).elapsed_seconds * 1000)
+    plain_stats = LatencyStats(plain_samples)
+    expanded_stats = LatencyStats(expanded_samples)
+    print(f"  plain    mean {plain_stats.mean_ms:7.1f} ms")
+    print(f"  expanded mean {expanded_stats.mean_ms:7.1f} ms")
+    overhead = (expanded_stats.mean_ms / plain_stats.mean_ms - 1.0) * 100 if plain_stats.mean_ms else 0
+    print(f"  expansion overhead: {overhead:+.1f}%  (the paper reports the production")
+    print("  strategy with 5 branches + expansion still answers in ~150 ms)")
+
+
+if __name__ == "__main__":
+    main()

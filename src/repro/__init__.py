@@ -1,0 +1,63 @@
+"""repro: Industrial-strength Information Retrieval on Databases.
+
+A from-scratch Python reproduction of the platform described in
+
+    Cornacchia, Hildebrand, de Vries, Dorssers.
+    "Challenges for industrial-strength Information Retrieval on Databases."
+    EDBT/ICDT 2017 workshops.
+
+The package is organised along the paper's sections:
+
+* :mod:`repro.relational` — the columnar relational engine (the MonetDB
+  stand-in);
+* :mod:`repro.text` — tokenizer and stemmers (the paper's two UDFs);
+* :mod:`repro.ir` — keyword search as relational queries (Section 2.1);
+* :mod:`repro.triples` — the flexible triple data model and partitioning
+  strategies (Section 2.2);
+* :mod:`repro.pra` — the probabilistic relational algebra with tuple-level
+  uncertainty (Section 2.3);
+* :mod:`repro.spinql` — the SpinQL query language and its SQL translation
+  (Section 2.3);
+* :mod:`repro.strategy` — block-based search strategies (Section 2.4), with
+  the toy (Figure 2) and auction (Figure 3) strategies pre-built;
+* :mod:`repro.workloads` — synthetic data generators standing in for the
+  paper's proprietary collections;
+* :mod:`repro.bench` — the benchmark harness.
+
+Quickstart::
+
+    from repro.triples import TripleStore
+    from repro.strategy import StrategyExecutor, build_toy_strategy
+    from repro.workloads import generate_product_triples
+
+    store = TripleStore()
+    store.add_all(generate_product_triples(500).triples)
+    store.load()
+
+    strategy = build_toy_strategy(category="toy")
+    run = StrategyExecutor(store).run(strategy, query="wooden train set")
+    print(run.top(10))
+"""
+
+from repro.errors import ReproError
+from repro.relational import Database, Relation
+from repro.pra import ProbabilisticRelation
+from repro.triples import TripleStore
+from repro.ir import KeywordSearchEngine
+from repro.strategy import StrategyExecutor, StrategyGraph, build_auction_strategy, build_toy_strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "KeywordSearchEngine",
+    "ProbabilisticRelation",
+    "Relation",
+    "ReproError",
+    "StrategyExecutor",
+    "StrategyGraph",
+    "TripleStore",
+    "build_auction_strategy",
+    "build_toy_strategy",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness utilities.
+
+The benchmarks under ``benchmarks/`` use pytest-benchmark for the headline
+timings; this package provides the supporting pieces they share:
+
+* :mod:`repro.bench.harness` — timing helpers, parameter sweeps and latency
+  statistics (mean / median / p95), plus throughput extrapolation to the
+  requests-per-day figures the paper reports;
+* :mod:`repro.bench.reporting` — plain-text result tables, printed by each
+  benchmark so the rows of EXPERIMENTS.md can be regenerated directly from
+  the benchmark output.
+"""
+
+from repro.bench.harness import LatencyStats, Sweep, measure_latency, throughput_per_day
+from repro.bench.reporting import ResultTable
+
+__all__ = [
+    "LatencyStats",
+    "ResultTable",
+    "Sweep",
+    "measure_latency",
+    "throughput_per_day",
+]

@@ -1,0 +1,55 @@
+"""Plain-text result tables for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+class ResultTable:
+    """An aligned text table accumulated row by row and printed at the end.
+
+    Every benchmark builds one of these and prints it, so the series the paper
+    reports (latency vs. collection size, strategy vs. branch, …) appear
+    directly in the benchmark output and can be copied into EXPERIMENTS.md.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row; accepts positional values or keyword values by column name."""
+        if values and named:
+            raise ValueError("pass either positional or named values, not both")
+        if named:
+            values = tuple(named.get(column, "") for column in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values ({self.columns}), got {len(values)}"
+            )
+        self.rows.append([_format(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append(" | ".join(column.ljust(width) for column, width in zip(self.columns, widths)))
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console output helper
+        print()
+        print(self.render())
+        print()
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,164 @@
+"""Command-line interface: run the paper's scenarios without writing code.
+
+The CLI exposes the two scenarios of the paper plus an interactive-style
+ad-hoc query mode over a generated workload:
+
+* ``python -m repro toy --products 400 --query "wooden train"`` — the toy
+  scenario (Figure 2) on a generated catalog;
+* ``python -m repro auction --lots 2000 --query "antique clock"`` — the
+  auction scenario (Figure 3) on a generated auction graph;
+* ``python -m repro experts --query-topic 0`` — the expert-finding scenario;
+* ``python -m repro spinql "<program>"`` — compile a SpinQL program and print
+  its PRA plan and SQL translation.
+
+Every subcommand prints the strategy diagram (``--show-strategy``) and the
+top results with their probabilities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.strategy import (
+    StrategyExecutor,
+    build_auction_strategy,
+    build_toy_strategy,
+    render_ascii,
+)
+from repro.triples import TripleStore
+from repro.workloads import (
+    generate_auction_triples,
+    generate_expert_triples,
+    generate_product_triples,
+)
+
+
+def _print_results(run, top_k: int) -> None:
+    print(f"query: {run.query!r}  ({run.elapsed_seconds * 1000:.1f} ms)")
+    for node, probability in run.top(top_k):
+        print(f"  {node:<14} p = {probability:.4f}")
+
+
+def _cmd_toy(args: argparse.Namespace) -> int:
+    workload = generate_product_triples(args.products, seed=args.seed)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+    strategy = build_toy_strategy(category=args.category)
+    if args.show_strategy:
+        print(render_ascii(strategy))
+    query = args.query
+    if not query:
+        target = workload.products_in_category(args.category)
+        if not target:
+            print(f"no products in category {args.category!r}", file=sys.stderr)
+            return 1
+        query = " ".join(workload.descriptions[target[0]].split()[:3])
+    run = StrategyExecutor(store).run(strategy, query=query)
+    _print_results(run, args.top)
+    return 0
+
+
+def _cmd_auction(args: argparse.Namespace) -> int:
+    workload = generate_auction_triples(args.lots, seed=args.seed)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+    strategy = build_auction_strategy(
+        lot_weight=args.lot_weight, auction_weight=args.auction_weight
+    )
+    if args.show_strategy:
+        print(render_ascii(strategy))
+    query = args.query or " ".join(workload.lot_descriptions["lot1"].split()[:3])
+    run = StrategyExecutor(store).run(strategy, query=query)
+    _print_results(run, args.top)
+    return 0
+
+
+def _cmd_experts(args: argparse.Namespace) -> int:
+    from repro.strategy.prebuilt import build_expert_strategy
+
+    workload = generate_expert_triples(args.people, args.documents, seed=args.seed)
+    store = TripleStore()
+    store.add_all(workload.triples)
+    store.load()
+    strategy = build_expert_strategy()
+    if args.show_strategy:
+        print(render_ascii(strategy))
+    if args.query:
+        query = args.query
+    else:
+        topic = workload.topics[args.query_topic % len(workload.topics)]
+        query = workload.query_for_topic(topic)
+        print(f"(query drawn from {topic}: true experts = {workload.experts_on(topic)})")
+    run = StrategyExecutor(store).run(strategy, query=query)
+    _print_results(run, args.top)
+    return 0
+
+
+def _cmd_spinql(args: argparse.Namespace) -> int:
+    from repro.spinql import compile_script, to_sql
+
+    compiled = compile_script(args.program)
+    print("PRA plan:")
+    print(compiled.final_plan.describe())
+    print("\nSQL translation:")
+    print(to_sql(compiled.final_plan, view_name=args.view_name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Industrial-strength IR on databases — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    toy = subparsers.add_parser("toy", help="the toy scenario (Figure 2)")
+    toy.add_argument("--products", type=int, default=400)
+    toy.add_argument("--category", default="toy")
+    toy.add_argument("--query", default="")
+    toy.add_argument("--top", type=int, default=10)
+    toy.add_argument("--seed", type=int, default=21)
+    toy.add_argument("--show-strategy", action="store_true")
+    toy.set_defaults(handler=_cmd_toy)
+
+    auction = subparsers.add_parser("auction", help="the auction scenario (Figure 3)")
+    auction.add_argument("--lots", type=int, default=2000)
+    auction.add_argument("--query", default="")
+    auction.add_argument("--lot-weight", type=float, default=0.7)
+    auction.add_argument("--auction-weight", type=float, default=0.3)
+    auction.add_argument("--top", type=int, default=10)
+    auction.add_argument("--seed", type=int, default=37)
+    auction.add_argument("--show-strategy", action="store_true")
+    auction.set_defaults(handler=_cmd_auction)
+
+    experts = subparsers.add_parser("experts", help="the expert-finding scenario")
+    experts.add_argument("--people", type=int, default=60)
+    experts.add_argument("--documents", type=int, default=500)
+    experts.add_argument("--query", default="")
+    experts.add_argument("--query-topic", type=int, default=0)
+    experts.add_argument("--top", type=int, default=10)
+    experts.add_argument("--seed", type=int, default=77)
+    experts.add_argument("--show-strategy", action="store_true")
+    experts.set_defaults(handler=_cmd_experts)
+
+    spinql = subparsers.add_parser("spinql", help="compile a SpinQL program")
+    spinql.add_argument("program")
+    spinql.add_argument("--view-name", default=None)
+    spinql.set_defaults(handler=_cmd_spinql)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Exception hierarchy shared by every subsystem of the library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+applications embedding the engine can catch a single base class.  More
+specific subclasses mirror the subsystems described in DESIGN.md: the
+relational engine, the text-analysis stack, the IR layer, the triple store,
+the probabilistic relational algebra, the SpinQL compiler and the strategy
+layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation was constructed or used with an inconsistent schema."""
+
+
+class ColumnError(ReproError):
+    """A column was referenced that does not exist, or has the wrong type."""
+
+
+class TypeMismatchError(ReproError):
+    """An expression combined values of incompatible data types."""
+
+
+class CatalogError(ReproError):
+    """A table or view name could not be resolved, or already exists."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be executed."""
+
+
+class FunctionError(ReproError):
+    """A user-defined function is unknown or was called incorrectly."""
+
+
+class TextAnalysisError(ReproError):
+    """The tokenizer or a stemmer was configured incorrectly."""
+
+
+class UnknownLanguageError(TextAnalysisError):
+    """A stemmer was requested for a language that is not registered."""
+
+
+class IndexingError(ReproError):
+    """An inverted index could not be built for the given input relation."""
+
+
+class RankingError(ReproError):
+    """A ranking model was configured or invoked incorrectly."""
+
+
+class TripleStoreError(ReproError):
+    """The triple store was loaded or queried incorrectly."""
+
+
+class PartitioningError(TripleStoreError):
+    """A vertical-partitioning strategy could not be applied."""
+
+
+class ProbabilityError(ReproError):
+    """A probability value or combination rule is invalid."""
+
+
+class PRAError(ReproError):
+    """A probabilistic-relational-algebra plan is malformed."""
+
+
+class SpinQLError(ReproError):
+    """Base class for SpinQL front-end errors."""
+
+
+class SpinQLSyntaxError(SpinQLError):
+    """The SpinQL source text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SpinQLCompileError(SpinQLError):
+    """The SpinQL AST could not be compiled into a PRA plan."""
+
+
+class StrategyError(ReproError):
+    """A search strategy graph is malformed."""
+
+
+class BlockError(StrategyError):
+    """A strategy block was configured incorrectly."""
+
+
+class PortError(StrategyError):
+    """Two strategy ports with incompatible kinds were connected."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

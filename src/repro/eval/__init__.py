@@ -1,0 +1,40 @@
+"""Retrieval-effectiveness evaluation.
+
+The paper's introduction motivates the platform with complex search tasks
+(enterprise search, expert finding, recommendation) whose quality ultimately
+matters as much as latency.  This package provides the standard effectiveness
+machinery needed to evaluate the reproduction's strategies and ranking
+models on the synthetic workloads:
+
+* :mod:`repro.eval.qrels` — relevance judgments (qrels) and judgment builders
+  for the synthetic workloads (where ground truth is known by construction);
+* :mod:`repro.eval.metrics` — precision/recall at k, average precision, MRR,
+  and nDCG over ranked lists;
+* :mod:`repro.eval.runner` — run a query set through a search engine or a
+  strategy and aggregate per-query metrics.
+"""
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_metric,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.qrels import Qrels, judgments_from_auctions
+from repro.eval.runner import EvaluationReport, evaluate_ranking, evaluate_strategy
+
+__all__ = [
+    "EvaluationReport",
+    "Qrels",
+    "average_precision",
+    "evaluate_ranking",
+    "evaluate_strategy",
+    "judgments_from_auctions",
+    "mean_metric",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+]

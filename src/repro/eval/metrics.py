@@ -1,0 +1,102 @@
+"""Standard rank-based effectiveness metrics.
+
+All functions take a ranked list of document identifiers (best first) and a
+set (or graded mapping) of relevant documents, and return a float in
+``[0, 1]``.  They are deliberately free of any engine dependency so they can
+score the output of the keyword search engine, a strategy run, or any plain
+list produced elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence, Set
+from typing import Any
+
+
+def _relevant_set(relevant: Set[Any] | Mapping[Any, float]) -> set[Any]:
+    if isinstance(relevant, Mapping):
+        return {doc for doc, grade in relevant.items() if grade > 0}
+    return set(relevant)
+
+
+def precision_at_k(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float], k: int) -> float:
+    """Fraction of the top-``k`` results that are relevant."""
+    if k <= 0:
+        return 0.0
+    relevant_docs = _relevant_set(relevant)
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for doc in top if doc in relevant_docs)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float], k: int) -> float:
+    """Fraction of all relevant documents found in the top-``k``."""
+    relevant_docs = _relevant_set(relevant)
+    if not relevant_docs:
+        return 0.0
+    top = set(list(ranked)[:k])
+    return len(top & relevant_docs) / len(relevant_docs)
+
+
+def average_precision(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float]) -> float:
+    """Mean of the precision values at each relevant document's rank."""
+    relevant_docs = _relevant_set(relevant)
+    if not relevant_docs:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, doc in enumerate(ranked, start=1):
+        if doc in relevant_docs:
+            hits += 1
+            total += hits / position
+    return total / len(relevant_docs)
+
+
+def reciprocal_rank(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float]) -> float:
+    """1 / rank of the first relevant result (0 if none is found)."""
+    relevant_docs = _relevant_set(relevant)
+    for position, doc in enumerate(ranked, start=1):
+        if doc in relevant_docs:
+            return 1.0 / position
+    return 0.0
+
+
+def ndcg_at_k(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float], k: int) -> float:
+    """Normalised discounted cumulative gain at ``k``.
+
+    Graded judgments (a mapping of document to gain) are supported; a plain
+    set is treated as binary gains of 1.
+    """
+    if k <= 0:
+        return 0.0
+    if isinstance(relevant, Mapping):
+        gains = {doc: float(grade) for doc, grade in relevant.items() if grade > 0}
+    else:
+        gains = {doc: 1.0 for doc in relevant}
+    if not gains:
+        return 0.0
+
+    def dcg(sequence: Sequence[Any]) -> float:
+        total = 0.0
+        for position, doc in enumerate(list(sequence)[:k], start=1):
+            gain = gains.get(doc, 0.0)
+            if gain > 0:
+                total += (2.0**gain - 1.0) / math.log2(position + 1)
+        return total
+
+    ideal_order = sorted(gains, key=lambda doc: gains[doc], reverse=True)
+    ideal = dcg(ideal_order)
+    if ideal == 0:
+        return 0.0
+    return dcg(ranked) / ideal
+
+
+def mean_metric(values: Sequence[float]) -> float:
+    """Arithmetic mean of per-query metric values (0 for an empty list)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,110 @@
+"""Relevance judgments (qrels) and judgment builders for synthetic workloads.
+
+Real relevance judgments for the paper's customer data are unavailable; the
+synthetic workloads, however, know their own ground truth by construction —
+for the auction graph, the lots of an auction share a controlled fraction of
+their description terms with it.  :func:`judgments_from_auctions` exploits
+that: for a query drawn from one auction's distinctive vocabulary, the lots
+of that auction are the relevant set.  This gives the effectiveness
+benchmarks a deterministic, documented notion of relevance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.auctions import AuctionWorkload
+
+
+@dataclass
+class Qrels:
+    """Relevance judgments: per query, a mapping of document to graded relevance."""
+
+    judgments: dict[str, dict[Any, float]] = field(default_factory=dict)
+
+    def add(self, query: str, document: Any, grade: float = 1.0) -> None:
+        """Record that ``document`` is relevant to ``query`` with ``grade``."""
+        if grade < 0:
+            raise WorkloadError("relevance grades must be non-negative")
+        self.judgments.setdefault(query, {})[document] = grade
+
+    def relevant_for(self, query: str) -> dict[Any, float]:
+        """The graded relevant documents of ``query`` (empty dict if unjudged)."""
+        return dict(self.judgments.get(query, {}))
+
+    def queries(self) -> list[str]:
+        return list(self.judgments)
+
+    def num_judgments(self) -> int:
+        return sum(len(docs) for docs in self.judgments.values())
+
+    def __contains__(self, query: str) -> bool:
+        return query in self.judgments
+
+    def __len__(self) -> int:
+        return len(self.judgments)
+
+
+def judgments_from_auctions(
+    workload: "AuctionWorkload",
+    *,
+    queries_per_auction: int = 1,
+    terms_per_query: int = 2,
+    max_auctions: int | None = None,
+) -> Qrels:
+    """Build qrels from the auction workload's construction-time ground truth.
+
+    For each auction, queries are drawn from the terms that occur in *its*
+    description and in no other auction's description (its distinctive
+    vocabulary); the relevant documents of such a query are the lots belonging
+    to that auction (grade 1.0).  Auctions without enough distinctive terms
+    are skipped.
+    """
+    if queries_per_auction < 1 or terms_per_query < 1:
+        raise WorkloadError("queries_per_auction and terms_per_query must be positive")
+    qrels = Qrels()
+    auction_terms: dict[str, list[str]] = {
+        auction: workload.auction_descriptions[auction].split()
+        for auction in workload.auction_ids
+    }
+    term_owners: dict[str, set[str]] = {}
+    for auction, terms in auction_terms.items():
+        for term in terms:
+            term_owners.setdefault(term, set()).add(auction)
+
+    auctions: Iterable[str] = workload.auction_ids
+    if max_auctions is not None:
+        auctions = list(workload.auction_ids)[:max_auctions]
+
+    for auction in auctions:
+        distinctive = [
+            term for term in auction_terms[auction] if term_owners[term] == {auction}
+        ]
+        # deduplicate while keeping order
+        distinctive = list(dict.fromkeys(distinctive))
+        if len(distinctive) < terms_per_query:
+            continue
+        lots = workload.lots_in_auction(auction)
+        for query_index in range(queries_per_auction):
+            start = query_index * terms_per_query
+            terms = distinctive[start : start + terms_per_query]
+            if len(terms) < terms_per_query:
+                break
+            query = " ".join(terms)
+            for lot in lots:
+                qrels.add(query, lot, 1.0)
+    return qrels
+
+
+def judgments_from_mapping(mapping: Mapping[str, Iterable[Any]]) -> Qrels:
+    """Build binary qrels from ``{query: [relevant documents]}``."""
+    qrels = Qrels()
+    for query, documents in mapping.items():
+        for document in documents:
+            qrels.add(query, document, 1.0)
+    return qrels

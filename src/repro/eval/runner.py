@@ -1,0 +1,128 @@
+"""Run query sets against engines or strategies and aggregate effectiveness.
+
+The runner pairs the metrics of :mod:`repro.eval.metrics` with the qrels of
+:mod:`repro.eval.qrels` and produces per-query and mean results for either a
+:class:`~repro.ir.search.KeywordSearchEngine` or a strategy executed by a
+:class:`~repro.strategy.executor.StrategyExecutor`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.eval.metrics import (
+    average_precision,
+    mean_metric,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.qrels import Qrels
+
+
+@dataclass
+class QueryResult:
+    """Effectiveness of one query."""
+
+    query: str
+    metrics: dict[str, float]
+    num_results: int
+    num_relevant: int
+
+
+@dataclass
+class EvaluationReport:
+    """Per-query results plus means over the query set."""
+
+    per_query: list[QueryResult] = field(default_factory=list)
+    cutoff: int = 10
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.per_query)
+
+    def mean(self, metric: str) -> float:
+        """Mean of one metric over all evaluated queries."""
+        return mean_metric([result.metrics[metric] for result in self.per_query])
+
+    def means(self) -> dict[str, float]:
+        """Means of every metric."""
+        if not self.per_query:
+            return {}
+        return {name: self.mean(name) for name in self.per_query[0].metrics}
+
+    def to_rows(self) -> list[tuple[str, float, float, float, float, float]]:
+        """Rows of (query, P@k, R@k, AP, nDCG@k, RR) for reporting tables."""
+        rows = []
+        for result in self.per_query:
+            metrics = result.metrics
+            rows.append(
+                (
+                    result.query,
+                    metrics[f"precision@{self.cutoff}"],
+                    metrics[f"recall@{self.cutoff}"],
+                    metrics["average_precision"],
+                    metrics[f"ndcg@{self.cutoff}"],
+                    metrics["reciprocal_rank"],
+                )
+            )
+        return rows
+
+
+def _score_ranking(
+    query: str,
+    ranked_documents: Sequence[Any],
+    relevant: dict[Any, float],
+    cutoff: int,
+) -> QueryResult:
+    metrics = {
+        f"precision@{cutoff}": precision_at_k(ranked_documents, relevant, cutoff),
+        f"recall@{cutoff}": recall_at_k(ranked_documents, relevant, cutoff),
+        "average_precision": average_precision(ranked_documents, relevant),
+        f"ndcg@{cutoff}": ndcg_at_k(ranked_documents, relevant, cutoff),
+        "reciprocal_rank": reciprocal_rank(ranked_documents, relevant),
+    }
+    return QueryResult(
+        query=query,
+        metrics=metrics,
+        num_results=len(ranked_documents),
+        num_relevant=len(relevant),
+    )
+
+
+def evaluate_ranking(
+    retrieve: Callable[[str], Sequence[Any]],
+    qrels: Qrels,
+    *,
+    cutoff: int = 10,
+) -> EvaluationReport:
+    """Evaluate an arbitrary retrieval function over every judged query.
+
+    ``retrieve`` maps a query string to a ranked list of document identifiers
+    (best first).
+    """
+    report = EvaluationReport(cutoff=cutoff)
+    for query in qrels.queries():
+        ranked = list(retrieve(query))
+        report.per_query.append(_score_ranking(query, ranked, qrels.relevant_for(query), cutoff))
+    return report
+
+
+def evaluate_strategy(
+    executor: Any,
+    strategy: Any,
+    qrels: Qrels,
+    *,
+    cutoff: int = 10,
+    top_k: int = 100,
+) -> EvaluationReport:
+    """Evaluate a strategy: each judged query is executed and its ranked nodes scored."""
+
+    def retrieve(query: str) -> Sequence[Any]:
+        run = executor.run(strategy, query=query)
+        return [node for node, _ in run.top(top_k)]
+
+    return evaluate_ranking(retrieve, qrels, cutoff=cutoff)

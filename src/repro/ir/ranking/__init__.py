@@ -1,0 +1,43 @@
+"""Ranking models over collection statistics.
+
+The paper implements Okapi BM25 in SQL and notes that *"most alternative
+ranking functions would easily adapt or reuse large parts of this
+implementation"*.  All models here consume the same
+:class:`~repro.ir.statistics.CollectionStatistics` (the materialised views)
+and differ only in the per-term scoring formula — which is exactly the reuse
+claim, and what benchmark A2 measures.
+"""
+
+from repro.ir.ranking.base import RankedList, RankingModel
+from repro.ir.ranking.bm25 import BM25Model
+from repro.ir.ranking.boolean import BooleanModel
+from repro.ir.ranking.lm import LanguageModel
+from repro.ir.ranking.tfidf import TfIdfModel
+
+__all__ = [
+    "BM25Model",
+    "BooleanModel",
+    "LanguageModel",
+    "RankedList",
+    "RankingModel",
+    "TfIdfModel",
+]
+
+
+def get_model(name: str, **parameters) -> RankingModel:
+    """Return a ranking model by name (``bm25``, ``tfidf``, ``lm``, ``boolean``)."""
+    from repro.errors import RankingError
+
+    registry = {
+        "bm25": BM25Model,
+        "tfidf": TfIdfModel,
+        "lm": LanguageModel,
+        "boolean": BooleanModel,
+    }
+    try:
+        factory = registry[name.lower()]
+    except KeyError:
+        raise RankingError(
+            f"unknown ranking model {name!r}; available: {sorted(registry)}"
+        ) from None
+    return factory(**parameters)

@@ -1,0 +1,132 @@
+"""The ranking-model interface and the ranked-list result type."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import RankingError
+from repro.ir.statistics import CollectionStatistics
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+@dataclass
+class RankedList:
+    """A ranked list of documents: parallel arrays of identifiers and scores."""
+
+    doc_ids: list[Any]
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def top(self, k: int) -> "RankedList":
+        """Return the ``k`` highest-scoring entries (already sorted)."""
+        return RankedList(self.doc_ids[:k], self.scores[:k])
+
+    def as_pairs(self) -> list[tuple[Any, float]]:
+        """Return ``(docID, score)`` pairs in rank order."""
+        return [(doc_id, float(score)) for doc_id, score in zip(self.doc_ids, self.scores)]
+
+    def to_relation(self, *, score_column: str = "score") -> Relation:
+        """Return the ranked list as a ``(docID, score)`` relation."""
+        doc_dtype = DataType.of_value(self.doc_ids[0]) if self.doc_ids else DataType.INT
+        schema = Schema([Field("docID", doc_dtype), Field(score_column, DataType.FLOAT)])
+        return Relation(
+            schema,
+            [
+                Column(self.doc_ids, doc_dtype),
+                Column(self.scores.astype(np.float64), DataType.FLOAT),
+            ],
+        )
+
+    def to_probabilities(self, *, method: str = "max") -> "RankedList":
+        """Normalise scores into ``(0, 1]`` so they can act as tuple probabilities.
+
+        ``method`` is ``"max"`` (divide by the maximum score, the default used
+        by the Rank-by-Text strategy block) or ``"sum"`` (scores sum to one).
+        Scores that are not strictly positive (BM25's Robertson IDF can go
+        negative on very small collections) are first shifted so the lowest
+        score maps to a small positive probability and the highest to the top
+        of the range — the ranking order is always preserved.
+        """
+        if len(self.scores) == 0:
+            return RankedList([], np.empty(0, dtype=np.float64))
+        scores = self.scores.astype(np.float64).copy()
+        epsilon = 1e-9
+        minimum = scores.min()
+        if minimum <= 0:
+            spread = scores.max() - minimum
+            offset = spread * 0.01 if spread > 0 else 1.0
+            scores = scores - minimum + offset
+        scores = np.clip(scores, epsilon, None)
+        if method == "max":
+            scores = scores / scores.max()
+        elif method == "sum":
+            scores = scores / scores.sum()
+        else:
+            raise RankingError(f"unknown normalisation method {method!r}")
+        return RankedList(list(self.doc_ids), scores)
+
+
+class RankingModel:
+    """Base class for ranking models.
+
+    Subclasses implement :meth:`term_score`, the contribution of one query
+    term to one document; :meth:`rank` accumulates contributions over the
+    postings of each query term (the relational formulation's
+    ``GROUP BY docID / SUM``) and sorts.
+    """
+
+    name = "abstract"
+
+    def rank(
+        self,
+        statistics: CollectionStatistics,
+        query_terms: Sequence[str],
+        *,
+        top_k: int | None = None,
+    ) -> RankedList:
+        """Rank all documents matching at least one query term."""
+        if statistics.num_docs == 0 or not query_terms:
+            return RankedList([], np.empty(0, dtype=np.float64))
+        accumulator = np.zeros(statistics.num_docs, dtype=np.float64)
+        matched = np.zeros(statistics.num_docs, dtype=bool)
+        for term in query_terms:
+            doc_indices, frequencies = statistics.postings_for(term)
+            if len(doc_indices) == 0:
+                continue
+            contributions = self.term_score(statistics, term, doc_indices, frequencies)
+            accumulator[doc_indices] += contributions
+            matched[doc_indices] = True
+        matching_indices = np.nonzero(matched)[0]
+        if len(matching_indices) == 0:
+            return RankedList([], np.empty(0, dtype=np.float64))
+        scores = accumulator[matching_indices]
+        order = np.argsort(-scores, kind="stable")
+        ranked_indices = matching_indices[order]
+        ranked_scores = scores[order]
+        if top_k is not None:
+            ranked_indices = ranked_indices[:top_k]
+            ranked_scores = ranked_scores[:top_k]
+        doc_ids = [statistics.doc_ids[index] for index in ranked_indices]
+        return RankedList(doc_ids, ranked_scores)
+
+    def term_score(
+        self,
+        statistics: CollectionStatistics,
+        term: str,
+        doc_indices: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> np.ndarray:
+        """Return the per-document contribution of ``term`` (vectorised)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """Return the model name and parameters (used in benchmark reports)."""
+        return {"model": self.name}

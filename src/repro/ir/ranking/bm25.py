@@ -1,0 +1,59 @@
+"""Okapi BM25, the ranking function of the paper's SQL listing.
+
+The formula follows Section 2.1 exactly:
+
+* saturated, length-normalised term frequency
+  ``tf / (tf + k1 * (1 - b + b * len / avgdl))`` (the ``tf_bm25`` view);
+* Robertson/Sparck-Jones IDF ``log((N - df + 0.5) / (df + 0.5))``
+  (the ``idf`` view);
+* the document score is the sum of ``tf_bm25 * idf`` over the query terms
+  (the final SELECT ... GROUP BY docID).
+
+``k1`` (saturation) and ``b`` (document-length normalisation) are the two
+free parameters the paper names.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import RankingError
+from repro.ir.ranking.base import RankingModel
+from repro.ir.statistics import CollectionStatistics
+
+
+class BM25Model(RankingModel):
+    """Okapi BM25 with the paper's parameterisation."""
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75, *, non_negative_idf: bool = False):
+        if k1 < 0:
+            raise RankingError("k1 must be non-negative")
+        if not 0.0 <= b <= 1.0:
+            raise RankingError("b must lie in [0, 1]")
+        self.k1 = k1
+        self.b = b
+        self.non_negative_idf = non_negative_idf
+
+    def term_score(
+        self,
+        statistics: CollectionStatistics,
+        term: str,
+        doc_indices: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> np.ndarray:
+        idf = statistics.robertson_idf(term)
+        if self.non_negative_idf:
+            idf = max(idf, 0.0)
+        lengths = statistics.doc_lengths[doc_indices].astype(np.float64)
+        average = statistics.average_doc_length or 1.0
+        tf = frequencies.astype(np.float64)
+        normaliser = tf + self.k1 * (1.0 - self.b + self.b * lengths / average)
+        saturated_tf = np.divide(tf, normaliser, out=np.zeros_like(tf), where=normaliser > 0)
+        return saturated_tf * idf
+
+    def describe(self) -> dict[str, Any]:
+        return {"model": self.name, "k1": self.k1, "b": self.b}

@@ -1,0 +1,34 @@
+"""Boolean / coordination-level matching baseline.
+
+Structured search produces "certain answers from facts" (Section 2.3); the
+boolean model is its unstructured analogue and serves as the simplest
+baseline in the ranking-model comparison benchmark: a document scores the
+number of distinct query terms it contains.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ir.ranking.base import RankingModel
+from repro.ir.statistics import CollectionStatistics
+
+
+class BooleanModel(RankingModel):
+    """Coordination-level matching: score = number of distinct query terms present."""
+
+    name = "boolean"
+
+    def term_score(
+        self,
+        statistics: CollectionStatistics,
+        term: str,
+        doc_indices: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> np.ndarray:
+        return np.ones(len(doc_indices), dtype=np.float64)
+
+    def describe(self) -> dict[str, Any]:
+        return {"model": self.name}

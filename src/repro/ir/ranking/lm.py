@@ -1,0 +1,68 @@
+"""Query-likelihood language model ranking (Dirichlet or Jelinek-Mercer).
+
+Another "alternative ranking function" over the same statistics.  Scores are
+log-probabilities of generating the query from the document's smoothed
+language model; only documents containing at least one query term are
+scored, consistent with the accumulator pattern shared by all models.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import RankingError
+from repro.ir.ranking.base import RankingModel
+from repro.ir.statistics import CollectionStatistics
+
+
+class LanguageModel(RankingModel):
+    """Query-likelihood ranking with Dirichlet or Jelinek-Mercer smoothing."""
+
+    name = "lm"
+
+    def __init__(self, smoothing: str = "dirichlet", mu: float = 2000.0, lam: float = 0.1):
+        if smoothing not in ("dirichlet", "jelinek-mercer"):
+            raise RankingError(
+                f"unknown smoothing {smoothing!r}; use 'dirichlet' or 'jelinek-mercer'"
+            )
+        if mu <= 0:
+            raise RankingError("mu must be positive")
+        if not 0.0 < lam < 1.0:
+            raise RankingError("lambda must lie in (0, 1)")
+        self.smoothing = smoothing
+        self.mu = mu
+        self.lam = lam
+
+    def term_score(
+        self,
+        statistics: CollectionStatistics,
+        term: str,
+        doc_indices: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> np.ndarray:
+        collection_frequency = statistics.collection_frequency(term)
+        total_terms = max(statistics.total_terms, 1)
+        background = collection_frequency / total_terms
+        if background <= 0:
+            return np.zeros(len(doc_indices), dtype=np.float64)
+        tf = frequencies.astype(np.float64)
+        lengths = statistics.doc_lengths[doc_indices].astype(np.float64)
+        if self.smoothing == "dirichlet":
+            probabilities = (tf + self.mu * background) / (lengths + self.mu)
+        else:
+            lengths_safe = np.where(lengths > 0, lengths, 1.0)
+            probabilities = (1.0 - self.lam) * (tf / lengths_safe) + self.lam * background
+        probabilities = np.clip(probabilities, 1e-12, None)
+        # subtract the background log-probability so that absent terms contribute
+        # zero, keeping the accumulator pattern (documents never seen keep score 0)
+        return np.log(probabilities) - np.log(background)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "model": self.name,
+            "smoothing": self.smoothing,
+            "mu": self.mu,
+            "lambda": self.lam,
+        }

@@ -1,0 +1,43 @@
+"""TF-IDF ranking with cosine-style length normalisation.
+
+One of the "alternative ranking functions" the paper says adapt easily to the
+same relational skeleton: it reuses the tf and idf statistics and only
+changes the per-term formula.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ir.ranking.base import RankingModel
+from repro.ir.statistics import CollectionStatistics
+
+
+class TfIdfModel(RankingModel):
+    """Log-scaled TF-IDF: ``(1 + log tf) * log(1 + N/df)``, length-normalised."""
+
+    name = "tfidf"
+
+    def __init__(self, *, length_normalized: bool = True):
+        self.length_normalized = length_normalized
+
+    def term_score(
+        self,
+        statistics: CollectionStatistics,
+        term: str,
+        doc_indices: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> np.ndarray:
+        idf = statistics.smoothed_idf(term)
+        tf = frequencies.astype(np.float64)
+        weights = (1.0 + np.log(tf)) * idf
+        if self.length_normalized:
+            lengths = statistics.doc_lengths[doc_indices].astype(np.float64)
+            lengths = np.where(lengths > 0, lengths, 1.0)
+            weights = weights / np.sqrt(lengths)
+        return weights
+
+    def describe(self) -> dict[str, Any]:
+        return {"model": self.name, "length_normalized": self.length_normalized}

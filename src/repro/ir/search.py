@@ -1,0 +1,189 @@
+"""The keyword search engine: database + analyzer + ranking model.
+
+:class:`KeywordSearchEngine` reproduces the end-to-end keyword-search pipeline
+of Section 2.1.  Given a database and the name of a ``docs(docID, data)``
+table or view (possibly defined on the fly by structured filtering, as in the
+toy scenario), the engine
+
+1. materialises the collection statistics on demand — either through the
+   faithful relational view chain (the paper's CREATE VIEW listing, served by
+   the database's materialization cache: *cold* the first time, *hot*
+   afterwards) or through a fast vectorised builder producing identical
+   statistics;
+2. analyses the query string with the same analyzer used for the documents
+   (the paper's ``qterms`` view);
+3. ranks documents with the configured ranking model (BM25 by default) and
+   returns a ``(docID, score, p)`` relation whose ``p`` column is a
+   normalised probability, ready for the score-propagation layer of
+   Section 2.3.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import IndexingError, RankingError
+from repro.ir.query_expansion import QueryExpander
+from repro.ir.ranking import BM25Model, RankingModel
+from repro.ir.ranking.base import RankedList
+from repro.ir.statistics import (
+    CollectionStatistics,
+    RelationalStatisticsBuilder,
+    statistics_from_relation,
+)
+from repro.relational.column import Column, DataType
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.text.analyzers import Analyzer, StandardAnalyzer
+
+
+@dataclass
+class SearchResult:
+    """The outcome of one query: the ranked list plus execution metadata."""
+
+    query: str
+    query_terms: list[str]
+    ranked: RankedList
+    elapsed_seconds: float
+    statistics_were_cached: bool
+    expanded_terms: list[str] = field(default_factory=list)
+
+    def to_relation(self) -> Relation:
+        """Return ``(docID, score, p)`` with ``p`` the max-normalised score."""
+        relation = self.ranked.to_relation()
+        probabilities = self.ranked.to_probabilities().scores
+        return relation.with_column("p", Column(probabilities, DataType.FLOAT))
+
+    def top(self, k: int) -> list[tuple[Any, float]]:
+        """Return the top ``k`` (docID, score) pairs."""
+        return self.ranked.top(k).as_pairs()
+
+
+class KeywordSearchEngine:
+    """Keyword search over a ``docs(docID, data)`` table or view."""
+
+    def __init__(
+        self,
+        database: Database,
+        docs_source: str,
+        *,
+        analyzer: Analyzer | None = None,
+        model: RankingModel | None = None,
+        pipeline: str = "direct",
+        language: str = "english",
+        id_column: str = "docID",
+        text_column: str = "data",
+        expander: QueryExpander | None = None,
+        statistics_prefix: str = "",
+    ):
+        if pipeline not in ("direct", "relational"):
+            raise RankingError(
+                f"unknown pipeline {pipeline!r}; use 'direct' or 'relational'"
+            )
+        self.database = database
+        self.docs_source = docs_source
+        self.analyzer = analyzer if analyzer is not None else StandardAnalyzer(language)
+        self.model = model if model is not None else BM25Model()
+        self.pipeline = pipeline
+        self.language = language
+        self.id_column = id_column
+        self.text_column = text_column
+        self.expander = expander
+        self.statistics_prefix = statistics_prefix or f"{docs_source}_"
+        self._statistics: CollectionStatistics | None = None
+
+    # -- statistics management --------------------------------------------------------
+
+    @property
+    def statistics(self) -> CollectionStatistics:
+        """The collection statistics, built on first access ("cold") and reused ("hot")."""
+        if self._statistics is None:
+            self._statistics = self._build_statistics()
+        return self._statistics
+
+    def invalidate(self) -> None:
+        """Discard the statistics (e.g. after the docs source changed)."""
+        self._statistics = None
+
+    def warm_up(self) -> CollectionStatistics:
+        """Force statistics materialisation and return them (the "hot" state)."""
+        return self.statistics
+
+    def _build_statistics(self) -> CollectionStatistics:
+        docs = self.database.query(self.docs_source)
+        if docs.num_rows == 0:
+            raise IndexingError(
+                f"docs source {self.docs_source!r} is empty; nothing to index"
+            )
+        if self.pipeline == "relational":
+            builder = RelationalStatisticsBuilder(
+                self.database,
+                self.docs_source,
+                language=self.language,
+                prefix=self.statistics_prefix,
+            )
+            return builder.materialize()
+        return statistics_from_relation(
+            docs,
+            self.analyzer,
+            id_column=self.id_column,
+            text_column=self.text_column,
+        )
+
+    # -- querying ---------------------------------------------------------------------
+
+    def analyze_query(self, query: str) -> list[str]:
+        """Normalise a query string into terms (the paper's ``qterms`` view)."""
+        return self.analyzer.analyze_query(query)
+
+    def search(self, query: str, *, top_k: int | None = None) -> SearchResult:
+        """Run a keyword query and return the ranked result."""
+        started = time.perf_counter()
+        cached = self._statistics is not None
+        statistics = self.statistics
+        base_terms = self.analyze_query(query)
+        expanded_terms: list[str] = []
+        terms: Sequence[str] = base_terms
+        if self.expander is not None:
+            # Expansion dictionaries are written in natural language, so the
+            # expander sees both the raw (lower-cased) query tokens and the
+            # analyzed terms; its additions are then analyzed like any other
+            # query text before ranking.
+            raw_tokens = [token.lower() for token in self.analyzer.tokenizer.iter_tokens(query)]
+            seeds = list(dict.fromkeys(raw_tokens + list(base_terms)))
+            additions = self.expander.expand(seeds)
+            for addition in additions:
+                analyzed = self.analyzer.analyze(addition)
+                expanded_terms.extend(analyzed if analyzed else [addition])
+            expanded_terms = list(dict.fromkeys(expanded_terms))
+            terms = list(base_terms) + [
+                term for term in expanded_terms if term not in base_terms
+            ]
+        ranked = self.model.rank(statistics, terms, top_k=top_k)
+        elapsed = time.perf_counter() - started
+        return SearchResult(
+            query=query,
+            query_terms=list(base_terms),
+            ranked=ranked,
+            elapsed_seconds=elapsed,
+            statistics_were_cached=cached,
+            expanded_terms=expanded_terms,
+        )
+
+    def search_terms(self, terms: Sequence[str], *, top_k: int | None = None) -> RankedList:
+        """Rank already-analyzed terms (used by the strategy compiler)."""
+        return self.model.rank(self.statistics, terms, top_k=top_k)
+
+    def describe(self) -> dict[str, Any]:
+        """Return a description of the engine configuration."""
+        return {
+            "docs_source": self.docs_source,
+            "pipeline": self.pipeline,
+            "language": self.language,
+            "model": self.model.describe(),
+            "analyzer": self.analyzer.describe(),
+            "expansion": self.expander.describe() if self.expander is not None else None,
+        }

@@ -1,0 +1,130 @@
+"""Result snippets and query-term highlighting.
+
+A production search front-end (the paper's customer runs one on top of the
+auction strategy) needs to show *why* a result matched: a short extract of
+the document with the query terms highlighted.  This module generates such
+snippets from raw document text without any pre-computed structures — in the
+spirit of the platform, everything is derived on demand from the stored text
+and the same analyzer the ranking used, so highlighting agrees with matching
+(stemmed query terms highlight their inflected occurrences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.analyzers import Analyzer, StandardAnalyzer
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass
+class Snippet:
+    """A generated snippet: the text fragment and the matched term positions."""
+
+    text: str
+    matched_terms: list[str]
+    window_start: int
+    window_end: int
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matched_terms)
+
+
+class SnippetGenerator:
+    """Generates highlighted snippets for query/document pairs."""
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        *,
+        window_size: int = 20,
+        highlight_prefix: str = "**",
+        highlight_suffix: str = "**",
+        ellipsis: str = "...",
+    ):
+        self.analyzer = analyzer if analyzer is not None else StandardAnalyzer()
+        self.window_size = max(window_size, 1)
+        self.highlight_prefix = highlight_prefix
+        self.highlight_suffix = highlight_suffix
+        self.ellipsis = ellipsis
+        # raw tokens are needed to map analyzed terms back to surface forms
+        self._raw_tokenizer = Tokenizer()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _analyzed_token(self, token: str) -> str | None:
+        analyzed = self.analyzer.analyze(token)
+        return analyzed[0] if analyzed else None
+
+    def _match_positions(self, tokens: list[str], query_terms: set[str]) -> list[int]:
+        positions = []
+        for position, token in enumerate(tokens):
+            analyzed = self._analyzed_token(token)
+            if analyzed is not None and analyzed in query_terms:
+                positions.append(position)
+        return positions
+
+    def _best_window(self, positions: list[int], num_tokens: int) -> tuple[int, int]:
+        """The window of ``window_size`` tokens covering the most matches."""
+        if not positions:
+            return 0, min(self.window_size, num_tokens)
+        best_start, best_count = positions[0], 0
+        for anchor in positions:
+            start = max(0, anchor - self.window_size // 4)
+            end = start + self.window_size
+            count = sum(1 for p in positions if start <= p < end)
+            if count > best_count:
+                best_start, best_count = start, count
+        return best_start, min(best_start + self.window_size, num_tokens)
+
+    # -- public API ----------------------------------------------------------------
+
+    def snippet(self, query: str, text: str) -> Snippet:
+        """Return the best highlighted snippet of ``text`` for ``query``."""
+        query_terms = set(self.analyzer.analyze_query(query))
+        tokens = self._raw_tokenizer.tokenize(text)
+        positions = self._match_positions(tokens, query_terms)
+        start, end = self._best_window(positions, len(tokens))
+
+        rendered: list[str] = []
+        matched: list[str] = []
+        position_set = set(positions)
+        for position in range(start, end):
+            token = tokens[position]
+            if position in position_set:
+                rendered.append(f"{self.highlight_prefix}{token}{self.highlight_suffix}")
+                matched.append(token)
+            else:
+                rendered.append(token)
+        text_fragment = " ".join(rendered)
+        if start > 0:
+            text_fragment = f"{self.ellipsis} {text_fragment}"
+        if end < len(tokens):
+            text_fragment = f"{text_fragment} {self.ellipsis}"
+        return Snippet(
+            text=text_fragment,
+            matched_terms=matched,
+            window_start=start,
+            window_end=end,
+        )
+
+    def snippets_for_results(
+        self,
+        query: str,
+        documents: dict,
+        result_ids: list,
+    ) -> dict:
+        """Snippets for a ranked result list: ``{docID: Snippet}``.
+
+        ``documents`` maps document identifiers to their raw text; identifiers
+        missing from the mapping are skipped (e.g. results whose text lives in
+        another property).
+        """
+        snippets = {}
+        for doc_id in result_ids:
+            text = documents.get(doc_id)
+            if text is None:
+                continue
+            snippets[doc_id] = self.snippet(query, text)
+        return snippets

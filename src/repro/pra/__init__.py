@@ -1,0 +1,58 @@
+"""Probabilistic Relational Algebra (PRA) with tuple-level uncertainty.
+
+Section 2.3 of the paper closes the gap between structured search (certain
+facts) and unstructured search (statistically ranked answers) by appending a
+probability column ``p`` to every table and defining, per relational
+operator, how probabilities combine.  This package implements that algebra,
+following Fuhr & Rölleke (1997) and Roelleke et al. (2008):
+
+* :mod:`repro.pra.relation` — probabilistic relations (a relation whose last
+  column is ``p``), and lifting of ordinary relations (``p = 1.0``);
+* :mod:`repro.pra.assumptions` — the event-independence assumptions
+  (independent, disjoint, subsumed) that parameterise projection, join and
+  union;
+* :mod:`repro.pra.operators` — the probability-combination kernels;
+* :mod:`repro.pra.plan` — logical PRA plan nodes (SELECT, PROJECT, JOIN,
+  UNITE, SUBTRACT, BAYES, WEIGHT, scans and literal relations);
+* :mod:`repro.pra.evaluator` — evaluation of PRA plans against a
+  :class:`~repro.relational.database.Database`.
+
+The SpinQL front-end (:mod:`repro.spinql`) parses the paper's query language
+into these plans, and the strategy layer (:mod:`repro.strategy`) compiles
+block graphs into them.
+"""
+
+from repro.pra.assumptions import Assumption
+from repro.pra.evaluator import PRAEvaluator
+from repro.pra.plan import (
+    PraBayes,
+    PraJoin,
+    PraPlan,
+    PraProject,
+    PraScan,
+    PraSelect,
+    PraSubtract,
+    PraUnite,
+    PraValues,
+    PraWeight,
+)
+from repro.pra.relation import ProbabilisticRelation
+from repro.pra.expressions import PositionalRef, positional
+
+__all__ = [
+    "Assumption",
+    "PRAEvaluator",
+    "PositionalRef",
+    "PraBayes",
+    "PraJoin",
+    "PraPlan",
+    "PraProject",
+    "PraScan",
+    "PraSelect",
+    "PraSubtract",
+    "PraUnite",
+    "PraValues",
+    "PraWeight",
+    "ProbabilisticRelation",
+    "positional",
+]

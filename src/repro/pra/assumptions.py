@@ -1,0 +1,69 @@
+"""Event-independence assumptions of the probabilistic relational algebra.
+
+When an operator merges several input tuples into one output tuple (duplicate
+elimination in projection, union of overlapping relations), the combined
+probability depends on how the underlying events relate:
+
+* ``INDEPENDENT`` — events are independent:
+  ``P(a or b) = 1 - (1 - P(a)) * (1 - P(b))``, ``P(a and b) = P(a) * P(b)``;
+* ``DISJOINT`` — events are mutually exclusive:
+  ``P(a or b) = P(a) + P(b)`` (clamped at 1.0 for numerical safety);
+* ``SUBSUMED`` — one event implies the other:
+  ``P(a or b) = max(P(a), P(b))``, ``P(a and b) = min(P(a), P(b))``.
+
+The paper's example uses ``JOIN INDEPENDENT``; the strategy layer's *Mix*
+block uses a weighted disjoint union.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProbabilityError
+
+
+class Assumption(enum.Enum):
+    """How the events behind tuples relate when combining probabilities."""
+
+    INDEPENDENT = "independent"
+    DISJOINT = "disjoint"
+    SUBSUMED = "subsumed"
+
+    @classmethod
+    def parse(cls, text: str) -> "Assumption":
+        """Parse an assumption keyword (case-insensitive)."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ProbabilityError(
+                f"unknown assumption {text!r}; expected one of "
+                f"{[assumption.value for assumption in cls]}"
+            ) from None
+
+    # -- combination rules -----------------------------------------------------------
+
+    def combine_or(self, left: float, right: float) -> float:
+        """Probability that at least one of two events holds."""
+        if self is Assumption.INDEPENDENT:
+            return 1.0 - (1.0 - left) * (1.0 - right)
+        if self is Assumption.DISJOINT:
+            return min(left + right, 1.0)
+        return max(left, right)
+
+    def combine_and(self, left: float, right: float) -> float:
+        """Probability that both of two events hold."""
+        if self is Assumption.INDEPENDENT:
+            return left * right
+        if self is Assumption.DISJOINT:
+            # mutually exclusive events cannot co-occur
+            return 0.0
+        return min(left, right)
+
+    def combine_or_many(self, probabilities: list[float]) -> float:
+        """Fold :meth:`combine_or` over a list of probabilities."""
+        if not probabilities:
+            return 0.0
+        result = probabilities[0]
+        for probability in probabilities[1:]:
+            result = self.combine_or(result, probability)
+        return result

@@ -1,0 +1,96 @@
+"""Evaluation of PRA plans against a relational database.
+
+The evaluator resolves :class:`~repro.pra.plan.PraScan` nodes through the
+database catalog, lifting ordinary relations to probability 1.0, and applies
+the probability-combination kernels of :mod:`repro.pra.operators` node by
+node.  The positional column references used by SpinQL are resolved against
+the value columns of each intermediate relation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PRAError
+from repro.pra import operators as pra_operators
+from repro.pra.plan import (
+    PraBayes,
+    PraJoin,
+    PraPlan,
+    PraProject,
+    PraScan,
+    PraSelect,
+    PraSubtract,
+    PraUnite,
+    PraValues,
+    PraWeight,
+)
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.database import Database
+
+
+class PRAEvaluator:
+    """Evaluates PRA plans against a :class:`~repro.relational.database.Database`."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def evaluate(self, plan: PraPlan) -> ProbabilisticRelation:
+        """Evaluate ``plan`` and return the resulting probabilistic relation."""
+        if isinstance(plan, PraScan):
+            relation = self.database.query(plan.table)
+            return ProbabilisticRelation.lift(relation)
+        if isinstance(plan, PraValues):
+            return plan.relation
+        if isinstance(plan, PraSelect):
+            child = self.evaluate(plan.child)
+            return pra_operators.select(child, plan.predicate, self.database.functions)
+        if isinstance(plan, PraProject):
+            child = self.evaluate(plan.child)
+            columns = self._resolve_positions(child, plan.positions)
+            return pra_operators.project(
+                child, columns, plan.assumption, output_names=plan.output_names
+            )
+        if isinstance(plan, PraJoin):
+            left = self.evaluate(plan.left)
+            right = self.evaluate(plan.right)
+            conditions = [
+                (
+                    self._resolve_position(left, left_position),
+                    self._resolve_position(right, right_position),
+                )
+                for left_position, right_position in plan.conditions
+            ]
+            return pra_operators.join(left, right, conditions, plan.assumption)
+        if isinstance(plan, PraUnite):
+            left = self.evaluate(plan.left)
+            right = self.evaluate(plan.right)
+            return pra_operators.unite(left, right, plan.assumption)
+        if isinstance(plan, PraSubtract):
+            left = self.evaluate(plan.left)
+            right = self.evaluate(plan.right)
+            return pra_operators.subtract(left, right)
+        if isinstance(plan, PraBayes):
+            child = self.evaluate(plan.child)
+            evidence = self._resolve_positions(child, plan.evidence_positions)
+            return pra_operators.bayes(child, evidence)
+        if isinstance(plan, PraWeight):
+            child = self.evaluate(plan.child)
+            return pra_operators.weight(child, plan.factor)
+        raise PRAError(f"unknown PRA plan node {type(plan).__name__}")
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_position(relation: ProbabilisticRelation, position: int) -> str:
+        value_columns = relation.value_columns
+        if position < 1 or position > len(value_columns):
+            raise PRAError(
+                f"positional reference ${position} out of range; the relation has "
+                f"{len(value_columns)} value columns ({value_columns})"
+            )
+        return value_columns[position - 1]
+
+    @classmethod
+    def _resolve_positions(
+        cls, relation: ProbabilisticRelation, positions: tuple[int, ...]
+    ) -> list[str]:
+        return [cls._resolve_position(relation, position) for position in positions]

@@ -1,0 +1,57 @@
+"""Positional column references (``$1``, ``$2``, …) for PRA predicates.
+
+SpinQL refers to columns by position (``SELECT [$2="category" and $3="toy"]``).
+A :class:`PositionalRef` is an ordinary engine expression that resolves the
+position against the input relation at evaluation time, skipping the trailing
+probability column so that ``$1`` always refers to the first *value* column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExpressionError
+from repro.pra.relation import PROBABILITY_COLUMN
+from repro.relational.column import Column, DataType
+from repro.relational.expressions import Expression
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class PositionalRef(Expression):
+    """A 1-based positional reference to a value column of the input relation."""
+
+    def __init__(self, position: int):
+        if position < 1:
+            raise ExpressionError("positional references are 1-based ($1, $2, ...)")
+        self.position = position
+
+    def _resolve(self, schema: Schema) -> str:
+        value_columns = [name for name in schema.names if name != PROBABILITY_COLUMN]
+        if self.position > len(value_columns):
+            raise ExpressionError(
+                f"positional reference ${self.position} out of range; "
+                f"the relation has {len(value_columns)} value columns"
+            )
+        return value_columns[self.position - 1]
+
+    def evaluate(self, relation: Relation, functions) -> Column:
+        return relation.column(self._resolve(relation.schema))
+
+    def output_type(self, schema: Schema, functions) -> DataType:
+        return schema.dtype_of(self._resolve(schema))
+
+    def references(self) -> set[str]:
+        # Positions cannot be resolved without a schema; report no names so the
+        # optimizer never pushes these predicates across operators that would
+        # change positions.
+        return set()
+
+    def to_sql(self) -> str:
+        return f"${self.position}"
+
+    def __repr__(self) -> str:
+        return f"${self.position}"
+
+
+def positional(position: int) -> PositionalRef:
+    """Shorthand constructor mirroring :func:`repro.relational.expressions.col`."""
+    return PositionalRef(position)

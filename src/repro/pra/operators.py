@@ -1,0 +1,210 @@
+"""Probability-combination kernels for the PRA operators.
+
+Each function takes probabilistic relations and returns a probabilistic
+relation, implementing the semantics described in Section 2.3 of the paper
+and in Fuhr & Rölleke (1997):
+
+* selection keeps tuple probabilities unchanged;
+* projection merges duplicate value-tuples under an assumption;
+* join multiplies probabilities of matching tuples (independent events);
+* union merges tuples occurring in either input under an assumption;
+* subtraction keeps left tuples weighted by the complement of the right;
+* the relational Bayes operator normalises probabilities within evidence
+  groups (Roelleke et al., 2008), turning frequencies into conditional
+  probabilities;
+* weighting scales probabilities by a constant (the *Mix* block's weights).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import PRAError, ProbabilityError
+from repro.pra.assumptions import Assumption
+from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.expressions import Expression
+from repro.relational.functions import FunctionRegistry
+from repro.relational.operators import hash_join_indices
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def select(
+    input_relation: ProbabilisticRelation,
+    predicate: Expression,
+    functions: FunctionRegistry,
+) -> ProbabilisticRelation:
+    """Probabilistic selection: filter rows, probabilities unchanged."""
+    relation = input_relation.relation
+    if relation.num_rows == 0:
+        return input_relation
+    mask = predicate.evaluate(relation, functions)
+    if mask.dtype is not DataType.BOOL:
+        raise PRAError("selection predicate must evaluate to a boolean column")
+    return ProbabilisticRelation(relation.filter(mask.values), validate=False)
+
+
+def project(
+    input_relation: ProbabilisticRelation,
+    columns: Sequence[str],
+    assumption: Assumption = Assumption.INDEPENDENT,
+    *,
+    output_names: Sequence[str] | None = None,
+) -> ProbabilisticRelation:
+    """Probabilistic projection with duplicate merging.
+
+    Duplicate value-tuples produced by the projection are merged into a single
+    output tuple whose probability is the disjunction of the duplicates'
+    probabilities under ``assumption``.
+    """
+    for name in columns:
+        if name == PROBABILITY_COLUMN:
+            raise PRAError("the probability column cannot be projected explicitly")
+    relation = input_relation.relation
+    projected = relation.select_columns(list(columns))
+    if output_names is not None:
+        if len(output_names) != len(columns):
+            raise PRAError("output_names must match the projected columns")
+        projected = projected.rename(dict(zip(columns, output_names)))
+    probabilities = input_relation.probabilities()
+
+    merged: "OrderedDict[tuple[Any, ...], float]" = OrderedDict()
+    for index, row in enumerate(projected.rows()):
+        probability = float(probabilities[index])
+        if row in merged:
+            merged[row] = assumption.combine_or(merged[row], probability)
+        else:
+            merged[row] = probability
+
+    fields = list(projected.schema.fields) + [Field(PROBABILITY_COLUMN, DataType.FLOAT)]
+    rows = [tuple(row) + (probability,) for row, probability in merged.items()]
+    return ProbabilisticRelation(Relation.from_rows(Schema(fields), rows), validate=False)
+
+
+def join(
+    left: ProbabilisticRelation,
+    right: ProbabilisticRelation,
+    conditions: Sequence[tuple[str, str]],
+    assumption: Assumption = Assumption.INDEPENDENT,
+) -> ProbabilisticRelation:
+    """Probabilistic equi-join: matching tuples conjoin their probabilities.
+
+    Under the (default) independence assumption the output probability is the
+    product ``p_left * p_right`` — exactly the ``t1.p * t2.p`` of the SQL the
+    paper's SpinQL example translates to.
+    """
+    left_relation = left.values_relation()
+    right_relation = right.values_relation()
+    left_indices, right_indices = hash_join_indices(
+        left_relation, right_relation, [pair[0] for pair in conditions], [pair[1] for pair in conditions]
+    )
+    combined_schema = left_relation.schema.concat(right_relation.schema)
+    left_rows = left_relation.take(left_indices)
+    right_rows = right_relation.take(right_indices)
+    columns = list(left_rows.columns().values()) + list(right_rows.columns().values())
+    values = Relation(combined_schema, columns)
+
+    left_probabilities = left.probabilities()[left_indices]
+    right_probabilities = right.probabilities()[right_indices]
+    if assumption is Assumption.INDEPENDENT:
+        probabilities = left_probabilities * right_probabilities
+    elif assumption is Assumption.SUBSUMED:
+        probabilities = np.minimum(left_probabilities, right_probabilities)
+    else:
+        raise PRAError("a disjoint join always yields probability zero; not supported")
+
+    column = Column(probabilities.astype(np.float64), DataType.FLOAT)
+    return ProbabilisticRelation(values.with_column(PROBABILITY_COLUMN, column), validate=False)
+
+
+def unite(
+    left: ProbabilisticRelation,
+    right: ProbabilisticRelation,
+    assumption: Assumption = Assumption.INDEPENDENT,
+) -> ProbabilisticRelation:
+    """Probabilistic union: tuples present in either input, probabilities disjoined."""
+    left_values = left.value_rows()
+    right_values = right.value_rows()
+    if left.value_columns != right.value_columns:
+        if len(left.value_columns) != len(right.value_columns):
+            raise PRAError(
+                "union requires inputs with the same number of value columns, got "
+                f"{left.value_columns} and {right.value_columns}"
+            )
+    left_probabilities = left.probabilities()
+    right_probabilities = right.probabilities()
+
+    merged: "OrderedDict[tuple[Any, ...], float]" = OrderedDict()
+    for row, probability in zip(left_values, left_probabilities):
+        merged[row] = assumption.combine_or(merged.get(row, 0.0), float(probability)) if row in merged else float(probability)
+    for row, probability in zip(right_values, right_probabilities):
+        if row in merged:
+            merged[row] = assumption.combine_or(merged[row], float(probability))
+        else:
+            merged[row] = float(probability)
+
+    fields = list(left.values_relation().schema.fields) + [Field(PROBABILITY_COLUMN, DataType.FLOAT)]
+    rows = [tuple(row) + (probability,) for row, probability in merged.items()]
+    return ProbabilisticRelation(Relation.from_rows(Schema(fields), rows), validate=False)
+
+
+def subtract(
+    left: ProbabilisticRelation,
+    right: ProbabilisticRelation,
+) -> ProbabilisticRelation:
+    """Probabilistic difference: ``P(left and not right)`` per value-tuple."""
+    if len(left.value_columns) != len(right.value_columns):
+        raise PRAError("subtraction requires inputs with the same number of value columns")
+    right_probability: dict[tuple[Any, ...], float] = {}
+    for row, probability in zip(right.value_rows(), right.probabilities()):
+        existing = right_probability.get(row, 0.0)
+        right_probability[row] = Assumption.INDEPENDENT.combine_or(existing, float(probability))
+
+    probabilities = left.probabilities().copy()
+    for index, row in enumerate(left.value_rows()):
+        if row in right_probability:
+            probabilities[index] *= 1.0 - right_probability[row]
+    return left.with_probabilities(probabilities)
+
+
+def bayes(
+    input_relation: ProbabilisticRelation,
+    evidence_columns: Sequence[str],
+) -> ProbabilisticRelation:
+    """The relational Bayes operator: normalise probabilities within evidence groups.
+
+    For each group of tuples sharing the same values of ``evidence_columns``,
+    probabilities are divided by the group total, yielding conditional
+    probabilities ``P(tuple | evidence)``.  With an empty ``evidence_columns``
+    the whole relation forms one group (global normalisation).
+    """
+    probabilities = input_relation.probabilities()
+    if input_relation.num_rows == 0:
+        return input_relation
+    if evidence_columns:
+        values = input_relation.relation.select_columns(list(evidence_columns))
+        keys = list(values.rows())
+    else:
+        keys = [()] * input_relation.num_rows
+    totals: dict[tuple[Any, ...], float] = {}
+    for key, probability in zip(keys, probabilities):
+        totals[key] = totals.get(key, 0.0) + float(probability)
+    normalised = np.empty(len(probabilities), dtype=np.float64)
+    for index, (key, probability) in enumerate(zip(keys, probabilities)):
+        total = totals[key]
+        normalised[index] = float(probability) / total if total > 0 else 0.0
+    return input_relation.with_probabilities(normalised)
+
+
+def weight(input_relation: ProbabilisticRelation, factor: float) -> ProbabilisticRelation:
+    """Scale every tuple probability by ``factor`` (the Mix block's weights)."""
+    if factor < 0 or factor > 1:
+        raise ProbabilityError(
+            f"weight factor must lie in [0, 1] to keep probabilities valid, got {factor}"
+        )
+    return input_relation.scaled(factor)

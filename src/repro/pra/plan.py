@@ -1,0 +1,226 @@
+"""Logical PRA plan nodes.
+
+A PRA plan is the intermediate representation between the SpinQL front-end /
+strategy compiler and the evaluator.  Nodes mirror the operators of
+:mod:`repro.pra.operators`; every node can describe itself (for plan
+inspection in tests and examples) and produce a deterministic fingerprint
+(so PRA results can participate in the on-demand materialization cache).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import PRAError
+from repro.pra.assumptions import Assumption
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.expressions import Expression
+
+
+class PraPlan:
+    """Base class for PRA plan nodes."""
+
+    def children(self) -> list["PraPlan"]:
+        return []
+
+    def describe(self, indent: int = 0) -> str:
+        """Return an indented, human-readable plan description."""
+        lines = ["  " * indent + self._describe_self()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _describe_self(self) -> str:
+        return type(self).__name__
+
+    def fingerprint(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PraScan(PraPlan):
+    """Scan a named table or view; tuples without a ``p`` column get ``p = 1``."""
+
+    table: str
+
+    def fingerprint(self) -> str:
+        return f"prascan({self.table})"
+
+    def _describe_self(self) -> str:
+        return f"Scan({self.table})"
+
+
+class PraValues(PraPlan):
+    """A literal probabilistic relation embedded in the plan."""
+
+    def __init__(self, relation: ProbabilisticRelation, label: str = "values"):
+        self.relation = relation
+        self.label = label
+
+    def fingerprint(self) -> str:
+        rows = ";".join(",".join(map(repr, row)) for row in self.relation.rows())
+        return f"pravalues({self.label}:{hash(rows)})"
+
+    def _describe_self(self) -> str:
+        return f"Values({self.label}, rows={self.relation.num_rows})"
+
+
+class PraSelect(PraPlan):
+    """``SELECT [predicate] (input)``."""
+
+    def __init__(self, child: PraPlan, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> list[PraPlan]:
+        return [self.child]
+
+    def fingerprint(self) -> str:
+        return f"praselect({self.predicate.to_sql()})[{self.child.fingerprint()}]"
+
+    def _describe_self(self) -> str:
+        return f"SELECT [{self.predicate.to_sql()}]"
+
+
+class PraProject(PraPlan):
+    """``PROJECT [columns] (input)`` with duplicate merging under an assumption."""
+
+    def __init__(
+        self,
+        child: PraPlan,
+        positions: Sequence[int],
+        assumption: Assumption = Assumption.INDEPENDENT,
+        output_names: Sequence[str] | None = None,
+    ):
+        if not positions:
+            raise PRAError("projection requires at least one column position")
+        self.child = child
+        self.positions = tuple(positions)
+        self.assumption = assumption
+        self.output_names = tuple(output_names) if output_names is not None else None
+
+    def children(self) -> list[PraPlan]:
+        return [self.child]
+
+    def fingerprint(self) -> str:
+        rendered = ",".join(str(position) for position in self.positions)
+        return (
+            f"praproject({rendered};{self.assumption.value};{self.output_names})"
+            f"[{self.child.fingerprint()}]"
+        )
+
+    def _describe_self(self) -> str:
+        rendered = ", ".join(f"${position}" for position in self.positions)
+        return f"PROJECT {self.assumption.value.upper()} [{rendered}]"
+
+
+class PraJoin(PraPlan):
+    """``JOIN <assumption> [$i=$j, ...] (left, right)``."""
+
+    def __init__(
+        self,
+        left: PraPlan,
+        right: PraPlan,
+        conditions: Sequence[tuple[int, int]],
+        assumption: Assumption = Assumption.INDEPENDENT,
+    ):
+        if not conditions:
+            raise PRAError("join requires at least one positional condition")
+        self.left = left
+        self.right = right
+        self.conditions = tuple(conditions)
+        self.assumption = assumption
+
+    def children(self) -> list[PraPlan]:
+        return [self.left, self.right]
+
+    def fingerprint(self) -> str:
+        conditions = ",".join(f"{left}={right}" for left, right in self.conditions)
+        return (
+            f"prajoin({conditions};{self.assumption.value})"
+            f"[{self.left.fingerprint()}|{self.right.fingerprint()}]"
+        )
+
+    def _describe_self(self) -> str:
+        conditions = ", ".join(f"${left}=${right}" for left, right in self.conditions)
+        return f"JOIN {self.assumption.value.upper()} [{conditions}]"
+
+
+class PraUnite(PraPlan):
+    """``UNITE <assumption> (left, right)``."""
+
+    def __init__(
+        self,
+        left: PraPlan,
+        right: PraPlan,
+        assumption: Assumption = Assumption.INDEPENDENT,
+    ):
+        self.left = left
+        self.right = right
+        self.assumption = assumption
+
+    def children(self) -> list[PraPlan]:
+        return [self.left, self.right]
+
+    def fingerprint(self) -> str:
+        return (
+            f"praunite({self.assumption.value})"
+            f"[{self.left.fingerprint()}|{self.right.fingerprint()}]"
+        )
+
+    def _describe_self(self) -> str:
+        return f"UNITE {self.assumption.value.upper()}"
+
+
+class PraSubtract(PraPlan):
+    """``SUBTRACT (left, right)``: left tuples weighted by the complement of right."""
+
+    def __init__(self, left: PraPlan, right: PraPlan):
+        self.left = left
+        self.right = right
+
+    def children(self) -> list[PraPlan]:
+        return [self.left, self.right]
+
+    def fingerprint(self) -> str:
+        return f"prasubtract[{self.left.fingerprint()}|{self.right.fingerprint()}]"
+
+    def _describe_self(self) -> str:
+        return "SUBTRACT"
+
+
+class PraBayes(PraPlan):
+    """``BAYES [evidence positions] (input)``: normalise within evidence groups."""
+
+    def __init__(self, child: PraPlan, evidence_positions: Sequence[int] = ()):
+        self.child = child
+        self.evidence_positions = tuple(evidence_positions)
+
+    def children(self) -> list[PraPlan]:
+        return [self.child]
+
+    def fingerprint(self) -> str:
+        rendered = ",".join(str(position) for position in self.evidence_positions)
+        return f"prabayes({rendered})[{self.child.fingerprint()}]"
+
+    def _describe_self(self) -> str:
+        rendered = ", ".join(f"${position}" for position in self.evidence_positions)
+        return f"BAYES [{rendered}]"
+
+
+class PraWeight(PraPlan):
+    """``WEIGHT [factor] (input)``: scale probabilities by a constant factor."""
+
+    def __init__(self, child: PraPlan, factor: float):
+        self.child = child
+        self.factor = factor
+
+    def children(self) -> list[PraPlan]:
+        return [self.child]
+
+    def fingerprint(self) -> str:
+        return f"praweight({self.factor})[{self.child.fingerprint()}]"
+
+    def _describe_self(self) -> str:
+        return f"WEIGHT [{self.factor}]"

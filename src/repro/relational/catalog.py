@@ -1,0 +1,85 @@
+"""The catalog: named base tables and views of a database."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.relational.algebra import LogicalPlan
+from repro.relational.relation import Relation
+
+
+class Catalog:
+    """Maps names to base tables (materialised relations) and views (plans)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Relation] = {}
+        self._views: dict[str, LogicalPlan] = {}
+
+    # -- tables -----------------------------------------------------------------
+
+    def create_table(self, name: str, relation: Relation, *, replace: bool = False) -> None:
+        """Register a base table under ``name``."""
+        if not replace and self.exists(name):
+            raise CatalogError(f"table or view {name!r} already exists")
+        self._views.pop(name, None)
+        self._tables[name] = relation
+
+    def drop_table(self, name: str) -> None:
+        """Remove the base table called ``name``."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> Relation:
+        """Return the base table called ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}; known: {sorted(self._tables)}") from None
+
+    # -- views -----------------------------------------------------------------
+
+    def create_view(self, name: str, plan: LogicalPlan, *, replace: bool = False) -> None:
+        """Register a view (a named logical plan) under ``name``."""
+        if not replace and self.exists(name):
+            raise CatalogError(f"table or view {name!r} already exists")
+        self._tables.pop(name, None)
+        self._views[name] = plan
+
+    def drop_view(self, name: str) -> None:
+        if name not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[name]
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> LogicalPlan:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}; known: {sorted(self._views)}") from None
+
+    # -- generic lookup -----------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._tables or name in self._views
+
+    def resolve(self, name: str) -> Relation | LogicalPlan:
+        """Return the relation (for tables) or plan (for views) bound to ``name``."""
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._views:
+            return self._views[name]
+        raise CatalogError(
+            f"unknown table or view {name!r}; "
+            f"tables: {sorted(self._tables)}, views: {sorted(self._views)}"
+        )
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)

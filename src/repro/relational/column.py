@@ -1,0 +1,241 @@
+"""Typed columns backed by NumPy arrays.
+
+The engine executes column-at-a-time, mirroring the BAT algebra of MonetDB
+that the paper uses as its substrate.  A :class:`Column` couples a NumPy
+array with a :class:`DataType`; all physical operators consume and produce
+columns rather than rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ColumnError, TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Physical data types supported by the engine.
+
+    The paper's triple store partitions literals by physical type rather
+    than serialising everything to strings (Section 2.2); these are the
+    types that partitioning distinguishes.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> Any:
+        """Return the NumPy dtype used to store values of this type."""
+        return _NUMPY_DTYPES[self]
+
+    def is_numeric(self) -> bool:
+        """Return ``True`` for INT and FLOAT."""
+        return self in (DataType.INT, DataType.FLOAT)
+
+    @classmethod
+    def of_value(cls, value: Any) -> "DataType":
+        """Infer the :class:`DataType` of a single Python value."""
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            return cls.BOOL
+        if isinstance(value, (int, np.integer)):
+            return cls.INT
+        if isinstance(value, (float, np.floating)):
+            return cls.FLOAT
+        if isinstance(value, (str, np.str_)):
+            return cls.STRING
+        raise TypeMismatchError(f"unsupported value type: {type(value).__name__}")
+
+    @classmethod
+    def common(cls, left: "DataType", right: "DataType") -> "DataType":
+        """Return the type that results from combining two numeric types.
+
+        INT combined with FLOAT widens to FLOAT.  Identical types are
+        returned unchanged.  Any other combination raises
+        :class:`TypeMismatchError`.
+        """
+        if left is right:
+            return left
+        if {left, right} == {cls.INT, cls.FLOAT}:
+            return cls.FLOAT
+        raise TypeMismatchError(f"no common type for {left.value} and {right.value}")
+
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.int64,
+    DataType.FLOAT: np.float64,
+    DataType.STRING: object,
+    DataType.BOOL: np.bool_,
+}
+
+
+def _coerce_array(values: Any, dtype: DataType) -> np.ndarray:
+    """Convert ``values`` into a NumPy array of the physical dtype."""
+    if isinstance(values, np.ndarray):
+        if dtype is DataType.STRING:
+            if values.dtype == object:
+                return values
+            return values.astype(object)
+        return values.astype(dtype.numpy_dtype, copy=False)
+    values = list(values)
+    if dtype is DataType.STRING:
+        array = np.empty(len(values), dtype=object)
+        for index, value in enumerate(values):
+            array[index] = value
+        return array
+    return np.asarray(values, dtype=dtype.numpy_dtype)
+
+
+class Column:
+    """An immutable, typed, one-dimensional sequence of values.
+
+    Columns are the unit of data flow in the engine.  They are cheap to
+    slice and to select from via boolean masks or index arrays, which is how
+    the physical operators implement selection and joins.
+    """
+
+    __slots__ = ("_dtype", "_values")
+
+    def __init__(self, values: Iterable[Any] | np.ndarray, dtype: DataType):
+        self._dtype = dtype
+        self._values = _coerce_array(values, dtype)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any], dtype: DataType | None = None) -> "Column":
+        """Build a column from Python values, inferring the type if needed."""
+        if dtype is None:
+            if len(values) == 0:
+                raise ColumnError("cannot infer the type of an empty column")
+            dtype = DataType.of_value(values[0])
+        return cls(values, dtype)
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "Column":
+        """Return a zero-length column of the given type."""
+        return cls(np.empty(0, dtype=dtype.numpy_dtype), dtype)
+
+    @classmethod
+    def constant(cls, value: Any, length: int, dtype: DataType | None = None) -> "Column":
+        """Return a column repeating ``value`` ``length`` times."""
+        if dtype is None:
+            dtype = DataType.of_value(value)
+        if dtype is DataType.STRING:
+            array = np.empty(length, dtype=object)
+            array[:] = value
+            return cls(array, dtype)
+        return cls(np.full(length, value, dtype=dtype.numpy_dtype), dtype)
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def dtype(self) -> DataType:
+        """The logical data type of the column."""
+        return self._dtype
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying NumPy array (treat as read-only)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self.to_list())
+
+    def __getitem__(self, index: int) -> Any:
+        value = self._values[index]
+        return self._to_python(value)
+
+    def _to_python(self, value: Any) -> Any:
+        if self._dtype is DataType.INT:
+            return int(value)
+        if self._dtype is DataType.FLOAT:
+            return float(value)
+        if self._dtype is DataType.BOOL:
+            return bool(value)
+        return value
+
+    def to_list(self) -> list[Any]:
+        """Return the column contents as a list of plain Python values."""
+        return [self._to_python(value) for value in self._values]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self._dtype is not other._dtype or len(self) != len(other):
+            return False
+        return self.to_list() == other.to_list()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(value) for value in self.to_list()[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column<{self._dtype.value}>[{preview}{suffix}]"
+
+    # -- vectorised manipulation ------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column containing the rows at ``indices``."""
+        return Column(self._values[indices], self._dtype)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Return a new column keeping only rows where ``mask`` is True."""
+        if len(mask) != len(self._values):
+            raise ColumnError(
+                f"mask length {len(mask)} does not match column length {len(self._values)}"
+            )
+        return Column(self._values[mask], self._dtype)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Return the rows in ``[start, stop)`` as a new column."""
+        return Column(self._values[start:stop], self._dtype)
+
+    def concat(self, other: "Column") -> "Column":
+        """Concatenate two columns of the same type."""
+        if other.dtype is not self._dtype:
+            raise TypeMismatchError(
+                f"cannot concatenate {self._dtype.value} column with {other.dtype.value} column"
+            )
+        return Column(np.concatenate([self._values, other._values]), self._dtype)
+
+    def cast(self, dtype: DataType) -> "Column":
+        """Return a copy of the column converted to ``dtype``."""
+        if dtype is self._dtype:
+            return self
+        if dtype is DataType.STRING:
+            return Column([str(value) for value in self.to_list()], dtype)
+        if self._dtype is DataType.STRING:
+            converter = {DataType.INT: int, DataType.FLOAT: float, DataType.BOOL: _parse_bool}[dtype]
+            return Column([converter(value) for value in self._values], dtype)
+        return Column(self._values.astype(dtype.numpy_dtype), dtype)
+
+    # -- statistics helpers ------------------------------------------------
+
+    def unique(self) -> "Column":
+        """Return the distinct values of the column (sorted)."""
+        if self._dtype is DataType.STRING:
+            distinct = sorted({value for value in self._values})
+            return Column(distinct, self._dtype)
+        return Column(np.unique(self._values), self._dtype)
+
+    def is_sorted(self) -> bool:
+        """Return True if the column values are non-decreasing."""
+        values = self.to_list()
+        return all(a <= b for a, b in zip(values, values[1:]))
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("true", "t", "1", "yes"):
+        return True
+    if lowered in ("false", "f", "0", "no"):
+        return False
+    raise TypeMismatchError(f"cannot parse {text!r} as a boolean")

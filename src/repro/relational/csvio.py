@@ -1,0 +1,84 @@
+"""CSV import and export for relations.
+
+The paper's platform ingests customer data "with almost no pre-processing";
+this module provides the equivalent plain bulk loader for the reproduction:
+CSV files (or any iterable of delimited lines) become relations, and
+relations can be written back out for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def read_csv(
+    source: str | Path | io.TextIOBase,
+    schema: Schema,
+    *,
+    delimiter: str = ",",
+    has_header: bool = True,
+) -> Relation:
+    """Read a CSV file (or open text stream) into a relation with ``schema``."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="", encoding="utf-8") as handle:
+            return _read_rows(csv.reader(handle, delimiter=delimiter), schema, has_header)
+    return _read_rows(csv.reader(source, delimiter=delimiter), schema, has_header)
+
+
+def _read_rows(reader: Iterable[list[str]], schema: Schema, has_header: bool) -> Relation:
+    rows = list(reader)
+    if has_header and rows:
+        header = rows[0]
+        if len(header) != len(schema):
+            raise SchemaError(
+                f"CSV header has {len(header)} columns, schema expects {len(schema)}"
+            )
+        rows = rows[1:]
+    columns = []
+    for position, field in enumerate(schema):
+        raw_values = [row[position] for row in rows]
+        columns.append(_parse_column(raw_values, field.dtype))
+    return Relation(schema, columns)
+
+
+def _parse_column(raw_values: list[str], dtype: DataType) -> Column:
+    if dtype is DataType.STRING:
+        return Column(raw_values, dtype)
+    if dtype is DataType.INT:
+        return Column([int(value) for value in raw_values], dtype)
+    if dtype is DataType.FLOAT:
+        return Column([float(value) for value in raw_values], dtype)
+    return Column([value.strip().lower() in ("true", "t", "1", "yes") for value in raw_values], dtype)
+
+
+def write_csv(
+    relation: Relation,
+    destination: str | Path | io.TextIOBase,
+    *,
+    delimiter: str = ",",
+    write_header: bool = True,
+) -> None:
+    """Write ``relation`` to a CSV file (or open text stream)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            _write_rows(relation, handle, delimiter, write_header)
+        return
+    _write_rows(relation, destination, delimiter, write_header)
+
+
+def _write_rows(
+    relation: Relation, handle: io.TextIOBase, delimiter: str, write_header: bool
+) -> None:
+    writer = csv.writer(handle, delimiter=delimiter)
+    if write_header:
+        writer.writerow(relation.schema.names)
+    for row in relation.rows():
+        writer.writerow(row)

@@ -1,0 +1,104 @@
+"""A small rule-based plan optimizer.
+
+The engine does not attempt cost-based optimisation; the paper's point is
+that the *relational formulation* of IR tasks lets the database engine apply
+whatever optimisations it has "for free".  We implement the rewrites that
+matter for the plans used in this reproduction:
+
+* **predicate pushdown**: a selection over a join is pushed to the join input
+  whose columns it references (the triple-store self-joins of Section 2.2
+  benefit directly);
+* **selection fusion**: adjacent selections are combined into one conjunctive
+  predicate, so the mask is computed in a single pass;
+* **limit pushdown over sort**: ``Limit`` directly above ``Sort`` is preserved
+  as-is (top-k), but a limit above a projection is pushed below it.
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import (
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Select,
+)
+from repro.relational.expressions import BinaryOp, Expression
+
+
+def optimize(plan: LogicalPlan) -> LogicalPlan:
+    """Apply all rewrite rules bottom-up until the plan stops changing."""
+    previous_fingerprint = None
+    current = plan
+    while current.fingerprint() != previous_fingerprint:
+        previous_fingerprint = current.fingerprint()
+        current = _rewrite(current)
+    return current
+
+
+def _rewrite(plan: LogicalPlan) -> LogicalPlan:
+    children = [_rewrite(child) for child in plan.children()]
+    if children:
+        plan = plan.with_children(children)
+    plan = _fuse_selections(plan)
+    plan = _push_selection_into_join(plan)
+    plan = _push_limit_below_project(plan)
+    return plan
+
+
+def _fuse_selections(plan: LogicalPlan) -> LogicalPlan:
+    """Combine ``Select(Select(x, p1), p2)`` into ``Select(x, p1 AND p2)``."""
+    if isinstance(plan, Select) and isinstance(plan.child, Select):
+        inner = plan.child
+        combined: Expression = BinaryOp("and", inner.predicate, plan.predicate)
+        return Select(inner.child, combined)
+    return plan
+
+
+def _push_selection_into_join(plan: LogicalPlan) -> LogicalPlan:
+    """Push a selection over a join into the side that provides its columns."""
+    if not (isinstance(plan, Select) and isinstance(plan.child, Join)):
+        return plan
+    join = plan.child
+    predicate = plan.predicate
+    referenced = predicate.references()
+    left_columns = _available_columns(join.left)
+    right_columns = _available_columns(join.right)
+    if left_columns is not None and referenced <= left_columns:
+        return Join(Select(join.left, predicate), join.right, join.conditions, join.how)
+    if right_columns is not None and referenced <= right_columns:
+        return Join(join.left, Select(join.right, predicate), join.conditions, join.how)
+    return plan
+
+
+def _push_limit_below_project(plan: LogicalPlan) -> LogicalPlan:
+    """Rewrite ``Limit(Project(x))`` into ``Project(Limit(x))``.
+
+    Projection is row-wise, so limiting first strictly reduces work.
+    """
+    if isinstance(plan, Limit) and isinstance(plan.child, Project):
+        project = plan.child
+        return Project(Limit(project.child, plan.count), project.columns)
+    return plan
+
+
+def _available_columns(plan: LogicalPlan) -> set[str] | None:
+    """Best-effort set of output column names of ``plan``.
+
+    Returns ``None`` when the columns cannot be determined statically (e.g.
+    scans, whose schema lives in the catalog); pushdown is then skipped for
+    that side, which is always safe.
+    """
+    if isinstance(plan, Project):
+        return {name for name, _ in plan.columns}
+    if isinstance(plan, Select):
+        return _available_columns(plan.child)
+    if isinstance(plan, Limit):
+        return _available_columns(plan.child)
+    if isinstance(plan, Join):
+        left = _available_columns(plan.left)
+        right = _available_columns(plan.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None

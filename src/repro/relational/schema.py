@@ -1,0 +1,123 @@
+"""Relation schemas: ordered, named, typed fields."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ColumnError, SchemaError
+from repro.relational.column import DataType
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named, typed attribute of a relation."""
+
+    name: str
+    dtype: DataType
+
+    def renamed(self, name: str) -> "Field":
+        """Return a copy of the field with a different name."""
+        return Field(name, self.dtype)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+class Schema:
+    """An ordered collection of :class:`Field` objects with unique names."""
+
+    __slots__ = ("_fields", "_index")
+
+    def __init__(self, fields: Sequence[Field] | Iterable[Field]):
+        fields = list(fields)
+        names = [field.name for field in fields]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names in schema: {sorted(duplicates)}")
+        self._fields = tuple(fields)
+        self._index = {field.name: position for position, field in enumerate(fields)}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def of(cls, **columns: DataType) -> "Schema":
+        """Build a schema from keyword arguments, e.g. ``Schema.of(docID=DataType.INT)``."""
+        return cls([Field(name, dtype) for name, dtype in columns.items()])
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> list[str]:
+        return [field.name for field in self._fields]
+
+    @property
+    def dtypes(self) -> list[DataType]:
+        return [field.dtype for field in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(str(field) for field in self._fields) + ")"
+
+    def field(self, name: str) -> Field:
+        """Return the field called ``name`` or raise :class:`ColumnError`."""
+        try:
+            return self._fields[self._index[name]]
+        except KeyError:
+            raise ColumnError(
+                f"unknown column {name!r}; available columns: {self.names}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position (0-based) of ``name``."""
+        self.field(name)
+        return self._index[name]
+
+    def dtype_of(self, name: str) -> DataType:
+        """Return the data type of the column called ``name``."""
+        return self.field(name).dtype
+
+    # -- derivation ---------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``names``, in that order."""
+        return Schema([self.field(name) for name in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a new schema with columns renamed according to ``mapping``."""
+        return Schema(
+            [field.renamed(mapping.get(field.name, field.name)) for field in self._fields]
+        )
+
+    def concat(self, other: "Schema", *, suffix: str = "_right") -> "Schema":
+        """Concatenate two schemas, suffixing clashing names from ``other``."""
+        fields = list(self._fields)
+        existing = set(self.names)
+        for field in other.fields:
+            name = field.name
+            while name in existing:
+                name = name + suffix
+            existing.add(name)
+            fields.append(field.renamed(name))
+        return Schema(fields)
+
+    def compatible_with(self, other: "Schema") -> bool:
+        """Return True if the two schemas can be unioned (same arity and types)."""
+        return self.dtypes == other.dtypes

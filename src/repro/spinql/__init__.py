@@ -1,0 +1,64 @@
+"""SpinQL: the paper's probabilistic-relational-algebra query language.
+
+Section 2.3 introduces SpinQL, *"a proprietary domain specific language ...
+which implements the Probabilistic Relational Algebra with particular focus
+on efficient translation to SQL"*.  This package implements the language
+surface shown in the paper (and the handful of extra operators the
+strategies need):
+
+* :mod:`repro.spinql.lexer` and :mod:`repro.spinql.parser` turn SpinQL text
+  into an AST;
+* :mod:`repro.spinql.compiler` compiles the AST into PRA plans
+  (:mod:`repro.pra.plan`), resolving names to database tables or to earlier
+  statements of the same script;
+* :mod:`repro.spinql.sql_translator` renders PRA plans as SQL text with
+  explicit probability arithmetic — the ``t1.p * t2.p AS p`` of the paper's
+  translation example.
+
+The top-level helpers :func:`parse`, :func:`compile_script` and
+:func:`evaluate` cover the common cases.
+"""
+
+from repro.spinql.ast import (
+    Assignment,
+    OperatorCall,
+    Reference,
+    Script,
+    SpinQLNode,
+)
+from repro.spinql.compiler import CompiledScript, SpinQLCompiler, compile_script
+from repro.spinql.lexer import Token, TokenType, tokenize
+from repro.spinql.parser import parse
+from repro.spinql.sql_translator import to_sql
+
+__all__ = [
+    "Assignment",
+    "CompiledScript",
+    "OperatorCall",
+    "Reference",
+    "Script",
+    "SpinQLCompiler",
+    "SpinQLNode",
+    "Token",
+    "TokenType",
+    "compile_script",
+    "evaluate",
+    "parse",
+    "to_sql",
+    "tokenize",
+]
+
+
+def evaluate(source: str, database, *, bindings=None):
+    """Parse, compile and evaluate a SpinQL script against ``database``.
+
+    Returns the probabilistic relation produced by the script's last
+    statement.  ``bindings`` optionally maps names to already-computed
+    :class:`~repro.pra.relation.ProbabilisticRelation` values (used by the
+    strategy layer to feed block inputs into hand-written SpinQL).
+    """
+    from repro.pra.evaluator import PRAEvaluator
+
+    compiled = compile_script(source, bindings=bindings)
+    evaluator = PRAEvaluator(database)
+    return evaluator.evaluate(compiled.final_plan)

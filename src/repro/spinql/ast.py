@@ -1,0 +1,115 @@
+"""Abstract syntax tree of SpinQL scripts."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SpinQLNode:
+    """Base class of every AST node."""
+
+
+# -- scalar / predicate expressions ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PositionalColumn(SpinQLNode):
+    """A positional column reference ``$N`` (1-based)."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class LiteralValue(SpinQLNode):
+    """A string or numeric literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Comparison(SpinQLNode):
+    """A comparison between two operands (positional columns or literals)."""
+
+    operator: str  # '=', '!=', '<', '<=', '>', '>='
+    left: SpinQLNode
+    right: SpinQLNode
+
+
+@dataclass(frozen=True)
+class BooleanExpr(SpinQLNode):
+    """A conjunction/disjunction of predicate nodes."""
+
+    operator: str  # 'and' | 'or'
+    left: SpinQLNode
+    right: SpinQLNode
+
+
+# -- relational expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reference(SpinQLNode):
+    """A reference to a named relation: a table, view, binding or prior assignment."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ProjectionItem(SpinQLNode):
+    """One projected column: ``$N`` optionally renamed with ``AS name``."""
+
+    position: int
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class JoinCondition(SpinQLNode):
+    """One positional join condition ``$i = $j`` (left position, right position)."""
+
+    left_position: int
+    right_position: int
+
+
+@dataclass
+class OperatorCall(SpinQLNode):
+    """An operator application: ``NAME [ASSUMPTION] [args] (operand, ...)``."""
+
+    operator: str
+    assumption: str | None
+    arguments: list[SpinQLNode] = field(default_factory=list)
+    operands: list[SpinQLNode] = field(default_factory=list)
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass
+class Assignment(SpinQLNode):
+    """``name = expression ;``"""
+
+    name: str
+    expression: SpinQLNode
+
+
+@dataclass
+class Script(SpinQLNode):
+    """A whole SpinQL script: a sequence of statements.
+
+    A bare expression statement is represented as an :class:`Assignment` with
+    an auto-generated name (``_resultN``); the last statement defines the
+    script's result.
+    """
+
+    statements: list[Assignment] = field(default_factory=list)
+
+    @property
+    def result_name(self) -> str:
+        if not self.statements:
+            raise ValueError("empty script has no result")
+        return self.statements[-1].name
+
+    def names(self) -> Sequence[str]:
+        return [statement.name for statement in self.statements]

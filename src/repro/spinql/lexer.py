@@ -1,0 +1,226 @@
+"""Tokenizer for SpinQL source text."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SpinQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    POSITIONAL = "positional"  # $1, $2, ...
+    NUMBER = "number"
+    STRING = "string"
+    EQUALS = "equals"  # =
+    NOT_EQUALS = "not_equals"  # != or <>
+    LESS = "less"
+    LESS_EQUALS = "less_equals"
+    GREATER = "greater"
+    GREATER_EQUALS = "greater_equals"
+    LBRACKET = "lbracket"
+    RBRACKET = "rbracket"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: keywords recognised case-insensitively (operators, assumptions, connectives)
+KEYWORDS = {
+    "select",
+    "project",
+    "join",
+    "unite",
+    "subtract",
+    "bayes",
+    "weight",
+    "traverse",
+    "independent",
+    "disjoint",
+    "subsumed",
+    "and",
+    "or",
+    "not",
+    "as",
+    "backward",
+    "forward",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.lower()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> SpinQLSyntaxError:
+        return SpinQLSyntaxError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+
+        # whitespace and newlines
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+
+        # comments: '--' or '#' to end of line
+        if char == "#" or source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_line, start_column = line, column
+
+        # punctuation
+        simple = {
+            "[": TokenType.LBRACKET,
+            "]": TokenType.RBRACKET,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ";": TokenType.SEMICOLON,
+        }
+        if char in simple:
+            tokens.append(Token(simple[char], char, start_line, start_column))
+            index += 1
+            column += 1
+            continue
+
+        # comparison operators
+        if char == "=":
+            tokens.append(Token(TokenType.EQUALS, "=", start_line, start_column))
+            index += 1
+            column += 1
+            continue
+        if char == "!" and index + 1 < length and source[index + 1] == "=":
+            tokens.append(Token(TokenType.NOT_EQUALS, "!=", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if char == "<":
+            if index + 1 < length and source[index + 1] == ">":
+                tokens.append(Token(TokenType.NOT_EQUALS, "<>", start_line, start_column))
+                index += 2
+                column += 2
+                continue
+            if index + 1 < length and source[index + 1] == "=":
+                tokens.append(Token(TokenType.LESS_EQUALS, "<=", start_line, start_column))
+                index += 2
+                column += 2
+                continue
+            tokens.append(Token(TokenType.LESS, "<", start_line, start_column))
+            index += 1
+            column += 1
+            continue
+        if char == ">":
+            if index + 1 < length and source[index + 1] == "=":
+                tokens.append(Token(TokenType.GREATER_EQUALS, ">=", start_line, start_column))
+                index += 2
+                column += 2
+                continue
+            tokens.append(Token(TokenType.GREATER, ">", start_line, start_column))
+            index += 1
+            column += 1
+            continue
+
+        # positional reference $N
+        if char == "$":
+            index += 1
+            column += 1
+            digits = ""
+            while index < length and source[index].isdigit():
+                digits += source[index]
+                index += 1
+                column += 1
+            if not digits:
+                raise error("expected a column number after '$'")
+            tokens.append(Token(TokenType.POSITIONAL, digits, start_line, start_column))
+            continue
+
+        # string literal, single or double quoted
+        if char in ("'", '"'):
+            quote = char
+            index += 1
+            column += 1
+            value = ""
+            closed = False
+            while index < length:
+                current = source[index]
+                if current == quote:
+                    # doubled quote escapes itself
+                    if index + 1 < length and source[index + 1] == quote:
+                        value += quote
+                        index += 2
+                        column += 2
+                        continue
+                    closed = True
+                    index += 1
+                    column += 1
+                    break
+                if current == "\n":
+                    break
+                value += current
+                index += 1
+                column += 1
+            if not closed:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            continue
+
+        # number
+        if char.isdigit() or (char == "." and index + 1 < length and source[index + 1].isdigit()):
+            value = ""
+            seen_dot = False
+            while index < length and (source[index].isdigit() or (source[index] == "." and not seen_dot)):
+                if source[index] == ".":
+                    seen_dot = True
+                value += source[index]
+                index += 1
+                column += 1
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            continue
+
+        # identifier or keyword
+        if char.isalpha() or char == "_":
+            value = ""
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                value += source[index]
+                index += 1
+                column += 1
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, value, start_line, start_column))
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,246 @@
+"""Recursive-descent parser for SpinQL.
+
+The grammar covers the fragment used in the paper plus the operators the
+strategy layer generates::
+
+    script      := statement+
+    statement   := [ IDENT '=' ] expression ';'
+    expression  := operator_call | IDENT
+    operator_call :=
+          'SELECT'   '[' predicate ']' '(' expression ')'
+        | 'PROJECT'  [assumption] '[' projection_list ']' '(' expression ')'
+        | 'JOIN'     [assumption] '[' join_conditions ']' '(' expression ',' expression ')'
+        | 'UNITE'    [assumption] '(' expression ',' expression ')'
+        | 'SUBTRACT' '(' expression ',' expression ')'
+        | 'BAYES'    '[' [positional_list] ']' '(' expression ')'
+        | 'WEIGHT'   '[' number ']' '(' expression ')'
+        | 'TRAVERSE' ['BACKWARD'|'FORWARD'] '[' string ']' '(' expression ')'
+    assumption  := 'INDEPENDENT' | 'DISJOINT' | 'SUBSUMED'
+    predicate   := comparison ( ('and'|'or') comparison )*
+    comparison  := operand cmp_op operand
+    operand     := POSITIONAL | STRING | NUMBER
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpinQLSyntaxError
+from repro.spinql.ast import (
+    Assignment,
+    BooleanExpr,
+    Comparison,
+    JoinCondition,
+    LiteralValue,
+    OperatorCall,
+    PositionalColumn,
+    ProjectionItem,
+    Reference,
+    Script,
+    SpinQLNode,
+)
+from repro.spinql.lexer import Token, TokenType, tokenize
+
+_OPERATOR_KEYWORDS = {"select", "project", "join", "unite", "subtract", "bayes", "weight", "traverse"}
+_ASSUMPTION_KEYWORDS = {"independent", "disjoint", "subsumed"}
+_COMPARISON_TOKENS = {
+    TokenType.EQUALS: "=",
+    TokenType.NOT_EQUALS: "!=",
+    TokenType.LESS: "<",
+    TokenType.LESS_EQUALS: "<=",
+    TokenType.GREATER: ">",
+    TokenType.GREATER_EQUALS: ">=",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+        self._anonymous_counter = 0
+
+    # -- token helpers ---------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, token_type: TokenType, description: str) -> Token:
+        if self.current.type is not token_type:
+            raise self.error(f"expected {description}, found {self.current.value!r}")
+        return self.advance()
+
+    def error(self, message: str) -> SpinQLSyntaxError:
+        token = self.current
+        return SpinQLSyntaxError(message, line=token.line, column=token.column)
+
+    # -- grammar ------------------------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        statements: list[Assignment] = []
+        while self.current.type is not TokenType.EOF:
+            statements.append(self.parse_statement())
+        if not statements:
+            raise SpinQLSyntaxError("empty SpinQL script")
+        return Script(statements=statements)
+
+    def parse_statement(self) -> Assignment:
+        name: str | None = None
+        if (
+            self.current.type is TokenType.IDENT
+            and self.tokens[self.position + 1].type is TokenType.EQUALS
+        ):
+            name = self.advance().value
+            self.advance()  # '='
+        expression = self.parse_expression()
+        self.expect(TokenType.SEMICOLON, "';' at the end of the statement")
+        if name is None:
+            self._anonymous_counter += 1
+            name = f"_result{self._anonymous_counter}"
+        return Assignment(name=name, expression=expression)
+
+    def parse_expression(self) -> SpinQLNode:
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.value in _OPERATOR_KEYWORDS:
+            return self.parse_operator_call()
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return Reference(token.value)
+        raise self.error("expected an operator call or a relation name")
+
+    def parse_operator_call(self) -> OperatorCall:
+        operator = self.advance().value
+        assumption: str | None = None
+        options: dict[str, object] = {}
+
+        if self.current.type is TokenType.KEYWORD and self.current.value in _ASSUMPTION_KEYWORDS:
+            assumption = self.advance().value
+        if operator == "traverse" and self.current.type is TokenType.KEYWORD and self.current.value in (
+            "backward",
+            "forward",
+        ):
+            options["direction"] = self.advance().value
+
+        arguments: list[SpinQLNode] = []
+        if self.current.type is TokenType.LBRACKET:
+            self.advance()
+            arguments = self.parse_arguments(operator)
+            self.expect(TokenType.RBRACKET, "']' closing the argument list")
+        elif operator in ("select", "project", "join", "weight", "traverse"):
+            raise self.error(f"operator {operator.upper()} requires a '[...]' argument list")
+
+        self.expect(TokenType.LPAREN, "'(' opening the operand list")
+        operands = [self.parse_expression()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            operands.append(self.parse_expression())
+        self.expect(TokenType.RPAREN, "')' closing the operand list")
+
+        return OperatorCall(
+            operator=operator,
+            assumption=assumption,
+            arguments=arguments,
+            operands=operands,
+            options=options,
+        )
+
+    # -- argument lists -----------------------------------------------------------------------
+
+    def parse_arguments(self, operator: str) -> list[SpinQLNode]:
+        if operator == "select":
+            return [self.parse_predicate()]
+        if operator == "project":
+            return self.parse_projection_list()
+        if operator == "join":
+            return self.parse_join_conditions()
+        if operator == "bayes":
+            return self.parse_positional_list()
+        if operator == "weight":
+            token = self.expect(TokenType.NUMBER, "a numeric weight")
+            return [LiteralValue(float(token.value))]
+        if operator == "traverse":
+            token = self.expect(TokenType.STRING, "a property name string")
+            return [LiteralValue(token.value)]
+        # UNITE / SUBTRACT take no bracketed arguments
+        return []
+
+    def parse_projection_list(self) -> list[SpinQLNode]:
+        items: list[SpinQLNode] = [self.parse_projection_item()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self.parse_projection_item())
+        return items
+
+    def parse_projection_item(self) -> ProjectionItem:
+        token = self.expect(TokenType.POSITIONAL, "a positional reference like $1")
+        alias: str | None = None
+        if self.current.type is TokenType.KEYWORD and self.current.value == "as":
+            self.advance()
+            alias_token = self.current
+            if alias_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise self.error("expected an alias name after AS")
+            alias = self.advance().value
+        return ProjectionItem(position=int(token.value), alias=alias)
+
+    def parse_join_conditions(self) -> list[SpinQLNode]:
+        conditions = [self.parse_join_condition()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            conditions.append(self.parse_join_condition())
+        return conditions
+
+    def parse_join_condition(self) -> JoinCondition:
+        left = self.expect(TokenType.POSITIONAL, "a positional reference like $1")
+        self.expect(TokenType.EQUALS, "'=' in a join condition")
+        right = self.expect(TokenType.POSITIONAL, "a positional reference like $1")
+        return JoinCondition(left_position=int(left.value), right_position=int(right.value))
+
+    def parse_positional_list(self) -> list[SpinQLNode]:
+        items: list[SpinQLNode] = []
+        if self.current.type is TokenType.POSITIONAL:
+            items.append(PositionalColumn(int(self.advance().value)))
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                items.append(PositionalColumn(int(self.advance().value)))
+        return items
+
+    # -- predicates ---------------------------------------------------------------------------------
+
+    def parse_predicate(self) -> SpinQLNode:
+        left = self.parse_comparison()
+        while self.current.type is TokenType.KEYWORD and self.current.value in ("and", "or"):
+            operator = self.advance().value
+            right = self.parse_comparison()
+            left = BooleanExpr(operator=operator, left=left, right=right)
+        return left
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_operand()
+        token = self.current
+        if token.type not in _COMPARISON_TOKENS:
+            raise self.error("expected a comparison operator")
+        operator = _COMPARISON_TOKENS[self.advance().type]
+        right = self.parse_operand()
+        return Comparison(operator=operator, left=left, right=right)
+
+    def parse_operand(self) -> SpinQLNode:
+        token = self.current
+        if token.type is TokenType.POSITIONAL:
+            self.advance()
+            return PositionalColumn(int(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return LiteralValue(token.value)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return LiteralValue(value)
+        raise self.error("expected a positional reference, string or number")
+
+
+def parse(source: str) -> Script:
+    """Parse SpinQL source text into a :class:`~repro.spinql.ast.Script`."""
+    return _Parser(tokenize(source)).parse_script()

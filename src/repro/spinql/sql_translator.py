@@ -1,0 +1,202 @@
+"""Translation of PRA plans into SQL text with explicit probability arithmetic.
+
+SpinQL's selling point in the paper is its *"efficient translation to SQL"*:
+the probability computations are only made explicit when a plan is lowered to
+SQL.  This module reproduces that lowering as a pretty-printer.  Plans of the
+common shape ``PROJECT (JOIN (SELECT(scan), SELECT(scan)))`` — the paper's
+``docs`` example — are flattened into a single SELECT/FROM/WHERE block with
+``t1``, ``t2``, … aliases and a ``t1.p * t2.p AS p`` probability expression,
+matching the listing in Section 2.3.  Other plans are rendered as nested
+derived tables; the output is meant to be read (and compared against the
+paper), not re-executed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PRAError
+from repro.pra.assumptions import Assumption
+from repro.pra.plan import (
+    PraBayes,
+    PraJoin,
+    PraPlan,
+    PraProject,
+    PraScan,
+    PraSelect,
+    PraSubtract,
+    PraUnite,
+    PraValues,
+    PraWeight,
+)
+from repro.relational.expressions import BinaryOp, Expression, Literal
+from repro.pra.expressions import PositionalRef
+
+#: default column names assumed for scans of the triples table
+_TRIPLE_COLUMNS = ["subject", "property", "object"]
+
+
+def to_sql(plan: PraPlan, *, view_name: str | None = None) -> str:
+    """Render ``plan`` as SQL text; optionally wrap it in a CREATE VIEW statement."""
+    body = _flatten_paper_shape(plan)
+    if body is None:
+        body = _render_nested(plan)
+    if view_name is not None:
+        return f"CREATE VIEW {view_name} AS\n{body};"
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Flat rendering for the paper's PROJECT(JOIN(SELECT, SELECT)) shape
+# ---------------------------------------------------------------------------
+
+
+def _flatten_paper_shape(plan: PraPlan) -> str | None:
+    if not isinstance(plan, PraProject):
+        return None
+    join = plan.child
+    if not isinstance(join, PraJoin):
+        return None
+    sides = []
+    for side in (join.left, join.right):
+        if isinstance(side, PraSelect) and isinstance(side.child, PraScan):
+            sides.append((side.child.table, side.predicate))
+        elif isinstance(side, PraScan):
+            sides.append((side.table, None))
+        else:
+            return None
+
+    aliases = [f"t{index + 1}" for index in range(len(sides))]
+    arities = [len(_TRIPLE_COLUMNS)] * len(sides)
+
+    def column_for(global_position: int) -> str:
+        remaining = global_position
+        for alias, arity in zip(aliases, arities):
+            if remaining <= arity:
+                return f"{alias}.{_TRIPLE_COLUMNS[remaining - 1]}"
+            remaining -= arity
+        raise PRAError(f"positional reference ${global_position} out of range in SQL translation")
+
+    select_items = []
+    default_names = ["docID", "data", "value", "extra"]
+    names = list(plan.output_names) if plan.output_names is not None else None
+    for index, position in enumerate(plan.positions):
+        name = (
+            names[index]
+            if names is not None
+            else default_names[index]
+            if index < len(default_names)
+            else f"col{index + 1}"
+        )
+        select_items.append(f"{column_for(position)} AS {name}")
+    probability = " * ".join(f"{alias}.p" for alias in aliases)
+    select_items.append(f"{probability} AS p")
+
+    where_clauses: list[str] = []
+    for (table, predicate), alias in zip(sides, aliases):
+        if predicate is not None:
+            where_clauses.append(_render_predicate(predicate, alias, _TRIPLE_COLUMNS))
+    for left_position, right_position in join.conditions:
+        where_clauses.append(
+            f"{aliases[0]}.{_TRIPLE_COLUMNS[left_position - 1]} = "
+            f"{aliases[1]}.{_TRIPLE_COLUMNS[right_position - 1]}"
+        )
+
+    from_clause = ", ".join(f"{table} {alias}" for (table, _), alias in zip(sides, aliases))
+    lines = [
+        "SELECT " + ",\n       ".join(select_items),
+        f"FROM {from_clause}",
+    ]
+    if where_clauses:
+        lines.append("WHERE " + "\n  AND ".join(where_clauses))
+    return "\n".join(lines)
+
+
+def _render_predicate(predicate: Expression, alias: str, columns: list[str]) -> str:
+    if isinstance(predicate, BinaryOp):
+        if predicate.op in ("and", "or"):
+            left = _render_predicate(predicate.left, alias, columns)
+            right = _render_predicate(predicate.right, alias, columns)
+            return f"{left} {predicate.op.upper()} {right}"
+        left = _render_operand(predicate.left, alias, columns)
+        right = _render_operand(predicate.right, alias, columns)
+        return f"{left} {predicate.op} {right}"
+    return predicate.to_sql()
+
+
+def _render_operand(operand: Expression, alias: str, columns: list[str]) -> str:
+    if isinstance(operand, PositionalRef):
+        if operand.position <= len(columns):
+            return f"{alias}.{columns[operand.position - 1]}"
+        return f"{alias}.col{operand.position}"
+    if isinstance(operand, Literal):
+        return operand.to_sql()
+    return operand.to_sql()
+
+
+# ---------------------------------------------------------------------------
+# Generic nested rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_nested(plan: PraPlan, depth: int = 0) -> str:
+    indent = "  " * depth
+    if isinstance(plan, PraScan):
+        return f"{indent}SELECT *, p FROM {plan.table}"
+    if isinstance(plan, PraValues):
+        return f"{indent}SELECT *, p FROM ({plan.label})"
+    if isinstance(plan, PraSelect):
+        child = _render_nested(plan.child, depth + 1)
+        return (
+            f"{indent}SELECT *, p FROM (\n{child}\n{indent}) AS t\n"
+            f"{indent}WHERE {plan.predicate.to_sql()}"
+        )
+    if isinstance(plan, PraProject):
+        child = _render_nested(plan.child, depth + 1)
+        names = plan.output_names or [f"col{position}" for position in plan.positions]
+        items = ", ".join(
+            f"${position} AS {name}" for position, name in zip(plan.positions, names)
+        )
+        merge = _merge_comment(plan.assumption)
+        return (
+            f"{indent}SELECT {items}, p FROM (\n{child}\n{indent}) AS t"
+            f"\n{indent}-- duplicates merged assuming {merge}"
+        )
+    if isinstance(plan, PraJoin):
+        left = _render_nested(plan.left, depth + 1)
+        right = _render_nested(plan.right, depth + 1)
+        conditions = " AND ".join(
+            f"l.${left_position} = r.${right_position}"
+            for left_position, right_position in plan.conditions
+        )
+        return (
+            f"{indent}SELECT l.*, r.*, l.p * r.p AS p FROM (\n{left}\n{indent}) AS l\n"
+            f"{indent}JOIN (\n{right}\n{indent}) AS r ON {conditions}"
+        )
+    if isinstance(plan, PraUnite):
+        left = _render_nested(plan.left, depth + 1)
+        right = _render_nested(plan.right, depth + 1)
+        merge = _merge_comment(plan.assumption)
+        return (
+            f"{left}\n{indent}UNION ALL -- probabilities merged assuming {merge}\n{right}"
+        )
+    if isinstance(plan, PraSubtract):
+        left = _render_nested(plan.left, depth + 1)
+        right = _render_nested(plan.right, depth + 1)
+        return (
+            f"{indent}SELECT l.*, l.p * (1 - r.p) AS p FROM (\n{left}\n{indent}) AS l\n"
+            f"{indent}LEFT JOIN (\n{right}\n{indent}) AS r ON TRUE"
+        )
+    if isinstance(plan, PraBayes):
+        child = _render_nested(plan.child, depth + 1)
+        evidence = ", ".join(f"${position}" for position in plan.evidence_positions) or "()"
+        return (
+            f"{indent}SELECT *, p / SUM(p) OVER (PARTITION BY {evidence}) AS p FROM (\n"
+            f"{child}\n{indent}) AS t"
+        )
+    if isinstance(plan, PraWeight):
+        child = _render_nested(plan.child, depth + 1)
+        return f"{indent}SELECT *, p * {plan.factor} AS p FROM (\n{child}\n{indent}) AS t"
+    raise PRAError(f"cannot translate PRA node {type(plan).__name__} to SQL")
+
+
+def _merge_comment(assumption: Assumption) -> str:
+    return assumption.value.upper()

@@ -1,0 +1,56 @@
+"""Search strategies: the block-based modeling layer of Section 2.4.
+
+A *search strategy* is a DAG of building blocks — *Select by type*, *Traverse
+property*, *Extract text*, *Rank by Text BM25*, *Mix*, … — that is compiled
+into probabilistic-relational-algebra plans and executed against the triple
+store.  The paper models these graphically; this package provides the
+equivalent programmatic API plus an ASCII/DOT renderer so the figures of the
+paper (Figure 2, the toy scenario; Figure 3, the auction scenario) can be
+regenerated as text.
+
+* :mod:`repro.strategy.blocks` — the block base class, typed ports and the
+  execution context;
+* :mod:`repro.strategy.library` — the standard block library;
+* :mod:`repro.strategy.graph` — the strategy DAG with validation and
+  topological execution order;
+* :mod:`repro.strategy.executor` — executes a strategy for a query;
+* :mod:`repro.strategy.render` — ASCII and Graphviz DOT rendering;
+* :mod:`repro.strategy.prebuilt` — the toy-products strategy of Figure 2 and
+  the auction strategy of Figure 3, ready to run.
+"""
+
+from repro.strategy.blocks import Block, PortKind, StrategyContext
+from repro.strategy.executor import StrategyExecutor
+from repro.strategy.graph import StrategyGraph
+from repro.strategy.library import (
+    ExtractTextBlock,
+    LimitBlock,
+    MixBlock,
+    QueryInputBlock,
+    RankByTextBlock,
+    SelectByPropertyBlock,
+    SelectByTypeBlock,
+    TraversePropertyBlock,
+)
+from repro.strategy.prebuilt import build_auction_strategy, build_toy_strategy
+from repro.strategy.render import render_ascii, render_dot
+
+__all__ = [
+    "Block",
+    "ExtractTextBlock",
+    "LimitBlock",
+    "MixBlock",
+    "PortKind",
+    "QueryInputBlock",
+    "RankByTextBlock",
+    "SelectByPropertyBlock",
+    "SelectByTypeBlock",
+    "StrategyContext",
+    "StrategyExecutor",
+    "StrategyGraph",
+    "TraversePropertyBlock",
+    "build_auction_strategy",
+    "build_toy_strategy",
+    "render_ascii",
+    "render_dot",
+]

@@ -1,0 +1,134 @@
+"""Pre-built strategies: the paper's Figure 2 and Figure 3.
+
+* :func:`build_toy_strategy` — *"rank toy products by their description"*:
+  filter resources whose ``category`` is ``toy``, extract their
+  ``description`` text, and rank against the query with BM25 (Figure 2).
+* :func:`build_auction_strategy` — *"rank auction lots"*: select resources of
+  type ``lot``; the left branch ranks lots by their own description, the
+  right branch traverses ``hasAuction``, ranks auctions by their description
+  and traverses back to lots; the two ranked lists are mixed with a weighted
+  linear combination (Figure 3).
+* :func:`build_expanded_auction_strategy` — the production variant sketched
+  in Section 3, with query expansion on every ranking branch.
+"""
+
+from __future__ import annotations
+
+from repro.ir.query_expansion import QueryExpander
+from repro.ir.ranking import RankingModel
+from repro.strategy.graph import StrategyGraph
+from repro.strategy.library import (
+    ExtractTextBlock,
+    MixBlock,
+    QueryInputBlock,
+    RankByTextBlock,
+    SelectByPropertyBlock,
+    SelectByTypeBlock,
+    TraversePropertyBlock,
+)
+
+
+def build_toy_strategy(
+    *,
+    category: str = "toy",
+    category_property: str = "category",
+    text_property: str = "description",
+    language: str = "english",
+    model: RankingModel | None = None,
+) -> StrategyGraph:
+    """The toy scenario of Figure 2: rank products of a category by description."""
+    graph = StrategyGraph(name="rank toy products by their description")
+    graph.add_block("select_category", SelectByPropertyBlock(category_property, category))
+    graph.add_block("extract_description", ExtractTextBlock(text_property))
+    graph.add_block("query", QueryInputBlock(language=language))
+    graph.add_block("rank_bm25", RankByTextBlock(model, language=language))
+    graph.connect("select_category", "extract_description")
+    graph.connect("extract_description", "rank_bm25", port="documents")
+    graph.connect("query", "rank_bm25", port="query")
+    return graph
+
+
+def build_auction_strategy(
+    *,
+    lot_type: str = "lot",
+    auction_property: str = "hasAuction",
+    text_property: str = "description",
+    language: str = "english",
+    lot_weight: float = 0.7,
+    auction_weight: float = 0.3,
+    model: RankingModel | None = None,
+    expander: QueryExpander | None = None,
+) -> StrategyGraph:
+    """The real-world scenario of Figure 3: rank auction lots.
+
+    The left branch ranks lots by their own description; the right branch
+    ranks the auctions containing them by the auction description and
+    traverses back to lots; the ranked lists are mixed with the given weights.
+    """
+    graph = StrategyGraph(name="rank auction lots")
+    graph.add_block("select_lots", SelectByTypeBlock(lot_type))
+    graph.add_block("query", QueryInputBlock(language=language))
+
+    # left branch: rank lots by their own description
+    graph.add_block("lot_descriptions", ExtractTextBlock(text_property))
+    graph.add_block(
+        "rank_lots", RankByTextBlock(model, language=language, expander=expander)
+    )
+    graph.connect("select_lots", "lot_descriptions")
+    graph.connect("lot_descriptions", "rank_lots", port="documents")
+    graph.connect("query", "rank_lots", port="query")
+
+    # right branch: traverse to auctions, rank them, traverse back to lots
+    graph.add_block("to_auctions", TraversePropertyBlock(auction_property))
+    graph.add_block("auction_descriptions", ExtractTextBlock(text_property))
+    graph.add_block(
+        "rank_auctions", RankByTextBlock(model, language=language, expander=expander)
+    )
+    graph.add_block("back_to_lots", TraversePropertyBlock(auction_property, backward=True))
+    graph.connect("select_lots", "to_auctions")
+    graph.connect("to_auctions", "auction_descriptions")
+    graph.connect("auction_descriptions", "rank_auctions", port="documents")
+    graph.connect("query", "rank_auctions", port="query")
+    graph.connect("rank_auctions", "back_to_lots")
+
+    # mix the two ranked lists with a weighted linear combination
+    graph.add_block("mix", MixBlock([lot_weight, auction_weight]))
+    graph.connect("rank_lots", "mix", port="ranked_0")
+    graph.connect("back_to_lots", "mix", port="ranked_1")
+    return graph
+
+
+def build_expanded_auction_strategy(
+    expander: QueryExpander,
+    **kwargs,
+) -> StrategyGraph:
+    """The production variant: the auction strategy with query expansion enabled."""
+    return build_auction_strategy(expander=expander, **kwargs)
+
+
+def build_expert_strategy(
+    *,
+    document_type: str = "document",
+    author_property: str = "authoredBy",
+    text_property: str = "description",
+    language: str = "english",
+    model: RankingModel | None = None,
+) -> StrategyGraph:
+    """Expert finding: rank documents by the query, traverse authorship to people.
+
+    One of the heterogeneous search tasks the paper's introduction motivates;
+    structurally it is the auction strategy's right branch with the traversal
+    at the end — evidence from several authored documents merges per person
+    through the probabilistic projection.
+    """
+    graph = StrategyGraph(name="find experts by authored documents")
+    graph.add_block("select_documents", SelectByTypeBlock(document_type))
+    graph.add_block("query", QueryInputBlock(language=language))
+    graph.add_block("texts", ExtractTextBlock(text_property))
+    graph.add_block("rank_documents", RankByTextBlock(model, language=language))
+    graph.add_block("to_authors", TraversePropertyBlock(author_property, merge="independent"))
+    graph.connect("select_documents", "texts")
+    graph.connect("texts", "rank_documents", port="documents")
+    graph.connect("query", "rank_documents", port="query")
+    graph.connect("rank_documents", "to_authors")
+    return graph

@@ -1,0 +1,57 @@
+"""Rendering of strategy graphs as ASCII diagrams and Graphviz DOT.
+
+The paper presents strategies as visual block diagrams (Figures 2 and 3).
+This module regenerates equivalent diagrams from a
+:class:`~repro.strategy.graph.StrategyGraph`: a top-down ASCII rendering that
+lists every block with its configuration and incoming edges, and a DOT
+rendering for users who want to produce an actual picture.
+"""
+
+from __future__ import annotations
+
+from repro.strategy.graph import StrategyGraph
+
+
+def render_ascii(graph: StrategyGraph) -> str:
+    """Render the strategy as indented text in execution order."""
+    lines: list[str] = [f"Strategy: {graph.name}", "=" * (10 + len(graph.name))]
+    order = graph.execution_order()
+    for name in order:
+        block = graph.block(name)
+        configuration = block.describe()
+        config_text = ", ".join(f"{key}={value}" for key, value in configuration.items())
+        header = f"[{name}] {block.label}"
+        if config_text:
+            header += f" ({config_text})"
+        lines.append(header)
+        inputs = graph.inputs_of(name)
+        for port in block.input_ports():
+            source = inputs.get(port.name)
+            if source is not None:
+                lines.append(f"    {port.name} <-- [{source}]")
+            else:
+                lines.append(f"    {port.name} <-- (unconnected)")
+        output = block.output_port()
+        lines.append(f"    --> {output.kind.value}: {output.description}")
+        lines.append("")
+    sinks = graph.sinks()
+    lines.append(f"Result block(s): {', '.join(sinks) if sinks else '(none)'}")
+    return "\n".join(lines)
+
+
+def render_dot(graph: StrategyGraph) -> str:
+    """Render the strategy as a Graphviz DOT digraph."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=BT;", "  node [shape=box];"]
+    for name in graph.block_names():
+        block = graph.block(name)
+        configuration = block.describe()
+        config_text = "\\n".join(f"{key}: {value}" for key, value in configuration.items())
+        label = block.label if not config_text else f"{block.label}\\n{config_text}"
+        lines.append(f'  "{name}" [label="{label}"];')
+    for connection in graph.connections():
+        lines.append(
+            f'  "{connection.source}" -> "{connection.target}" '
+            f'[label="{connection.target_port}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Text analysis substrate: tokenization, stopwords, stemming, analyzers.
+
+Section 2.1 of the paper states that the only additions needed to the
+database engine for on-demand indexing were *a text tokenizer* and *Snowball
+stemmers for several languages*.  This package provides those components for
+the reproduction's engine, plus the analyzer pipelines the IR layer uses to
+turn raw text into normalised term streams at query time (no pre-processing
+of the stored data).
+"""
+
+from repro.text.analyzers import Analyzer, StandardAnalyzer
+from repro.text.stemming import available_languages, get_stemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenizer import Tokenizer
+
+__all__ = [
+    "Analyzer",
+    "STOPWORDS",
+    "StandardAnalyzer",
+    "Tokenizer",
+    "available_languages",
+    "get_stemmer",
+    "is_stopword",
+    "stem",
+]

@@ -1,0 +1,84 @@
+"""Analyzer pipelines: tokenize → lowercase → (stopwords) → stem.
+
+An :class:`Analyzer` bundles the text-normalisation parameters of a search
+scenario — the parameters the paper says are "often hard to decide upfront"
+and therefore applied on demand at indexing/query time rather than at load
+time.  The IR layer takes an analyzer and builds index relations from raw
+text using it, so switching stemming language or stopword policy never
+requires reloading data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TextAnalysisError
+from repro.text.stemming import get_stemmer
+from repro.text.stemming.base import Stemmer
+from repro.text.stopwords import stopwords_for
+from repro.text.tokenizer import Tokenizer
+
+
+class Analyzer:
+    """A configurable text-to-terms pipeline."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        stemmer: Stemmer | None = None,
+        *,
+        lowercase: bool = True,
+        remove_stopwords: bool = False,
+        stopword_language: str = "english",
+    ):
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.stemmer = stemmer
+        self.lowercase = lowercase
+        self.remove_stopwords = remove_stopwords
+        self._stopwords = stopwords_for(stopword_language) if remove_stopwords else frozenset()
+
+    def analyze(self, text: str) -> list[str]:
+        """Return the normalised terms of ``text``, in document order."""
+        terms: list[str] = []
+        for token in self.tokenizer.iter_tokens(text):
+            if self.lowercase:
+                token = token.lower()
+            if self.remove_stopwords and token in self._stopwords:
+                continue
+            if self.stemmer is not None:
+                token = self.stemmer.stem(token)
+            if token:
+                terms.append(token)
+        return terms
+
+    def analyze_query(self, query: str) -> list[str]:
+        """Analyze a query string (same pipeline as documents, per the paper)."""
+        return self.analyze(query)
+
+    def describe(self) -> dict[str, object]:
+        """Return the analyzer configuration as a plain dictionary."""
+        return {
+            "lowercase": self.lowercase,
+            "remove_stopwords": self.remove_stopwords,
+            "stemmer": self.stemmer.language if self.stemmer is not None else "none",
+        }
+
+
+class StandardAnalyzer(Analyzer):
+    """The default pipeline of the paper's toy scenario.
+
+    Lower-cases, keeps stopwords (IDF handles them), and applies the Snowball
+    stemmer for the given language — equivalent to the SQL expression
+    ``stem(lcase(token), 'sb-english')`` of Section 2.1.
+    """
+
+    def __init__(self, language: str = "english", *, remove_stopwords: bool = False):
+        if not language:
+            raise TextAnalysisError("language must be a non-empty string")
+        stemmer = get_stemmer(language) if language != "none" else None
+        super().__init__(
+            tokenizer=Tokenizer(),
+            stemmer=stemmer,
+            lowercase=True,
+            remove_stopwords=remove_stopwords,
+            stopword_language=language,
+        )
+        self.language = language

@@ -1,0 +1,70 @@
+"""Stemmer registry: "Snowball stemmers for several languages".
+
+The registry maps language names (``"english"``, ``"dutch"``, ``"german"``,
+``"french"``, ``"none"``) to stemmer instances.  The SQL-level ``stem``
+user-defined function accepts the paper's ``'sb-<language>'`` spelling and
+strips the prefix before consulting this registry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownLanguageError
+from repro.text.stemming.base import IdentityStemmer, Stemmer
+from repro.text.stemming.porter import PorterStemmer
+from repro.text.stemming.snowball import DutchStemmer, FrenchStemmer, GermanStemmer
+
+_REGISTRY: dict[str, Stemmer] = {
+    "english": PorterStemmer(),
+    "porter": PorterStemmer(),
+    "dutch": DutchStemmer(),
+    "german": GermanStemmer(),
+    "french": FrenchStemmer(),
+    "none": IdentityStemmer(),
+}
+
+
+def available_languages() -> list[str]:
+    """Return the sorted list of registered stemmer languages."""
+    return sorted(_REGISTRY)
+
+
+def get_stemmer(language: str) -> Stemmer:
+    """Return the stemmer registered for ``language``.
+
+    Accepts both plain language names and the paper's ``sb-<language>``
+    spelling used in SQL (e.g. ``stem(token, 'sb-english')``).
+    """
+    name = language.lower()
+    if name.startswith("sb-"):
+        name = name[3:]
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownLanguageError(
+            f"no stemmer registered for language {language!r}; "
+            f"available: {available_languages()}"
+        ) from None
+
+
+def register_stemmer(language: str, stemmer: Stemmer) -> None:
+    """Register (or replace) a stemmer under ``language``."""
+    _REGISTRY[language.lower()] = stemmer
+
+
+def stem(token: str, language: str = "english") -> str:
+    """Stem ``token`` with the stemmer registered for ``language``."""
+    return get_stemmer(language).stem(token)
+
+
+__all__ = [
+    "DutchStemmer",
+    "FrenchStemmer",
+    "GermanStemmer",
+    "IdentityStemmer",
+    "PorterStemmer",
+    "Stemmer",
+    "available_languages",
+    "get_stemmer",
+    "register_stemmer",
+    "stem",
+]

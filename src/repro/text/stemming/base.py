@@ -1,0 +1,31 @@
+"""Stemmer interface and trivial implementations."""
+
+from __future__ import annotations
+
+
+class Stemmer:
+    """Base class: maps an inflected token to its stem."""
+
+    #: human-readable language name of the stemmer
+    language = "unknown"
+
+    def stem(self, token: str) -> str:
+        """Return the stem of ``token``.  Must be deterministic and idempotent-safe."""
+        raise NotImplementedError
+
+    def stem_all(self, tokens: list[str]) -> list[str]:
+        """Stem a list of tokens (convenience for analyzers)."""
+        return [self.stem(token) for token in tokens]
+
+
+class IdentityStemmer(Stemmer):
+    """A no-op stemmer (language ``"none"``): returns tokens unchanged.
+
+    Useful when the indexing parameters of a scenario call for raw terms, and
+    as the baseline in the stemming ablation benchmark.
+    """
+
+    language = "none"
+
+    def stem(self, token: str) -> str:
+        return token

@@ -1,0 +1,229 @@
+"""The Porter stemming algorithm for English.
+
+A complete implementation of M.F. Porter's 1980 algorithm ("An algorithm for
+suffix stripping"), which is the basis of the Snowball English stemmer the
+paper plugs into MonetDB.  The implementation follows the original five-step
+description; steps are kept as separate methods so each can be unit-tested
+against the published examples.
+"""
+
+from __future__ import annotations
+
+from repro.text.stemming.base import Stemmer
+
+_VOWELS = set("aeiou")
+
+
+class PorterStemmer(Stemmer):
+    """English suffix-stripping stemmer (Porter, 1980)."""
+
+    language = "english"
+
+    # -- public API -----------------------------------------------------------
+
+    def stem(self, token: str) -> str:
+        word = token.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- measure and conditions ------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, index: int) -> bool:
+        letter = word[index]
+        if letter in _VOWELS:
+            return False
+        if letter == "y":
+            if index == 0:
+                return True
+            return not PorterStemmer._is_consonant(word, index - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """Return m, the number of VC sequences in the stem."""
+        forms = []
+        for index in range(len(stem)):
+            forms.append("c" if cls._is_consonant(stem, index) else "v")
+        collapsed = "".join(forms)
+        # collapse runs of identical letters
+        compact = []
+        for letter in collapsed:
+            if not compact or compact[-1] != letter:
+                compact.append(letter)
+        pattern = "".join(compact)
+        if pattern.startswith("c"):
+            pattern = pattern[1:]
+        if pattern.endswith("v"):
+            pattern = pattern[:-1]
+        return pattern.count("vc")
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, index) for index in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        if len(word) < 2:
+            return False
+        return word[-1] == word[-2] and cls._is_consonant(word, len(word) - 1)
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        c1 = cls._is_consonant(word, len(word) - 3)
+        v = not cls._is_consonant(word, len(word) - 2)
+        c2 = cls._is_consonant(word, len(word) - 1)
+        return c1 and v and c2 and word[-1] not in "wxy"
+
+    # -- step helpers -----------------------------------------------------------
+
+    def _replace_suffix(self, word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+        """If ``word`` ends with ``suffix`` and the stem has measure > ``min_measure``,
+        return the word with the suffix replaced, otherwise ``None``."""
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > min_measure:
+            return stem + replacement
+        return word
+
+    # -- the five steps -----------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = [
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ]
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = [
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ]
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = [
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ]
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if suffix == "ion":
+                    continue
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in ("s", "t") and self._measure(stem) > 1:
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            measure = self._measure(stem)
+            if measure > 1:
+                return stem
+            if measure == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if self._measure(word) > 1 and self._ends_double_consonant(word) and word.endswith("l"):
+            return word[:-1]
+        return word

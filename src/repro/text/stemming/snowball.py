@@ -1,0 +1,103 @@
+"""Simplified Snowball-style stemmers for Dutch, German and French.
+
+The paper plugs "Snowball stemmers for several languages" into the engine.
+For the reproduction we provide light-weight suffix-stripping stemmers for
+three additional languages.  They follow the structure of the corresponding
+Snowball algorithms (R1/R2 regions, ordered suffix classes) but are
+intentionally simplified: the goal is to exercise the multi-language code
+path of on-demand indexing, not to ship linguistically perfect stemmers.
+Each stemmer is deterministic, lower-cases its input, and never lengthens a
+token.
+"""
+
+from __future__ import annotations
+
+from repro.text.stemming.base import Stemmer
+
+_VOWELS_NL = set("aeiouyè")
+_VOWELS_DE = set("aeiouyäöü")
+_VOWELS_FR = set("aeiouyâàëéêèïîôûù")
+
+
+def _r1_start(word: str, vowels: set[str]) -> int:
+    """Return the index where the R1 region starts (after the first vowel-consonant pair)."""
+    for index in range(len(word) - 1):
+        if word[index] in vowels and word[index + 1] not in vowels:
+            return index + 2
+    return len(word)
+
+
+class DutchStemmer(Stemmer):
+    """Simplified Snowball Dutch stemmer (suffix classes of the official algorithm)."""
+
+    language = "dutch"
+
+    _SUFFIXES = ["heden", "ende", "ende", "en", "ene", "se", "s", "e", "heid"]
+
+    def stem(self, token: str) -> str:
+        word = token.lower()
+        if len(word) <= 3:
+            return word
+        r1 = _r1_start(word, _VOWELS_NL)
+        for suffix in sorted(self._SUFFIXES, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem_candidate = word[: len(word) - len(suffix)]
+                if len(stem_candidate) >= max(r1 - 1, 3):
+                    word = stem_candidate
+                    break
+        # undouble trailing consonants (bakken -> bak)
+        if len(word) >= 2 and word[-1] == word[-2] and word[-1] not in _VOWELS_NL:
+            word = word[:-1]
+        return word
+
+
+class GermanStemmer(Stemmer):
+    """Simplified Snowball German stemmer."""
+
+    language = "german"
+
+    _SUFFIXES = ["ern", "em", "er", "en", "es", "e", "s", "heit", "keit", "ung", "isch", "lich"]
+
+    def stem(self, token: str) -> str:
+        word = token.lower().replace("ß", "ss")
+        if len(word) <= 3:
+            return word
+        r1 = _r1_start(word, _VOWELS_DE)
+        changed = True
+        while changed and len(word) > 3:
+            changed = False
+            for suffix in sorted(self._SUFFIXES, key=len, reverse=True):
+                if word.endswith(suffix):
+                    stem_candidate = word[: len(word) - len(suffix)]
+                    if len(stem_candidate) >= max(r1 - 1, 3):
+                        word = stem_candidate
+                        changed = True
+                        break
+            # a single stripping round is sufficient for the simplified variant
+            break
+        return word
+
+
+class FrenchStemmer(Stemmer):
+    """Simplified Snowball French stemmer."""
+
+    language = "french"
+
+    _SUFFIXES = [
+        "issement", "issements", "atrice", "ations", "ation", "ateur", "euses",
+        "euse", "ements", "ement", "ments", "ment", "ités", "ité", "ives", "ive",
+        "eaux", "aux", "elles", "elle", "es", "e", "s",
+    ]
+
+    def stem(self, token: str) -> str:
+        word = token.lower()
+        if len(word) <= 3:
+            return word
+        r1 = _r1_start(word, _VOWELS_FR)
+        for suffix in sorted(self._SUFFIXES, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem_candidate = word[: len(word) - len(suffix)]
+                if len(stem_candidate) >= max(r1 - 1, 3):
+                    word = stem_candidate
+                    break
+        return word

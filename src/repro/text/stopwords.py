@@ -1,0 +1,60 @@
+"""Stopword lists for the languages supported by the stemmer registry.
+
+Stopword removal is optional in the analyzers (the paper's BM25 pipeline does
+not remove stopwords explicitly; IDF down-weights them).  The lists here are
+small, standard high-frequency function-word lists sufficient for the
+synthetic workloads and examples.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are as at be because been
+    before being below between both but by could did do does doing down during each
+    few for from further had has have having he her here hers herself him himself
+    his how i if in into is it its itself just me more most my myself no nor not of
+    off on once only or other our ours ourselves out over own same she should so
+    some such than that the their theirs them themselves then there these they this
+    those through to too under until up very was we were what when where which while
+    who whom why will with you your yours yourself yourselves
+    """.split()
+)
+
+DUTCH_STOPWORDS = frozenset(
+    """
+    de het een en van in is dat op te zijn met voor niet aan er om ook als maar dan
+    zij hij je wordt worden door naar bij uit nog over al zo dit die deze heeft had
+    """.split()
+)
+
+GERMAN_STOPWORDS = frozenset(
+    """
+    der die das ein eine und oder in ist von zu mit auf nicht es dass als auch an
+    werden wird sich aus bei nach wie wenn aber noch nur schon
+    """.split()
+)
+
+FRENCH_STOPWORDS = frozenset(
+    """
+    le la les un une des et ou dans est de du que qui avec pour sur ne pas au aux ce
+    cette ces il elle ils elles nous vous je tu se sa son ses leur leurs mais plus
+    """.split()
+)
+
+STOPWORDS: dict[str, frozenset[str]] = {
+    "english": ENGLISH_STOPWORDS,
+    "dutch": DUTCH_STOPWORDS,
+    "german": GERMAN_STOPWORDS,
+    "french": FRENCH_STOPWORDS,
+}
+
+
+def is_stopword(token: str, language: str = "english") -> bool:
+    """Return True if ``token`` (case-insensitive) is a stopword of ``language``."""
+    return token.lower() in STOPWORDS.get(language, frozenset())
+
+
+def stopwords_for(language: str) -> frozenset[str]:
+    """Return the stopword set for ``language`` (empty set if unknown)."""
+    return STOPWORDS.get(language, frozenset())

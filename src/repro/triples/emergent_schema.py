@@ -1,0 +1,177 @@
+"""Emergent schema detection (Pham & Boncz).
+
+Section 2.2 mentions, as an alternative to explicit partitioning, *"the
+detection of emergent schemas, a data-driven technique to find a relational
+schema that is considered optimal for a given graph, thus eliminating many
+join operations"*.  This module implements the core of that idea:
+
+1. group subjects by their **characteristic set** — the set of properties
+   they carry;
+2. merge rare characteristic sets into their closest frequent superset (so a
+   handful of "emergent tables" covers most of the data);
+3. emit one wide relation per emergent table, with one column per property
+   (multi-valued properties keep their first value; the remainder stay in a
+   residual triples table).
+
+The ablation benchmark A1 compares querying an emergent table against the
+equivalent triple self-joins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import TripleStoreError
+from repro.pra.relation import PROBABILITY_COLUMN
+from repro.relational.column import DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.triples.triple_store import Triple
+
+
+@dataclass
+class CharacteristicSet:
+    """A set of properties shared by a group of subjects."""
+
+    properties: frozenset[str]
+    subjects: list[str] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        """Number of subjects exhibiting exactly this property set."""
+        return len(self.subjects)
+
+    def covers(self, other: "CharacteristicSet") -> bool:
+        """True if this set's properties are a superset of ``other``'s."""
+        return self.properties >= other.properties
+
+
+@dataclass
+class EmergentTable:
+    """One table of the emergent schema: a characteristic set plus its relation."""
+
+    name: str
+    properties: tuple[str, ...]
+    relation: Relation
+    subjects: tuple[str, ...]
+
+
+class EmergentSchemaDetector:
+    """Detects an emergent relational schema from a set of triples."""
+
+    def __init__(self, *, min_support: int = 2, max_tables: int | None = None):
+        if min_support < 1:
+            raise TripleStoreError("min_support must be at least 1")
+        self.min_support = min_support
+        self.max_tables = max_tables
+
+    # -- characteristic sets -------------------------------------------------------------
+
+    def characteristic_sets(self, triples: Sequence["Triple"]) -> list[CharacteristicSet]:
+        """Group subjects by the exact set of properties they carry."""
+        subject_properties: dict[str, set[str]] = defaultdict(set)
+        for triple in triples:
+            subject_properties[triple.subject].add(triple.property)
+        grouped: dict[frozenset[str], list[str]] = defaultdict(list)
+        for subject, properties in subject_properties.items():
+            grouped[frozenset(properties)].append(subject)
+        sets = [
+            CharacteristicSet(properties=properties, subjects=sorted(subjects))
+            for properties, subjects in grouped.items()
+        ]
+        sets.sort(key=lambda cset: (-cset.support, sorted(cset.properties)))
+        return sets
+
+    def merge_rare_sets(self, sets: list[CharacteristicSet]) -> list[CharacteristicSet]:
+        """Fold characteristic sets below ``min_support`` into a covering frequent set."""
+        frequent = [cset for cset in sets if cset.support >= self.min_support]
+        rare = [cset for cset in sets if cset.support < self.min_support]
+        if self.max_tables is not None:
+            overflow = frequent[self.max_tables :]
+            frequent = frequent[: self.max_tables]
+            rare.extend(overflow)
+        merged: dict[frozenset[str], CharacteristicSet] = {
+            cset.properties: CharacteristicSet(cset.properties, list(cset.subjects))
+            for cset in frequent
+        }
+        leftovers: list[CharacteristicSet] = []
+        for cset in rare:
+            host = None
+            for candidate in merged.values():
+                if candidate.covers(cset):
+                    host = candidate
+                    break
+            if host is not None:
+                host.subjects.extend(cset.subjects)
+            else:
+                leftovers.append(cset)
+        result = list(merged.values())
+        result.extend(leftovers)
+        result.sort(key=lambda cset: (-cset.support, sorted(cset.properties)))
+        return result
+
+    # -- schema emission ----------------------------------------------------------------------
+
+    def detect(self, triples: Sequence["Triple"]) -> list[EmergentTable]:
+        """Return the emergent tables of the given triples."""
+        sets = self.merge_rare_sets(self.characteristic_sets(triples))
+        # index triples per subject/property, keeping the first value and its probability
+        values: dict[tuple[str, str], tuple[str, float]] = {}
+        for triple in triples:
+            key = (triple.subject, triple.property)
+            if key not in values:
+                values[key] = (str(triple.object), triple.probability)
+
+        tables: list[EmergentTable] = []
+        for index, cset in enumerate(sets):
+            properties = tuple(sorted(cset.properties))
+            fields = [Field("subject", DataType.STRING)]
+            fields.extend(Field(name, DataType.STRING) for name in properties)
+            fields.append(Field(PROBABILITY_COLUMN, DataType.FLOAT))
+            rows = []
+            for subject in cset.subjects:
+                row: list[object] = [subject]
+                probability = 1.0
+                complete = True
+                for name in properties:
+                    entry = values.get((subject, name))
+                    if entry is None:
+                        complete = False
+                        row.append("")
+                    else:
+                        row.append(entry[0])
+                        probability *= entry[1]
+                if not complete and len(properties) > 0:
+                    # subjects merged into a superset table may miss some columns
+                    pass
+                row.append(probability)
+                rows.append(tuple(row))
+            relation = Relation.from_rows(Schema(fields), rows)
+            tables.append(
+                EmergentTable(
+                    name=f"emergent_{index}",
+                    properties=properties,
+                    relation=relation,
+                    subjects=tuple(cset.subjects),
+                )
+            )
+        return tables
+
+    def coverage(self, triples: Sequence["Triple"], tables: list[EmergentTable]) -> float:
+        """Fraction of subjects covered by the emergent tables (quality metric)."""
+        covered = set()
+        for table in tables:
+            covered.update(table.subjects)
+        subjects = {triple.subject for triple in triples}
+        if not subjects:
+            return 1.0
+        return len(covered & subjects) / len(subjects)
+
+    def property_frequencies(self, triples: Sequence["Triple"]) -> Counter:
+        """Frequency of each property (diagnostic for partitioning decisions)."""
+        return Counter(triple.property for triple in triples)

@@ -1,0 +1,78 @@
+"""A simple line-oriented triple loader with typed literal detection.
+
+The format is deliberately minimal (the paper feeds data into the system
+"with almost no pre-processing"): one triple per line, tab- or
+whitespace-separated ``subject property object [probability]``.  Objects
+that parse as integers or floats keep their numeric type, which is what the
+type-partitioned storage strategy relies on.  Lines starting with ``#`` and
+blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TripleStoreError
+from repro.triples.triple_store import Triple
+
+
+def _parse_object(text: str) -> Any:
+    """Return the typed value of an object literal."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    return text
+
+
+def parse_triple_line(line: str, *, separator: str | None = None) -> Triple | None:
+    """Parse one line into a :class:`Triple` (or ``None`` for comments/blank lines)."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if separator is not None:
+        parts = [part.strip() for part in stripped.split(separator)]
+    else:
+        parts = stripped.split(None, 3)
+    if len(parts) < 3:
+        raise TripleStoreError(f"cannot parse triple line: {line!r}")
+    subject, property_name = parts[0], parts[1]
+    if len(parts) == 3:
+        return Triple(subject, property_name, _parse_object(parts[2]))
+    # the fourth field is a probability if it parses as a float in [0, 1],
+    # otherwise it is part of the object (free text such as a description)
+    remainder = parts[3].strip()
+    try:
+        probability = float(remainder)
+        if 0.0 <= probability <= 1.0:
+            return Triple(subject, property_name, _parse_object(parts[2]), probability)
+    except ValueError:
+        pass
+    return Triple(subject, property_name, _parse_object(f"{parts[2]} {remainder}"))
+
+
+def load_triples(
+    source: str | Path | Iterable[str],
+    *,
+    separator: str | None = None,
+) -> list[Triple]:
+    """Load triples from a file path or an iterable of lines."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    triples: list[Triple] = []
+    for line in lines:
+        triple = parse_triple_line(line, separator=separator)
+        if triple is not None:
+            triples.append(triple)
+    return triples

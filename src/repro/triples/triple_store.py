@@ -1,0 +1,207 @@
+"""The probabilistic triple store.
+
+Triples are uncertain events ``(subject, property, object, p)`` (Section 2.3).
+The store keeps them in the relational engine through a pluggable
+:class:`~repro.triples.partitioning.StorageStrategy` and offers:
+
+* pattern matching (``match``) returning probabilistic relations,
+* convenience accessors used by the strategy blocks (``select_property``,
+  ``subjects_of_type``, ``objects_of``),
+* registration of SQL-level views such as the paper's ``docs`` view that
+  joins category filtering with description extraction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TripleStoreError
+from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
+from repro.relational.column import DataType
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.triples.partitioning import SingleTableStorage, StorageStrategy
+
+#: well-known property used to type resources, as in ``(lot23, type, lot)``
+TYPE_PROPERTY = "type"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One probabilistic triple."""
+
+    subject: str
+    property: str
+    object: Any
+    probability: float = 1.0
+
+    def as_row(self) -> tuple[str, str, Any, float]:
+        return (self.subject, self.property, self.object, self.probability)
+
+
+TRIPLE_SCHEMA = Schema(
+    [
+        Field("subject", DataType.STRING),
+        Field("property", DataType.STRING),
+        Field("object", DataType.STRING),
+        Field(PROBABILITY_COLUMN, DataType.FLOAT),
+    ]
+)
+
+
+class TripleStore:
+    """A probabilistic triple store backed by the relational engine."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        *,
+        storage: StorageStrategy | None = None,
+        table_name: str = "triples",
+    ):
+        self.database = database if database is not None else Database()
+        self.table_name = table_name
+        self.storage = storage if storage is not None else SingleTableStorage(table_name)
+        self._triples: list[Triple] = []
+        self._loaded = False
+
+    # -- loading ----------------------------------------------------------------------
+
+    def add(self, subject: str, property_name: str, obj: Any, probability: float = 1.0) -> None:
+        """Buffer a single triple (call :meth:`load` to (re)materialise storage)."""
+        self._triples.append(Triple(subject, property_name, obj, probability))
+        self._loaded = False
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> None:
+        """Buffer many triples; tuples of length 3 or 4 are accepted."""
+        for triple in triples:
+            if isinstance(triple, Triple):
+                self._triples.append(triple)
+            else:
+                values = tuple(triple)
+                if len(values) == 3:
+                    self._triples.append(Triple(values[0], values[1], values[2]))
+                elif len(values) == 4:
+                    self._triples.append(Triple(values[0], values[1], values[2], float(values[3])))
+                else:
+                    raise TripleStoreError(
+                        f"triples must have 3 or 4 components, got {len(values)}"
+                    )
+        self._loaded = False
+
+    def load(self) -> None:
+        """Materialise the buffered triples into the storage strategy's tables."""
+        self.storage.load(self.database, self._triples)
+        self._loaded = True
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # -- statistics ---------------------------------------------------------------------
+
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    def properties(self) -> list[str]:
+        """The distinct property names present in the store."""
+        return sorted({triple.property for triple in self._triples})
+
+    def subjects(self) -> list[str]:
+        return sorted({triple.subject for triple in self._triples})
+
+    # -- pattern matching ------------------------------------------------------------------
+
+    def match(
+        self,
+        subject: str | None = None,
+        property_name: str | None = None,
+        obj: Any | None = None,
+    ) -> ProbabilisticRelation:
+        """Return all triples matching the given (possibly wildcarded) pattern."""
+        self._ensure_loaded()
+        return self.storage.match(self.database, subject, property_name, obj)
+
+    def select_property(self, property_name: str) -> ProbabilisticRelation:
+        """Return ``(subject, object, p)`` for one property (a vertical partition)."""
+        matched = self.match(property_name=property_name)
+        relation = matched.relation.select_columns(["subject", "object", PROBABILITY_COLUMN])
+        return ProbabilisticRelation(relation, validate=False)
+
+    def subjects_of_type(self, type_name: str) -> ProbabilisticRelation:
+        """Return ``(subject, p)`` for resources with ``(subject, type, type_name)``."""
+        matched = self.match(property_name=TYPE_PROPERTY, obj=type_name)
+        relation = matched.relation.select_columns(["subject", PROBABILITY_COLUMN])
+        return ProbabilisticRelation(relation, validate=False)
+
+    def objects_of(self, subject: str, property_name: str) -> list[Any]:
+        """Return the objects of all ``(subject, property, ?)`` triples."""
+        matched = self.match(subject=subject, property_name=property_name)
+        return matched.relation.column("object").to_list()
+
+    # -- relational integration ----------------------------------------------------------------
+
+    def as_relation(self) -> Relation:
+        """Return every triple as a single ``(subject, property, object, p)`` relation."""
+        rows = [triple.as_row() for triple in self._triples]
+        normalised = [(s, p, str(o), prob) for s, p, o, prob in rows]
+        return Relation.from_rows(TRIPLE_SCHEMA, normalised)
+
+    def register_docs_view(
+        self,
+        view_name: str,
+        *,
+        filter_property: str,
+        filter_value: str,
+        text_property: str,
+    ) -> None:
+        """Register the paper's ``docs`` view (Section 2.2/2.3) in the database.
+
+        The view joins the triples table with itself: subjects whose
+        ``filter_property`` equals ``filter_value`` paired with the object of
+        their ``text_property``, with probabilities multiplied (independent
+        join), producing ``(docID, data, p)``.
+        """
+        self._ensure_loaded()
+        filtered = self.match(property_name=filter_property, obj=filter_value)
+        described = self.match(property_name=text_property)
+        # probabilistic self-join on subject, then project (docID, data)
+        from repro.pra import operators as pra_operators
+        from repro.pra.assumptions import Assumption
+
+        joined = pra_operators.join(
+            filtered, described, [("subject", "subject")], Assumption.INDEPENDENT
+        )
+        value_columns = joined.value_columns
+        # the right-hand object column carries the text
+        right_object = [name for name in value_columns if name.startswith("object")][-1]
+        docs = pra_operators.project(
+            joined,
+            [value_columns[0], right_object],
+            Assumption.INDEPENDENT,
+            output_names=["docID", "data"],
+        )
+        self.database.create_table(view_name, docs.relation, replace=True)
+
+    def docs_relation(
+        self,
+        *,
+        filter_property: str,
+        filter_value: str,
+        text_property: str,
+    ) -> ProbabilisticRelation:
+        """Return the docs relation of :meth:`register_docs_view` without registering it."""
+        temporary_name = "__docs_tmp__"
+        self.register_docs_view(
+            temporary_name,
+            filter_property=filter_property,
+            filter_value=filter_value,
+            text_property=text_property,
+        )
+        relation = self.database.table(temporary_name)
+        self.database.drop_table(temporary_name)
+        return ProbabilisticRelation(relation, validate=False)

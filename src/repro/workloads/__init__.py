@@ -1,0 +1,41 @@
+"""Synthetic workload generators.
+
+The paper's measurements use a 2.3 GB / 1.1 M-document raw-text collection
+(Section 2.1) and a confidential customer database of ~8 M auction lots
+(Section 3).  Neither is available, so this package generates synthetic
+stand-ins with controllable scale:
+
+* :mod:`repro.workloads.vocabulary` — a deterministic Zipfian vocabulary;
+* :mod:`repro.workloads.text_collection` — plain ``(docID, text)`` document
+  collections for the keyword-search benchmarks;
+* :mod:`repro.workloads.products` — the toy product catalog (products with a
+  category and a description) as triples;
+* :mod:`repro.workloads.auctions` — the auction graph (lots, auctions,
+  ``hasAuction`` edges, descriptions) as triples;
+* :mod:`repro.workloads.queries` — keyword query workloads drawn from the
+  collection vocabulary.
+
+All generators take an explicit ``seed`` so every benchmark run is
+reproducible.
+"""
+
+from repro.workloads.auctions import AuctionWorkload, generate_auction_triples
+from repro.workloads.experts import ExpertWorkload, generate_expert_triples
+from repro.workloads.products import ProductWorkload, generate_product_triples
+from repro.workloads.queries import QueryWorkload, generate_queries
+from repro.workloads.text_collection import SyntheticCollection, generate_collection
+from repro.workloads.vocabulary import ZipfianVocabulary
+
+__all__ = [
+    "AuctionWorkload",
+    "ExpertWorkload",
+    "ProductWorkload",
+    "QueryWorkload",
+    "SyntheticCollection",
+    "ZipfianVocabulary",
+    "generate_auction_triples",
+    "generate_collection",
+    "generate_expert_triples",
+    "generate_product_triples",
+    "generate_queries",
+]

@@ -1,0 +1,136 @@
+"""An expert-finding workload: the heterogeneous-data motivation of the paper.
+
+The paper's introduction motivates IR-on-DB with "complex search tasks in
+heterogeneous data spaces, such as enterprise search, expert finding,
+recommendation".  This generator produces the classic expert-finding graph:
+
+* **people** with a name and an affiliation;
+* **documents** with text, each authored by one or more people
+  (``authoredBy`` edges);
+* **topics**: every document is about a topic, and a person's expertise is
+  defined (ground truth) by the topics of the documents they author.
+
+The expert-finding strategy (see ``examples/expert_finding.py``) ranks
+documents by the query, traverses ``authoredBy`` to people, and merges
+evidence per person — the same shape as the paper's auction strategy with
+the traversal at the end instead of the middle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.triples.triple_store import Triple
+from repro.workloads.vocabulary import ZipfianVocabulary
+
+AFFILIATIONS = ("research", "engineering", "sales", "support", "design")
+
+
+@dataclass
+class ExpertWorkload:
+    """A generated expert-finding graph."""
+
+    triples: list[Triple]
+    person_ids: list[str]
+    document_ids: list[str]
+    topics: list[str]
+    document_authors: dict[str, list[str]]
+    person_topics: dict[str, set[str]] = field(default_factory=dict)
+    topic_terms: dict[str, list[str]] = field(default_factory=dict)
+    vocabulary: ZipfianVocabulary | None = None
+    seed: int = 0
+
+    @property
+    def num_people(self) -> int:
+        return len(self.person_ids)
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.document_ids)
+
+    def experts_on(self, topic: str) -> list[str]:
+        """Ground truth: people who authored at least one document on ``topic``."""
+        return sorted(
+            person for person, topics in self.person_topics.items() if topic in topics
+        )
+
+    def query_for_topic(self, topic: str, terms: int = 3) -> str:
+        """A query phrased in the topic's distinctive vocabulary."""
+        return " ".join(self.topic_terms[topic][:terms])
+
+
+def generate_expert_triples(
+    num_people: int = 50,
+    num_documents: int = 400,
+    *,
+    num_topics: int = 8,
+    document_length: int = 30,
+    topic_term_count: int = 15,
+    authors_per_document: int = 2,
+    vocabulary_size: int = 3000,
+    seed: int = 71,
+) -> ExpertWorkload:
+    """Generate people, documents, authorship edges and topical text."""
+    if num_people < 1 or num_documents < 1 or num_topics < 1:
+        raise WorkloadError("num_people, num_documents and num_topics must be positive")
+    if authors_per_document < 1:
+        raise WorkloadError("authors_per_document must be positive")
+
+    vocabulary = ZipfianVocabulary(vocabulary_size, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    topics = [f"topic{index}" for index in range(num_topics)]
+    # distinctive topic vocabularies: disjoint slices of the mid-frequency range
+    topic_terms: dict[str, list[str]] = {}
+    offset = vocabulary_size // 4
+    for index, topic in enumerate(topics):
+        start = offset + index * topic_term_count
+        topic_terms[topic] = vocabulary.words[start : start + topic_term_count]
+
+    triples: list[Triple] = []
+    person_ids = [f"person{index}" for index in range(1, num_people + 1)]
+    for person in person_ids:
+        triples.append(Triple(person, "type", "person"))
+        triples.append(Triple(person, "name", f"name of {person}"))
+        triples.append(
+            Triple(person, "affiliation", AFFILIATIONS[int(rng.integers(0, len(AFFILIATIONS)))])
+        )
+
+    document_ids: list[str] = []
+    document_authors: dict[str, list[str]] = {}
+    person_topics: dict[str, set[str]] = {person: set() for person in person_ids}
+    for index in range(1, num_documents + 1):
+        document = f"doc{index}"
+        document_ids.append(document)
+        topic = topics[int(rng.integers(0, num_topics))]
+        # a document mixes general vocabulary with its topic's distinctive terms
+        general = vocabulary.sample(rng, document_length // 2)
+        pool = topic_terms[topic]
+        topical = [pool[int(position)] for position in rng.integers(0, len(pool), document_length - len(general))]
+        text = " ".join(general + topical)
+        authors = [
+            person_ids[int(position)]
+            for position in rng.choice(num_people, size=min(authors_per_document, num_people), replace=False)
+        ]
+        document_authors[document] = authors
+        triples.append(Triple(document, "type", "document"))
+        triples.append(Triple(document, "description", text))
+        triples.append(Triple(document, "about", topic))
+        for author in authors:
+            triples.append(Triple(document, "authoredBy", author))
+            person_topics[author].add(topic)
+
+    return ExpertWorkload(
+        triples=triples,
+        person_ids=person_ids,
+        document_ids=document_ids,
+        topics=topics,
+        document_authors=document_authors,
+        person_topics=person_topics,
+        topic_terms=topic_terms,
+        vocabulary=vocabulary,
+        seed=seed,
+    )

@@ -1,0 +1,99 @@
+"""The toy product catalog of the paper's running example.
+
+Section 2's "toy scenario" performs keyword search on a product database,
+restricted to the description of products in the category ``toy``.  The
+generator produces products as triples: every product has a ``type``, a
+``category``, a ``description``, a ``price`` (an integer, so the
+type-partitioned storage has something to partition) and optionally a
+``brand`` — the mix of properties also feeds the partitioning and
+emergent-schema benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.triples.triple_store import Triple
+from repro.workloads.vocabulary import ZipfianVocabulary
+
+DEFAULT_CATEGORIES = ("toy", "book", "game", "tool", "garden", "kitchen", "sport", "music")
+
+
+@dataclass
+class ProductWorkload:
+    """A generated product catalog."""
+
+    triples: list[Triple]
+    product_ids: list[str]
+    categories: tuple[str, ...]
+    vocabulary: ZipfianVocabulary
+    seed: int
+    extra_properties: int = 0
+    descriptions: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_products(self) -> int:
+        return len(self.product_ids)
+
+    def products_in_category(self, category: str) -> list[str]:
+        """Product identifiers whose ``category`` property equals ``category``."""
+        return [
+            triple.subject
+            for triple in self.triples
+            if triple.property == "category" and triple.object == category
+        ]
+
+
+def generate_product_triples(
+    num_products: int,
+    *,
+    categories: tuple[str, ...] = DEFAULT_CATEGORIES,
+    description_length: int = 30,
+    extra_properties: int = 0,
+    vocabulary_size: int = 3000,
+    seed: int = 13,
+) -> ProductWorkload:
+    """Generate a product catalog of ``num_products`` products as triples.
+
+    ``extra_properties`` adds that many additional sparse properties
+    (``attr_0`` … ``attr_N``), which is how the partitioning benchmark varies
+    the property count.
+    """
+    if num_products < 1:
+        raise WorkloadError("num_products must be positive")
+    vocabulary = ZipfianVocabulary(vocabulary_size, seed=seed)
+    rng = np.random.default_rng(seed)
+    triples: list[Triple] = []
+    product_ids: list[str] = []
+    descriptions: dict[str, str] = {}
+    brands = [f"brand{index}" for index in range(max(3, num_products // 50))]
+
+    for index in range(1, num_products + 1):
+        product = f"product{index}"
+        product_ids.append(product)
+        category = categories[int(rng.integers(0, len(categories)))]
+        description = " ".join(vocabulary.sample(rng, description_length))
+        descriptions[product] = description
+        triples.append(Triple(product, "type", "product"))
+        triples.append(Triple(product, "category", category))
+        triples.append(Triple(product, "description", description))
+        triples.append(Triple(product, "price", int(rng.integers(1, 500))))
+        if rng.random() < 0.6:
+            triples.append(Triple(product, "brand", brands[int(rng.integers(0, len(brands)))]))
+        for extra in range(extra_properties):
+            if rng.random() < 0.3:
+                value = " ".join(vocabulary.sample(rng, 3))
+                triples.append(Triple(product, f"attr_{extra}", value))
+
+    return ProductWorkload(
+        triples=triples,
+        product_ids=product_ids,
+        categories=categories,
+        vocabulary=vocabulary,
+        seed=seed,
+        extra_properties=extra_properties,
+        descriptions=descriptions,
+    )

@@ -1,0 +1,81 @@
+"""Synthetic plain-text document collections.
+
+Stand-in for the 1.1M-document raw-text collection of Section 2.1: documents
+are sequences of Zipfian-sampled terms with log-normally distributed lengths,
+so posting lists, document-length variance and IDF spread behave like real
+text at a much smaller scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.workloads.vocabulary import ZipfianVocabulary
+
+
+@dataclass
+class SyntheticCollection:
+    """A generated document collection."""
+
+    documents: list[tuple[int, str]]
+    vocabulary: ZipfianVocabulary
+    seed: int
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.documents)
+
+    def to_relation(self) -> Relation:
+        """Return the collection as a ``docs(docID, data)`` relation."""
+        schema = Schema([Field("docID", DataType.INT), Field("data", DataType.STRING)])
+        ids = [doc_id for doc_id, _ in self.documents]
+        texts = [text for _, text in self.documents]
+        return Relation(
+            schema, [Column(ids, DataType.INT), Column(texts, DataType.STRING)]
+        )
+
+    def raw_size_bytes(self) -> int:
+        """Total size of the raw text (the paper reports collection size in GB)."""
+        return sum(len(text.encode("utf-8")) for _, text in self.documents)
+
+    def average_length_terms(self) -> float:
+        if not self.documents:
+            return 0.0
+        return float(np.mean([len(text.split()) for _, text in self.documents]))
+
+
+def generate_collection(
+    num_documents: int,
+    *,
+    average_length: int = 60,
+    vocabulary_size: int = 5000,
+    zipf_exponent: float = 1.1,
+    seed: int = 42,
+    vocabulary: ZipfianVocabulary | None = None,
+) -> SyntheticCollection:
+    """Generate a synthetic collection of ``num_documents`` documents."""
+    if num_documents < 1:
+        raise WorkloadError("num_documents must be positive")
+    if average_length < 1:
+        raise WorkloadError("average_length must be positive")
+    vocabulary = (
+        vocabulary
+        if vocabulary is not None
+        else ZipfianVocabulary(vocabulary_size, exponent=zipf_exponent, seed=seed)
+    )
+    rng = np.random.default_rng(seed)
+    # log-normal lengths centred on average_length, clipped to at least 3 terms
+    sigma = 0.4
+    mu = np.log(average_length) - sigma * sigma / 2.0
+    lengths = np.clip(rng.lognormal(mu, sigma, num_documents).astype(np.int64), 3, None)
+    documents: list[tuple[int, str]] = []
+    for doc_id, length in enumerate(lengths, start=1):
+        terms = vocabulary.sample(rng, int(length))
+        documents.append((doc_id, " ".join(terms)))
+    return SyntheticCollection(documents=documents, vocabulary=vocabulary, seed=seed)

@@ -1,0 +1,73 @@
+"""A deterministic Zipfian vocabulary for synthetic text.
+
+Real document collections have heavily skewed term distributions; the
+benchmarks depend on that skew (posting-list lengths, IDF spread), so the
+synthetic generator draws terms from a Zipf-like distribution over a
+pronounceable generated vocabulary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def _make_word(rng: random.Random, syllables: int) -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_CONSONANTS))
+        parts.append(rng.choice(_VOWELS))
+    return "".join(parts)
+
+
+class ZipfianVocabulary:
+    """A fixed vocabulary whose sampling follows a Zipf-like rank distribution."""
+
+    def __init__(self, size: int = 5000, *, exponent: float = 1.1, seed: int = 7):
+        if size < 10:
+            raise WorkloadError("vocabulary size must be at least 10")
+        if exponent <= 0:
+            raise WorkloadError("the Zipf exponent must be positive")
+        self.size = size
+        self.exponent = exponent
+        self.seed = seed
+        rng = random.Random(seed)
+        words: list[str] = []
+        seen: set[str] = set()
+        while len(words) < size:
+            word = _make_word(rng, rng.randint(2, 4))
+            if word not in seen:
+                seen.add(word)
+                words.append(word)
+        self.words = words
+        ranks = np.arange(1, size + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, exponent)
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+
+    def sample(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Draw ``count`` terms (with replacement) following the Zipf distribution."""
+        uniform = rng.random(count)
+        indices = np.searchsorted(self._cumulative, uniform)
+        indices = np.clip(indices, 0, self.size - 1)
+        return [self.words[index] for index in indices]
+
+    def frequent_terms(self, count: int) -> list[str]:
+        """The ``count`` most frequent terms (lowest ranks)."""
+        return self.words[:count]
+
+    def rare_terms(self, count: int) -> list[str]:
+        """The ``count`` least frequent terms (highest ranks)."""
+        return self.words[-count:]
+
+    def probability_of_rank(self, rank: int) -> float:
+        """The sampling probability of the term at 1-based ``rank``."""
+        if rank < 1 or rank > self.size:
+            raise WorkloadError(f"rank {rank} outside [1, {self.size}]")
+        return float(self._probabilities[rank - 1])

@@ -1,0 +1,85 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import LatencyStats, Sweep, measure_latency, throughput_per_day
+from repro.bench.reporting import ResultTable
+
+
+class TestLatencyStats:
+    def test_summary_statistics(self):
+        stats = LatencyStats([10.0, 20.0, 30.0, 40.0])
+        assert stats.count == 4
+        assert stats.mean_ms == pytest.approx(25.0)
+        assert stats.median_ms == pytest.approx(25.0)
+        assert stats.min_ms == 10.0
+        assert stats.max_ms == 40.0
+        assert stats.p95_ms == 40.0
+
+    def test_empty_samples(self):
+        stats = LatencyStats([])
+        assert stats.mean_ms == 0.0
+        assert stats.p95_ms == 0.0
+
+    def test_summary_dict(self):
+        summary = LatencyStats([1.0]).summary()
+        assert set(summary) == {"count", "mean_ms", "median_ms", "p95_ms", "min_ms", "max_ms"}
+
+    def test_measure_latency_counts_and_warmup(self):
+        calls = []
+        stats = measure_latency(lambda: calls.append(1), repetitions=3, warmup=2)
+        assert stats.count == 3
+        assert len(calls) == 5
+        assert all(sample >= 0 for sample in stats.samples_ms)
+
+
+class TestThroughput:
+    def test_conversion(self):
+        # 100 ms per request -> 10 requests/s -> 864,000 requests/day
+        assert throughput_per_day(100.0) == pytest.approx(864_000)
+
+    def test_concurrency_scales_linearly(self):
+        assert throughput_per_day(100.0, concurrency=4) == pytest.approx(4 * 864_000)
+
+    def test_degenerate_latency(self):
+        assert throughput_per_day(0.0) == float("inf")
+
+
+class TestSweep:
+    def test_cartesian_combinations(self):
+        sweep = Sweep({"docs": [10, 100], "terms": [1, 3, 5]})
+        combinations = list(sweep.combinations())
+        assert len(combinations) == len(sweep) == 6
+        assert {"docs": 10, "terms": 5} in combinations
+
+    def test_single_parameter(self):
+        sweep = Sweep({"x": [1]})
+        assert list(sweep.combinations()) == [{"x": 1}]
+
+
+class TestResultTable:
+    def test_positional_and_named_rows(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row(a="x", b="y")
+        text = table.render()
+        assert "demo" in text
+        assert "2.500" in text
+        assert "x" in text and "y" in text
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_mixing_positional_and_named_rejected(self):
+        table = ResultTable("demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, a=2)
+
+    def test_alignment(self):
+        table = ResultTable("t", ["name", "value"])
+        table.add_row("a-very-long-name", 1)
+        table.add_row("x", 2)
+        lines = table.render().splitlines()
+        assert len(lines[2]) == len(lines[4])

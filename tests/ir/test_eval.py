@@ -1,0 +1,148 @@
+"""Unit tests for the effectiveness-evaluation package."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.eval import (
+    Qrels,
+    average_precision,
+    evaluate_ranking,
+    evaluate_strategy,
+    judgments_from_auctions,
+    mean_metric,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.qrels import judgments_from_mapping
+
+
+class TestMetrics:
+    def test_precision_at_k(self):
+        ranked = ["a", "b", "c", "d"]
+        assert precision_at_k(ranked, {"a", "c"}, 2) == pytest.approx(0.5)
+        assert precision_at_k(ranked, {"a", "c"}, 4) == pytest.approx(0.5)
+        assert precision_at_k(ranked, {"x"}, 4) == 0.0
+        assert precision_at_k(ranked, {"a"}, 0) == 0.0
+
+    def test_precision_counts_missing_positions_against_the_system(self):
+        # fewer results than k: the empty tail counts as non-relevant
+        assert precision_at_k(["a"], {"a"}, 5) == pytest.approx(0.2)
+
+    def test_recall_at_k(self):
+        ranked = ["a", "b", "c"]
+        assert recall_at_k(ranked, {"a", "z"}, 3) == pytest.approx(0.5)
+        assert recall_at_k(ranked, {"a", "b"}, 1) == pytest.approx(0.5)
+        assert recall_at_k(ranked, set(), 3) == 0.0
+
+    def test_average_precision(self):
+        ranked = ["a", "x", "b", "y"]
+        # relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision(ranked, {"a", "b"}) == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+        assert average_precision(ranked, set()) == 0.0
+        # missing relevant documents lower AP
+        assert average_precision(ranked, {"a", "b", "missing"}) < average_precision(
+            ranked, {"a", "b"}
+        )
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == pytest.approx(0.5)
+        assert reciprocal_rank(["a"], {"a"}) == 1.0
+        assert reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+    def test_ndcg_binary_perfect_and_worst(self):
+        assert ndcg_at_k(["a", "b", "x"], {"a", "b"}, 3) == pytest.approx(1.0)
+        assert ndcg_at_k(["x", "y", "z"], {"a"}, 3) == 0.0
+
+    def test_ndcg_graded_prefers_high_grades_first(self):
+        graded = {"a": 3.0, "b": 1.0}
+        best = ndcg_at_k(["a", "b"], graded, 2)
+        worse = ndcg_at_k(["b", "a"], graded, 2)
+        assert best == pytest.approx(1.0)
+        assert worse < best
+
+    def test_ndcg_empty_cases(self):
+        assert ndcg_at_k(["a"], {}, 3) == 0.0
+        assert ndcg_at_k(["a"], {"a"}, 0) == 0.0
+
+    def test_mean_metric(self):
+        assert mean_metric([0.5, 1.0]) == pytest.approx(0.75)
+        assert mean_metric([]) == 0.0
+
+
+class TestQrels:
+    def test_add_and_lookup(self):
+        qrels = Qrels()
+        qrels.add("q1", "doc1")
+        qrels.add("q1", "doc2", 2.0)
+        qrels.add("q2", "doc3")
+        assert qrels.relevant_for("q1") == {"doc1": 1.0, "doc2": 2.0}
+        assert qrels.relevant_for("missing") == {}
+        assert len(qrels) == 2
+        assert qrels.num_judgments() == 3
+        assert "q1" in qrels
+
+    def test_negative_grade_rejected(self):
+        with pytest.raises(WorkloadError):
+            Qrels().add("q", "doc", -1.0)
+
+    def test_from_mapping(self):
+        qrels = judgments_from_mapping({"q": ["a", "b"]})
+        assert qrels.relevant_for("q") == {"a": 1.0, "b": 1.0}
+
+    def test_judgments_from_auctions(self, auction_workload):
+        qrels = judgments_from_auctions(auction_workload, terms_per_query=2)
+        assert len(qrels) >= 1
+        for query in qrels.queries():
+            relevant = qrels.relevant_for(query)
+            # every judged document is a lot, and all lots of one auction
+            auctions = {auction_workload.lot_auction[lot] for lot in relevant}
+            assert len(auctions) == 1
+            auction = auctions.pop()
+            assert set(relevant) == set(auction_workload.lots_in_auction(auction))
+
+    def test_judgments_from_auctions_validation(self, auction_workload):
+        with pytest.raises(WorkloadError):
+            judgments_from_auctions(auction_workload, queries_per_auction=0)
+
+
+class TestRunner:
+    def test_evaluate_ranking_with_perfect_system(self):
+        qrels = judgments_from_mapping({"q1": ["a"], "q2": ["b"]})
+        report = evaluate_ranking(lambda query: ["a"] if query == "q1" else ["b"], qrels, cutoff=5)
+        assert report.num_queries == 2
+        means = report.means()
+        assert means["precision@5"] == pytest.approx(0.2)
+        assert means["recall@5"] == pytest.approx(1.0)
+        assert means["average_precision"] == pytest.approx(1.0)
+        assert means["reciprocal_rank"] == pytest.approx(1.0)
+
+    def test_report_rows(self):
+        qrels = judgments_from_mapping({"q": ["a"]})
+        report = evaluate_ranking(lambda query: ["a"], qrels, cutoff=3)
+        rows = report.to_rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "q"
+
+    def test_evaluate_strategy_on_auction_workload(self, auction_workload):
+        from repro.strategy import StrategyExecutor, build_auction_strategy
+        from repro.triples import TripleStore
+
+        store = TripleStore()
+        store.add_all(auction_workload.triples)
+        store.load()
+        qrels = judgments_from_auctions(auction_workload, terms_per_query=2, max_auctions=2)
+        assert len(qrels) >= 1
+        executor = StrategyExecutor(store)
+        report = evaluate_strategy(executor, build_auction_strategy(), qrels, cutoff=10, top_k=100)
+        means = report.means()
+        # queries use each auction's distinctive vocabulary, so the relevant
+        # lots must be retrievable: recall and MRR well above zero
+        assert means["reciprocal_rank"] > 0.3
+        assert means["recall@10"] > 0.0
+
+    def test_empty_report(self):
+        report = evaluate_ranking(lambda query: [], Qrels(), cutoff=5)
+        assert report.means() == {}
+        assert report.num_queries == 0

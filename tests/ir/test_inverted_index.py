@@ -1,0 +1,107 @@
+"""Unit tests for the on-demand inverted index and the Figure 1 reproduction."""
+
+import pytest
+
+from repro.errors import IndexingError
+from repro.ir.inverted_index import InvertedIndex, query_terms_relation, term_lookup_join
+from repro.relational.column import DataType
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.text.analyzers import StandardAnalyzer
+
+
+@pytest.fixture
+def figure1_index(figure1_docs):
+    # Use the un-stemmed analyzer so the terms match Figure 1 literally.
+    return InvertedIndex.from_documents(figure1_docs, StandardAnalyzer("none"))
+
+
+class TestConstruction:
+    def test_from_documents(self, figure1_docs):
+        index = InvertedIndex.from_documents(figure1_docs)
+        assert index.num_documents == 2
+
+    def test_from_relation(self, figure1_docs):
+        schema = Schema([Field("docID", DataType.INT), Field("data", DataType.STRING)])
+        docs = Relation.from_rows(schema, figure1_docs)
+        index = InvertedIndex.from_relation(docs)
+        assert index.num_documents == 2
+
+    def test_from_relation_missing_columns(self):
+        schema = Schema([Field("x", DataType.INT), Field("y", DataType.STRING)])
+        docs = Relation.from_rows(schema, [(1, "text")])
+        with pytest.raises(IndexingError):
+            InvertedIndex.from_relation(docs)
+
+    def test_duplicate_document_rejected(self):
+        index = InvertedIndex()
+        index.add_document(1, "some text")
+        with pytest.raises(IndexingError):
+            index.add_document(1, "other text")
+
+
+class TestLookup:
+    def test_posting_list_figure1(self, figure1_index):
+        # 'book' occurs in both documents, 'cake' only in document 10,
+        # 'history' only in document 3 — the pattern of Figure 1a.
+        assert {doc for doc, _ in figure1_index.posting_list("book")} == {3, 10}
+        assert {doc for doc, _ in figure1_index.posting_list("cake")} == {10}
+        assert {doc for doc, _ in figure1_index.posting_list("history")} == {3}
+
+    def test_document_frequency(self, figure1_index):
+        assert figure1_index.document_frequency("book") == 2
+        assert figure1_index.document_frequency("cake") == 1
+        assert figure1_index.document_frequency("missing") == 0
+
+    def test_term_frequency(self, figure1_index):
+        assert figure1_index.term_frequency("book", 3) == 1
+        assert figure1_index.term_frequency("book", 99) == 0
+
+    def test_doc_length(self, figure1_docs, figure1_index):
+        assert figure1_index.doc_length(3) == len(figure1_docs[0][1].split())
+        assert figure1_index.doc_length(42) == 0
+
+    def test_matching_documents_disjunctive(self, figure1_index):
+        assert figure1_index.matching_documents(["cake", "history"]) == {3, 10}
+
+    def test_vocabulary_sorted(self, figure1_index):
+        vocabulary = figure1_index.vocabulary
+        assert vocabulary == sorted(vocabulary)
+
+    def test_lookup_normalises_via_analyzer(self, figure1_docs):
+        index = InvertedIndex.from_documents(figure1_docs)  # stemming analyzer
+        # 'books' stems to 'book' so lookup matches indexed occurrences
+        assert index.document_frequency("books") == 2
+
+    def test_positions_are_document_order(self, figure1_index):
+        positions = [pos for _, pos in figure1_index.posting_list("book")]
+        assert all(position >= 0 for position in positions)
+
+
+class TestRelationalForm:
+    def test_to_relation_schema(self, figure1_index):
+        relation = figure1_index.to_relation()
+        assert relation.schema.names == ["term", "doc", "pos"]
+        assert relation.num_rows > 0
+
+    def test_term_lookup_join_matches_figure1(self, figure1_index):
+        """Figure 1b: joining query terms against the term-doc table."""
+        database = Database()
+        index_relation = figure1_index.to_relation()
+        result = term_lookup_join(database, index_relation, ["book", "history"])
+        matched = {(row["term"], row["doc"]) for row in result.to_dicts()}
+        assert ("book", 3) in matched
+        assert ("book", 10) in matched
+        assert ("history", 3) in matched
+        assert all(term in ("book", "history") for term, _ in matched)
+
+    def test_term_lookup_join_empty_for_unknown_terms(self, figure1_index):
+        database = Database()
+        result = term_lookup_join(database, figure1_index.to_relation(), ["zebra"])
+        assert result.num_rows == 0
+
+    def test_query_terms_relation(self):
+        relation = query_terms_relation(["book", "about", "history"])
+        assert relation.num_rows == 3
+        assert relation.schema.names == ["term"]

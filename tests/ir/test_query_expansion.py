@@ -1,0 +1,90 @@
+"""Unit tests for query expansion."""
+
+import pytest
+
+from repro.errors import RankingError
+from repro.ir.query_expansion import ChainedExpander, CompoundExpander, SynonymExpander
+
+
+class TestSynonymExpander:
+    def test_basic_expansion(self):
+        expander = SynonymExpander({"car": ["automobile", "vehicle"]})
+        assert expander.expand(["car"]) == ["automobile", "vehicle"]
+
+    def test_symmetric_by_default(self):
+        expander = SynonymExpander({"car": ["automobile"]})
+        assert expander.expand(["automobile"]) == ["car"]
+
+    def test_asymmetric_option(self):
+        expander = SynonymExpander({"car": ["automobile"]}, symmetric=False)
+        assert expander.expand(["automobile"]) == []
+
+    def test_no_duplicates_of_original_terms(self):
+        expander = SynonymExpander({"car": ["car", "auto"]})
+        assert expander.expand(["car"]) == ["auto"]
+
+    def test_case_insensitive(self):
+        expander = SynonymExpander({"Car": ["Automobile"]})
+        assert expander.expand(["car"]) == ["automobile"]
+
+    def test_terms_without_synonyms(self):
+        expander = SynonymExpander({"car": ["auto"]})
+        assert expander.expand(["bicycle"]) == []
+
+    def test_describe(self):
+        description = SynonymExpander({"a": ["b"]}).describe()
+        assert description["expander"] == "synonyms"
+        assert description["entries"] == 2
+
+
+class TestCompoundExpander:
+    def test_adjacent_terms_joined(self):
+        expander = CompoundExpander()
+        assert expander.expand(["antique", "clock"]) == ["antiqueclock"]
+
+    def test_multiple_joiners(self):
+        expander = CompoundExpander(joiners=["", "-"])
+        assert expander.expand(["book", "case"]) == ["bookcase", "book-case"]
+
+    def test_vocabulary_restriction(self):
+        expander = CompoundExpander(vocabulary={"bookcase"})
+        assert expander.expand(["book", "case"]) == ["bookcase"]
+        assert expander.expand(["antique", "clock"]) == []
+
+    def test_span_of_three(self):
+        expander = CompoundExpander(max_span=3)
+        additions = expander.expand(["a", "b", "c"])
+        assert "abc" in additions
+        assert "ab" in additions and "bc" in additions
+
+    def test_invalid_span(self):
+        with pytest.raises(RankingError):
+            CompoundExpander(max_span=1)
+
+    def test_single_term_produces_nothing(self):
+        assert CompoundExpander().expand(["alone"]) == []
+
+    def test_describe(self):
+        description = CompoundExpander(vocabulary={"x"}).describe()
+        assert description["vocabulary_restricted"] is True
+
+
+class TestChainedExpander:
+    def test_chains_both_expanders(self):
+        chained = ChainedExpander(
+            [SynonymExpander({"clock": ["timepiece"]}), CompoundExpander()]
+        )
+        additions = chained.expand(["antique", "clock"])
+        assert "timepiece" in additions
+        assert "antiqueclock" in additions
+
+    def test_no_duplicate_additions(self):
+        chained = ChainedExpander(
+            [SynonymExpander({"a": ["b"]}), SynonymExpander({"a": ["b"]})]
+        )
+        assert chained.expand(["a"]) == ["b"]
+
+    def test_describe_lists_parts(self):
+        chained = ChainedExpander([SynonymExpander({"a": ["b"]})])
+        assert chained.describe()["expander"] == "chain"
+        assert len(chained.describe()["parts"]) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for snippet generation and highlighting."""
+
+import pytest
+
+from repro.ir.snippets import SnippetGenerator
+from repro.text.analyzers import StandardAnalyzer
+
+
+@pytest.fixture
+def generator():
+    return SnippetGenerator(window_size=8)
+
+
+class TestHighlighting:
+    def test_query_terms_are_highlighted(self, generator):
+        snippet = generator.snippet("wooden train", "a wooden train set for children")
+        assert "**wooden**" in snippet.text
+        assert "**train**" in snippet.text
+        assert snippet.num_matches == 2
+
+    def test_stemmed_matching_highlights_inflections(self, generator):
+        # the query 'train' must highlight 'trains' because both stem to 'train'
+        snippet = generator.snippet("train", "a history of trains and railways")
+        assert "**trains**" in snippet.text
+
+    def test_case_insensitive(self, generator):
+        snippet = generator.snippet("wooden", "Wooden toys for everyone")
+        assert "**Wooden**" in snippet.text
+
+    def test_no_match_returns_document_prefix(self, generator):
+        snippet = generator.snippet("zebra", "a wooden train set for children")
+        assert snippet.num_matches == 0
+        assert snippet.text.startswith("a wooden train")
+
+    def test_custom_markers(self):
+        generator = SnippetGenerator(highlight_prefix="<em>", highlight_suffix="</em>")
+        snippet = generator.snippet("train", "a train ride")
+        assert "<em>train</em>" in snippet.text
+
+    def test_matched_terms_recorded_in_surface_form(self, generator):
+        snippet = generator.snippet("train", "many trains run today")
+        assert snippet.matched_terms == ["trains"]
+
+
+class TestWindows:
+    def test_window_centres_on_dense_match_region(self):
+        generator = SnippetGenerator(window_size=6)
+        filler = "filler " * 30
+        text = filler + "antique clock in working order " + filler
+        snippet = generator.snippet("antique clock", text)
+        assert "**antique**" in snippet.text and "**clock**" in snippet.text
+        # both ellipses present because the window sits in the middle
+        assert snippet.text.startswith("...")
+        assert snippet.text.endswith("...")
+
+    def test_window_bounds_respected(self):
+        generator = SnippetGenerator(window_size=5)
+        snippet = generator.snippet("one", "one two three four five six seven eight")
+        assert snippet.window_end - snippet.window_start <= 5
+
+    def test_short_document_has_no_ellipsis(self, generator):
+        snippet = generator.snippet("train", "a train")
+        assert "..." not in snippet.text
+
+
+class TestResultLists:
+    def test_snippets_for_results(self, generator):
+        documents = {
+            1: "a wooden train set",
+            2: "history of trains",
+            3: "unrelated text entirely",
+        }
+        snippets = generator.snippets_for_results("train", documents, [1, 2, 4])
+        assert set(snippets) == {1, 2}
+        assert snippets[1].num_matches == 1
+
+    def test_analyzer_consistency_with_search(self, docs_database):
+        """Snippets highlight exactly the terms the engine matched on."""
+        from repro.ir import KeywordSearchEngine
+
+        engine = KeywordSearchEngine(docs_database, "docs")
+        result = engine.search("history of trains")
+        documents = {
+            row["docID"]: row["data"] for row in docs_database.table("docs").to_dicts()
+        }
+        generator = SnippetGenerator(analyzer=StandardAnalyzer())
+        snippets = generator.snippets_for_results(
+            result.query, documents, [doc for doc, _ in result.top(5)]
+        )
+        assert snippets
+        assert all(snippet.num_matches >= 1 for snippet in snippets.values())

@@ -1,0 +1,133 @@
+"""Unit tests for PRA assumptions and probabilistic relations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.pra.assumptions import Assumption
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+class TestAssumption:
+    def test_parse(self):
+        assert Assumption.parse("independent") is Assumption.INDEPENDENT
+        assert Assumption.parse("DISJOINT") is Assumption.DISJOINT
+        assert Assumption.parse(" subsumed ") is Assumption.SUBSUMED
+
+    def test_parse_unknown(self):
+        with pytest.raises(ProbabilityError):
+            Assumption.parse("correlated")
+
+    def test_independent_or(self):
+        assert Assumption.INDEPENDENT.combine_or(0.5, 0.5) == pytest.approx(0.75)
+        assert Assumption.INDEPENDENT.combine_or(1.0, 0.3) == pytest.approx(1.0)
+        assert Assumption.INDEPENDENT.combine_or(0.0, 0.3) == pytest.approx(0.3)
+
+    def test_independent_and(self):
+        assert Assumption.INDEPENDENT.combine_and(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_disjoint_or_clamps_at_one(self):
+        assert Assumption.DISJOINT.combine_or(0.5, 0.3) == pytest.approx(0.8)
+        assert Assumption.DISJOINT.combine_or(0.8, 0.7) == pytest.approx(1.0)
+
+    def test_disjoint_and_is_zero(self):
+        assert Assumption.DISJOINT.combine_and(0.5, 0.5) == 0.0
+
+    def test_subsumed(self):
+        assert Assumption.SUBSUMED.combine_or(0.3, 0.6) == pytest.approx(0.6)
+        assert Assumption.SUBSUMED.combine_and(0.3, 0.6) == pytest.approx(0.3)
+
+    def test_combine_or_many(self):
+        result = Assumption.INDEPENDENT.combine_or_many([0.5, 0.5, 0.5])
+        assert result == pytest.approx(1 - 0.5**3)
+        assert Assumption.DISJOINT.combine_or_many([]) == 0.0
+
+
+def make_prob_relation(rows):
+    schema = Schema([Field("node", DataType.STRING), Field("p", DataType.FLOAT)])
+    return ProbabilisticRelation(Relation.from_rows(schema, rows))
+
+
+class TestProbabilisticRelation:
+    def test_requires_trailing_p_column(self):
+        schema = Schema([Field("p", DataType.FLOAT), Field("node", DataType.STRING)])
+        relation = Relation.from_rows(schema, [(1.0, "a")])
+        with pytest.raises(ProbabilityError):
+            ProbabilisticRelation(relation)
+
+    def test_requires_float_p(self):
+        schema = Schema([Field("node", DataType.STRING), Field("p", DataType.INT)])
+        relation = Relation.from_rows(schema, [("a", 1)])
+        with pytest.raises(ProbabilityError):
+            ProbabilisticRelation(relation)
+
+    def test_rejects_probabilities_outside_unit_interval(self):
+        with pytest.raises(ProbabilityError):
+            make_prob_relation([("a", 1.5)])
+        with pytest.raises(ProbabilityError):
+            make_prob_relation([("a", -0.1)])
+
+    def test_lift_appends_p_column(self):
+        schema = Schema([Field("node", DataType.STRING)])
+        relation = Relation.from_rows(schema, [("a",), ("b",)])
+        lifted = ProbabilisticRelation.lift(relation)
+        assert lifted.schema.names == ["node", "p"]
+        assert list(lifted.probabilities()) == [1.0, 1.0]
+
+    def test_lift_with_custom_probability(self):
+        schema = Schema([Field("node", DataType.STRING)])
+        relation = Relation.from_rows(schema, [("a",)])
+        lifted = ProbabilisticRelation.lift(relation, 0.25)
+        assert list(lifted.probabilities()) == [0.25]
+
+    def test_lift_invalid_probability(self):
+        schema = Schema([Field("node", DataType.STRING)])
+        relation = Relation.from_rows(schema, [("a",)])
+        with pytest.raises(ProbabilityError):
+            ProbabilisticRelation.lift(relation, 2.0)
+
+    def test_lift_is_noop_for_probabilistic_relation(self):
+        relation = make_prob_relation([("a", 0.4)]).relation
+        lifted = ProbabilisticRelation.lift(relation)
+        assert list(lifted.probabilities()) == [0.4]
+
+    def test_from_rows(self):
+        relation = ProbabilisticRelation.from_rows(
+            ["subject", "object"], [DataType.STRING, DataType.STRING], [("a", "b", 0.5)]
+        )
+        assert relation.value_columns == ["subject", "object"]
+        assert list(relation.probabilities()) == [0.5]
+
+    def test_value_columns_and_rows(self):
+        relation = make_prob_relation([("a", 0.5), ("b", 0.7)])
+        assert relation.value_columns == ["node"]
+        assert relation.value_rows() == [("a",), ("b",)]
+        assert relation.num_rows == 2
+
+    def test_with_probabilities(self):
+        relation = make_prob_relation([("a", 0.5), ("b", 0.7)])
+        updated = relation.with_probabilities(np.array([0.1, 0.2]))
+        assert list(updated.probabilities()) == pytest.approx([0.1, 0.2])
+        # original is unchanged
+        assert list(relation.probabilities()) == pytest.approx([0.5, 0.7])
+
+    def test_scaled(self):
+        relation = make_prob_relation([("a", 0.5)])
+        assert list(relation.scaled(0.5).probabilities()) == pytest.approx([0.25])
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ProbabilityError):
+            make_prob_relation([("a", 0.5)]).scaled(-1.0)
+
+    def test_sorted_and_top(self):
+        relation = make_prob_relation([("a", 0.2), ("b", 0.9), ("c", 0.5)])
+        ordered = relation.sorted_by_probability()
+        assert ordered.relation.column("node").to_list() == ["b", "c", "a"]
+        assert relation.top(2).relation.column("node").to_list() == ["b", "c"]
+
+    def test_equality(self):
+        assert make_prob_relation([("a", 0.5)]) == make_prob_relation([("a", 0.5)])
+        assert make_prob_relation([("a", 0.5)]) != make_prob_relation([("a", 0.6)])

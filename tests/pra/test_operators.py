@@ -1,0 +1,203 @@
+"""Unit tests for the probabilistic relational algebra operators."""
+
+import pytest
+
+from repro.errors import PRAError, ProbabilityError
+from repro.pra import operators as ops
+from repro.pra.assumptions import Assumption
+from repro.pra.expressions import PositionalRef
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import DataType
+from repro.relational.expressions import col, lit
+from repro.relational.functions import default_registry
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def prob_relation(columns, rows):
+    fields = [Field(name, dtype) for name, dtype in columns]
+    fields.append(Field("p", DataType.FLOAT))
+    return ProbabilisticRelation(Relation.from_rows(Schema(fields), rows))
+
+
+@pytest.fixture
+def functions():
+    return default_registry()
+
+
+@pytest.fixture
+def triples():
+    return prob_relation(
+        [("subject", DataType.STRING), ("property", DataType.STRING), ("object", DataType.STRING)],
+        [
+            ("p1", "category", "toy", 1.0),
+            ("p1", "description", "wooden train", 0.9),
+            ("p2", "category", "book", 1.0),
+            ("p2", "description", "train history", 0.8),
+        ],
+    )
+
+
+class TestSelect:
+    def test_keeps_probabilities(self, triples, functions):
+        result = ops.select(triples, col("property").eq(lit("description")), functions)
+        assert result.num_rows == 2
+        assert list(result.probabilities()) == pytest.approx([0.9, 0.8])
+
+    def test_positional_predicate(self, triples, functions):
+        predicate = PositionalRef(2).eq(lit("category"))
+        result = ops.select(triples, predicate, functions)
+        assert result.num_rows == 2
+
+    def test_non_boolean_predicate_rejected(self, triples, functions):
+        with pytest.raises(PRAError):
+            ops.select(triples, col("subject"), functions)
+
+    def test_empty_input(self, functions):
+        empty = prob_relation([("x", DataType.STRING)], [])
+        assert ops.select(empty, col("x").eq(lit("a")), functions).num_rows == 0
+
+
+class TestProject:
+    def test_duplicate_merging_independent(self):
+        relation = prob_relation(
+            [("node", DataType.STRING), ("extra", DataType.STRING)],
+            [("a", "x", 0.5), ("a", "y", 0.5), ("b", "z", 0.3)],
+        )
+        result = ops.project(relation, ["node"], Assumption.INDEPENDENT)
+        values = dict(zip(result.relation.column("node").to_list(), result.probabilities()))
+        assert values["a"] == pytest.approx(0.75)
+        assert values["b"] == pytest.approx(0.3)
+
+    def test_duplicate_merging_disjoint(self):
+        relation = prob_relation(
+            [("node", DataType.STRING), ("extra", DataType.STRING)],
+            [("a", "x", 0.5), ("a", "y", 0.4)],
+        )
+        result = ops.project(relation, ["node"], Assumption.DISJOINT)
+        assert result.probabilities()[0] == pytest.approx(0.9)
+
+    def test_output_renaming(self, triples):
+        result = ops.project(
+            triples, ["subject", "object"], output_names=["docID", "data"]
+        )
+        assert result.value_columns == ["docID", "data"]
+
+    def test_projection_of_probability_column_rejected(self, triples):
+        with pytest.raises(PRAError):
+            ops.project(triples, ["p"])
+
+    def test_output_names_length_mismatch(self, triples):
+        with pytest.raises(PRAError):
+            ops.project(triples, ["subject"], output_names=["a", "b"])
+
+
+class TestJoin:
+    def test_independent_join_multiplies(self, triples):
+        categories = prob_relation(
+            [("subject", DataType.STRING)], [("p1", 0.5), ("p2", 1.0)]
+        )
+        result = ops.join(categories, triples, [("subject", "subject")])
+        for row in result.relation.to_dicts():
+            assert 0 < row["p"] <= 1.0
+        p1_rows = [row for row in result.relation.to_dicts() if row["subject"] == "p1"]
+        assert any(row["p"] == pytest.approx(0.5 * 0.9) for row in p1_rows)
+
+    def test_join_renames_clashing_columns(self, triples):
+        result = ops.join(triples, triples, [("subject", "subject")])
+        assert "subject_right" in result.schema.names
+
+    def test_subsumed_join_takes_minimum(self):
+        left = prob_relation([("k", DataType.STRING)], [("a", 0.3)])
+        right = prob_relation([("k", DataType.STRING)], [("a", 0.8)])
+        result = ops.join(left, right, [("k", "k")], Assumption.SUBSUMED)
+        assert result.probabilities()[0] == pytest.approx(0.3)
+
+    def test_disjoint_join_rejected(self):
+        left = prob_relation([("k", DataType.STRING)], [("a", 0.3)])
+        with pytest.raises(PRAError):
+            ops.join(left, left, [("k", "k")], Assumption.DISJOINT)
+
+    def test_no_matches(self):
+        left = prob_relation([("k", DataType.STRING)], [("a", 0.3)])
+        right = prob_relation([("k", DataType.STRING)], [("b", 0.8)])
+        assert ops.join(left, right, [("k", "k")]).num_rows == 0
+
+
+class TestUnite:
+    def test_union_merges_common_tuples(self):
+        left = prob_relation([("node", DataType.STRING)], [("a", 0.5), ("b", 0.2)])
+        right = prob_relation([("node", DataType.STRING)], [("a", 0.5), ("c", 0.9)])
+        result = ops.unite(left, right, Assumption.INDEPENDENT)
+        values = dict(zip(result.relation.column("node").to_list(), result.probabilities()))
+        assert values["a"] == pytest.approx(0.75)
+        assert values["b"] == pytest.approx(0.2)
+        assert values["c"] == pytest.approx(0.9)
+
+    def test_disjoint_union_adds(self):
+        left = prob_relation([("node", DataType.STRING)], [("a", 0.4)])
+        right = prob_relation([("node", DataType.STRING)], [("a", 0.3)])
+        result = ops.unite(left, right, Assumption.DISJOINT)
+        assert result.probabilities()[0] == pytest.approx(0.7)
+
+    def test_arity_mismatch_rejected(self):
+        left = prob_relation([("node", DataType.STRING)], [("a", 0.4)])
+        right = prob_relation(
+            [("node", DataType.STRING), ("other", DataType.STRING)], [("a", "x", 0.3)]
+        )
+        with pytest.raises(PRAError):
+            ops.unite(left, right)
+
+
+class TestSubtract:
+    def test_complement_weighting(self):
+        left = prob_relation([("node", DataType.STRING)], [("a", 0.8), ("b", 0.5)])
+        right = prob_relation([("node", DataType.STRING)], [("a", 0.5)])
+        result = ops.subtract(left, right)
+        values = dict(zip(result.relation.column("node").to_list(), result.probabilities()))
+        assert values["a"] == pytest.approx(0.4)
+        assert values["b"] == pytest.approx(0.5)
+
+    def test_arity_mismatch_rejected(self):
+        left = prob_relation([("node", DataType.STRING)], [("a", 0.8)])
+        right = prob_relation(
+            [("node", DataType.STRING), ("x", DataType.STRING)], [("a", "y", 0.5)]
+        )
+        with pytest.raises(PRAError):
+            ops.subtract(left, right)
+
+
+class TestBayes:
+    def test_global_normalisation(self):
+        relation = prob_relation([("node", DataType.STRING)], [("a", 0.4), ("b", 0.4)])
+        result = ops.bayes(relation, [])
+        assert list(result.probabilities()) == pytest.approx([0.5, 0.5])
+
+    def test_per_group_normalisation(self):
+        relation = prob_relation(
+            [("group", DataType.STRING), ("node", DataType.STRING)],
+            [("g1", "a", 0.2), ("g1", "b", 0.2), ("g2", "c", 0.5)],
+        )
+        result = ops.bayes(relation, ["group"])
+        assert list(result.probabilities()) == pytest.approx([0.5, 0.5, 1.0])
+
+    def test_zero_total_group(self):
+        relation = prob_relation([("node", DataType.STRING)], [("a", 0.0)])
+        assert list(ops.bayes(relation, []).probabilities()) == [0.0]
+
+    def test_empty_relation(self):
+        relation = prob_relation([("node", DataType.STRING)], [])
+        assert ops.bayes(relation, []).num_rows == 0
+
+
+class TestWeight:
+    def test_scaling(self):
+        relation = prob_relation([("node", DataType.STRING)], [("a", 0.8)])
+        assert ops.weight(relation, 0.5).probabilities()[0] == pytest.approx(0.4)
+
+    def test_weight_outside_unit_interval_rejected(self):
+        relation = prob_relation([("node", DataType.STRING)], [("a", 0.8)])
+        with pytest.raises(ProbabilityError):
+            ops.weight(relation, 1.5)
+        with pytest.raises(ProbabilityError):
+            ops.weight(relation, -0.1)

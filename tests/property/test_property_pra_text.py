@@ -1,0 +1,155 @@
+"""Property-based tests for the probabilistic algebra, text stack and ranking."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.ranking import BM25Model, TfIdfModel
+from repro.ir.statistics import build_statistics
+from repro.pra import operators as ops
+from repro.pra.assumptions import Assumption
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.text.analyzers import StandardAnalyzer
+from repro.text.stemming.porter import PorterStemmer
+from repro.text.tokenizer import Tokenizer
+
+PROBABILITY = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+NODE = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def prob_relation(rows):
+    schema = Schema([Field("node", DataType.STRING), Field("p", DataType.FLOAT)])
+    return ProbabilisticRelation(Relation.from_rows(schema, rows))
+
+
+class TestProbabilityInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=20))
+    def test_projection_keeps_probabilities_in_unit_interval(self, rows):
+        relation = prob_relation(rows)
+        for assumption in Assumption:
+            projected = ops.project(relation, ["node"], assumption)
+            probabilities = projected.probabilities()
+            assert ((probabilities >= 0) & (probabilities <= 1 + 1e-9)).all()
+            # one output tuple per distinct node
+            assert projected.num_rows == len({node for node, _ in rows})
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=15),
+        st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=15),
+    )
+    def test_union_bounds_and_monotonicity(self, left_rows, right_rows):
+        left = prob_relation(left_rows)
+        right = prob_relation(right_rows)
+        for assumption in (Assumption.INDEPENDENT, Assumption.DISJOINT, Assumption.SUBSUMED):
+            union = ops.unite(left, right, assumption)
+            probabilities = union.probabilities()
+            assert ((probabilities >= 0) & (probabilities <= 1 + 1e-9)).all()
+            nodes = set(union.relation.column("node").to_list())
+            assert nodes == {n for n, _ in left_rows} | {n for n, _ in right_rows}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=15),
+        st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=15),
+    )
+    def test_join_probability_never_exceeds_either_input(self, left_rows, right_rows):
+        left = prob_relation(left_rows)
+        right = prob_relation(right_rows)
+        joined = ops.join(left, right, [("node", "node")])
+        left_max = {}
+        for node, probability in left_rows:
+            left_max[node] = max(left_max.get(node, 0.0), probability)
+        for row in joined.relation.to_dicts():
+            assert row["p"] <= left_max[row["node"]] + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(NODE, PROBABILITY), min_size=1, max_size=20))
+    def test_bayes_normalises_to_one(self, rows):
+        relation = prob_relation(rows)
+        normalised = ops.bayes(relation, [])
+        total = normalised.probabilities().sum()
+        if relation.probabilities().sum() > 0:
+            assert abs(total - 1.0) < 1e-9
+        else:
+            assert total == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(NODE, PROBABILITY), min_size=0, max_size=20), st.floats(0, 1))
+    def test_weight_scales_linearly(self, rows, factor):
+        relation = prob_relation(rows)
+        weighted = ops.weight(relation, factor)
+        for original, scaled in zip(relation.probabilities(), weighted.probabilities()):
+            assert abs(scaled - original * factor) < 1e-9
+
+
+WORD = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+class TestTextInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(WORD)
+    def test_porter_is_deterministic_and_never_lengthens(self, word):
+        stemmer = PorterStemmer()
+        stem = stemmer.stem(word)
+        assert stem == stemmer.stem(word)
+        assert len(stem) <= len(word)
+        assert stem == stem.lower()
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.text(max_size=200))
+    def test_tokenizer_output_is_alphanumeric(self, text):
+        tokens = Tokenizer().tokenize(text)
+        for token in tokens:
+            assert token
+            assert all(ch.isalnum() or ch == "'" for ch in token)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=200))
+    def test_analyzer_terms_come_from_tokens(self, text):
+        analyzer = StandardAnalyzer()
+        terms = analyzer.analyze(text)
+        tokens = [token.lower() for token in Tokenizer().tokenize(text)]
+        assert len(terms) <= len(tokens)
+
+
+DOCUMENT = st.lists(
+    st.sampled_from(["train", "toy", "wooden", "auction", "clock", "book", "cake"]),
+    min_size=1,
+    max_size=20,
+).map(" ".join)
+
+
+class TestRankingInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(DOCUMENT, min_size=1, max_size=15), st.lists(st.sampled_from(["train", "wooden", "clock"]), min_size=1, max_size=3))
+    def test_ranking_only_returns_matching_documents_sorted(self, documents, query_terms):
+        # the sampled query terms are invariant under stemming, so raw text
+        # membership and analyzed-term matching coincide
+        docs = list(enumerate(documents, start=1))
+        statistics = build_statistics(docs)
+        for model in (BM25Model(), TfIdfModel()):
+            ranked = model.rank(statistics, query_terms)
+            scores = list(ranked.scores)
+            assert scores == sorted(scores, reverse=True)
+            returned = set(ranked.doc_ids)
+            matching = {
+                doc_id
+                for doc_id, text in docs
+                if any(term in text.split() for term in query_terms)
+            }
+            assert returned == matching
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(DOCUMENT, min_size=1, max_size=15))
+    def test_probability_normalisation_respects_order(self, documents):
+        docs = list(enumerate(documents, start=1))
+        statistics = build_statistics(docs)
+        ranked = BM25Model().rank(statistics, ["train", "toy"])
+        probabilities = ranked.to_probabilities()
+        values = list(probabilities.scores)
+        assert values == sorted(values, reverse=True)
+        assert all(0 < value <= 1.0 for value in values)

@@ -1,0 +1,166 @@
+"""Unit tests for scalar expressions."""
+
+import pytest
+
+from repro.errors import ExpressionError, TypeMismatchError
+from repro.relational.column import DataType
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+    col,
+    func,
+    lit,
+)
+from repro.relational.functions import default_registry
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema.of(a=DataType.INT, b=DataType.FLOAT, name=DataType.STRING, flag=DataType.BOOL)
+    return Relation.from_rows(
+        schema,
+        [
+            (1, 2.0, "toy", True),
+            (2, 4.0, "book", False),
+            (3, 6.0, "toy", True),
+        ],
+    )
+
+
+@pytest.fixture
+def functions():
+    return default_registry()
+
+
+class TestColumnRefAndLiteral:
+    def test_column_ref_evaluates(self, relation, functions):
+        assert col("a").evaluate(relation, functions).to_list() == [1, 2, 3]
+
+    def test_column_ref_type_and_references(self, relation, functions):
+        expr = col("b")
+        assert expr.output_type(relation.schema, functions) is DataType.FLOAT
+        assert expr.references() == {"b"}
+
+    def test_literal_constant_column(self, relation, functions):
+        assert lit(7).evaluate(relation, functions).to_list() == [7, 7, 7]
+
+    def test_literal_sql_rendering(self):
+        assert lit("it's").to_sql() == "'it''s'"
+        assert lit(True).to_sql() == "TRUE"
+        assert lit(3).to_sql() == "3"
+
+
+class TestArithmetic:
+    def test_addition(self, relation, functions):
+        result = (col("a") + col("a")).evaluate(relation, functions)
+        assert result.to_list() == [2, 4, 6]
+
+    def test_mixed_int_float_widens(self, relation, functions):
+        result = (col("a") + col("b")).evaluate(relation, functions)
+        assert result.dtype is DataType.FLOAT
+        assert result.to_list() == [3.0, 6.0, 9.0]
+
+    def test_division_always_float(self, relation, functions):
+        result = (col("a") / lit(2)).evaluate(relation, functions)
+        assert result.dtype is DataType.FLOAT
+        assert result.to_list() == [0.5, 1.0, 1.5]
+
+    def test_subtraction_and_multiplication(self, relation, functions):
+        assert (col("b") - col("a")).evaluate(relation, functions).to_list() == [1.0, 2.0, 3.0]
+        assert (col("a") * lit(10)).evaluate(relation, functions).to_list() == [10, 20, 30]
+
+    def test_arithmetic_on_strings_rejected(self, relation, functions):
+        with pytest.raises(TypeMismatchError):
+            (col("name") + lit(1)).evaluate(relation, functions)
+
+
+class TestComparisons:
+    def test_equality_on_strings(self, relation, functions):
+        mask = col("name").eq(lit("toy")).evaluate(relation, functions)
+        assert mask.to_list() == [True, False, True]
+
+    def test_numeric_comparisons(self, relation, functions):
+        assert col("a").gt(lit(1)).evaluate(relation, functions).to_list() == [False, True, True]
+        assert col("a").le(lit(2)).evaluate(relation, functions).to_list() == [True, True, False]
+        assert col("a").ne(lit(2)).evaluate(relation, functions).to_list() == [True, False, True]
+
+    def test_comparison_output_type(self, relation, functions):
+        assert col("a").lt(lit(2)).output_type(relation.schema, functions) is DataType.BOOL
+
+    def test_string_to_number_comparison_rejected(self, relation, functions):
+        with pytest.raises(TypeMismatchError):
+            col("name").eq(lit(1)).evaluate(relation, functions)
+
+
+class TestBooleanLogic:
+    def test_and_or(self, relation, functions):
+        expr = col("name").eq(lit("toy")).and_(col("a").gt(lit(1)))
+        assert expr.evaluate(relation, functions).to_list() == [False, False, True]
+        expr = col("name").eq(lit("book")).or_(col("a").eq(lit(1)))
+        assert expr.evaluate(relation, functions).to_list() == [True, True, False]
+
+    def test_boolean_requires_boolean_operands(self, relation, functions):
+        with pytest.raises(TypeMismatchError):
+            BinaryOp("and", col("a"), col("flag")).evaluate(relation, functions)
+
+    def test_not(self, relation, functions):
+        expr = UnaryOp("not", col("flag"))
+        assert expr.evaluate(relation, functions).to_list() == [False, True, False]
+
+    def test_negation(self, relation, functions):
+        expr = UnaryOp("-", col("a"))
+        assert expr.evaluate(relation, functions).to_list() == [-1, -2, -3]
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("%", col("a"), lit(2))
+        with pytest.raises(ExpressionError):
+            UnaryOp("abs", col("a"))
+
+
+class TestInList:
+    def test_membership(self, relation, functions):
+        expr = col("name").isin(["toy", "game"])
+        assert expr.evaluate(relation, functions).to_list() == [True, False, True]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ExpressionError):
+            InList(col("a"), [])
+
+    def test_sql_rendering(self):
+        assert col("a").isin([1, 2]).to_sql() == "(a IN (1, 2))"
+
+
+class TestFunctionCalls:
+    def test_lcase(self, relation, functions):
+        expr = func("lcase", col("name"))
+        assert expr.evaluate(relation, functions).to_list() == ["toy", "book", "toy"]
+
+    def test_log(self, relation, functions):
+        expr = func("log", col("b"))
+        values = expr.evaluate(relation, functions).to_list()
+        assert values[0] == pytest.approx(0.6931, abs=1e-3)
+
+    def test_stem(self, relation, functions):
+        expr = FunctionCall("stem", [lit("running"), lit("sb-english")])
+        assert expr.evaluate(relation, functions).to_list() == ["run", "run", "run"]
+
+    def test_nested_references(self, functions, relation):
+        expr = func("lcase", col("name"))
+        assert expr.references() == {"name"}
+
+    def test_sql_rendering(self):
+        assert func("lcase", col("name")).to_sql() == "lcase(name)"
+
+
+class TestSqlRendering:
+    def test_binary_and_unary(self):
+        expr = col("a").eq(lit(1)).and_(col("b").gt(lit(2.0)))
+        assert expr.to_sql() == "((a = 1) AND (b > 2.0))"
+        assert UnaryOp("not", col("flag")).to_sql() == "(NOT flag)"

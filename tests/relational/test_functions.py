@@ -1,0 +1,108 @@
+"""Unit tests for the UDF registry and the built-in functions."""
+
+import math
+
+import pytest
+
+from repro.errors import FunctionError
+from repro.relational.column import Column, DataType
+from repro.relational.functions import FunctionRegistry, default_registry
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class TestRegistry:
+    def test_register_and_lookup_scalar(self):
+        registry = FunctionRegistry()
+        registry.register_scalar("double", lambda x: x * 2, DataType.INT, arity=1)
+        function = registry.scalar("double")
+        result = function.apply([Column([1, 2, 3], DataType.INT)], 3)
+        assert result.to_list() == [2, 4, 6]
+
+    def test_lookup_is_case_insensitive(self):
+        registry = default_registry()
+        assert registry.scalar("LCASE").name == "lcase"
+        assert registry.has_scalar("Lcase")
+
+    def test_unknown_scalar_raises(self):
+        with pytest.raises(FunctionError):
+            FunctionRegistry().scalar("missing")
+
+    def test_unknown_table_function_raises(self):
+        with pytest.raises(FunctionError):
+            FunctionRegistry().table("missing")
+
+    def test_wrong_arity_raises(self):
+        registry = default_registry()
+        with pytest.raises(FunctionError):
+            registry.scalar("lcase").apply([], 0)
+
+    def test_copy_is_independent(self):
+        original = default_registry()
+        copy = original.copy()
+        copy.register_scalar("only_copy", lambda: 1, DataType.INT, arity=0)
+        assert copy.has_scalar("only_copy")
+        assert not original.has_scalar("only_copy")
+
+
+class TestBuiltins:
+    def test_lcase_ucase_length(self):
+        registry = default_registry()
+        column = Column(["Hello"], DataType.STRING)
+        assert registry.scalar("lcase").apply([column], 1).to_list() == ["hello"]
+        assert registry.scalar("ucase").apply([column], 1).to_list() == ["HELLO"]
+        assert registry.scalar("length").apply([column], 1).to_list() == [5]
+
+    def test_log_is_clamped(self):
+        registry = default_registry()
+        column = Column([math.e, 0.0, -1.0], DataType.FLOAT)
+        values = registry.scalar("log").apply([column], 3).to_list()
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == 0.0
+        assert values[2] == 0.0
+
+    def test_sqrt_and_abs(self):
+        registry = default_registry()
+        assert registry.scalar("sqrt").apply([Column([4.0], DataType.FLOAT)], 1).to_list() == [2.0]
+        assert registry.scalar("abs").apply([Column([-3.0], DataType.FLOAT)], 1).to_list() == [3.0]
+
+    def test_concat(self):
+        registry = default_registry()
+        result = registry.scalar("concat").apply(
+            [Column(["a"], DataType.STRING), Column(["b"], DataType.STRING)], 1
+        )
+        assert result.to_list() == ["ab"]
+
+    def test_stem_accepts_sb_prefix(self):
+        registry = default_registry()
+        result = registry.scalar("stem").apply(
+            [Column(["running"], DataType.STRING), Column(["sb-english"], DataType.STRING)], 1
+        )
+        assert result.to_list() == ["run"]
+
+    def test_tokenize_table_function(self):
+        registry = default_registry()
+        docs = Relation.from_rows(
+            Schema.of(docID=DataType.INT, data=DataType.STRING),
+            [(1, "Hello, world!"), (2, "Databases rock")],
+        )
+        result = registry.table("tokenize").apply(docs)
+        assert result.schema.names == ["docID", "token", "pos"]
+        assert result.num_rows == 4
+        assert result.to_dicts()[0] == {"docID": 1, "token": "Hello", "pos": 0}
+
+    def test_tokenize_requires_two_columns(self):
+        registry = default_registry()
+        docs = Relation.from_rows(Schema.of(docID=DataType.INT), [(1,)])
+        with pytest.raises(FunctionError):
+            registry.table("tokenize").apply(docs)
+
+    def test_tokenize_preserves_id_column_name_and_type(self):
+        registry = default_registry()
+        docs = Relation.from_rows(
+            Schema.of(lot=DataType.STRING, text=DataType.STRING),
+            [("lot1", "antique clock")],
+        )
+        result = registry.table("tokenize").apply(docs)
+        assert result.schema.names[0] == "lot"
+        assert result.schema.dtype_of("lot") is DataType.STRING

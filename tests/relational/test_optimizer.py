@@ -1,0 +1,96 @@
+"""Unit tests for the rule-based plan optimizer."""
+
+import pytest
+
+from repro.relational.algebra import Join, Limit, Project, Scan, Select
+from repro.relational.column import DataType
+from repro.relational.database import Database
+from repro.relational.expressions import BinaryOp, col, lit
+from repro.relational.optimizer import optimize
+from repro.relational.schema import Field, Schema
+
+
+@pytest.fixture
+def db():
+    database = Database(cache_enabled=False, optimize_plans=True)
+    schema = Schema([Field("id", DataType.INT), Field("kind", DataType.STRING)])
+    database.create_table_from_rows(
+        "left_table", schema, [(1, "a"), (2, "b"), (3, "a")]
+    )
+    database.create_table_from_rows(
+        "right_table",
+        Schema([Field("ref", DataType.INT), Field("label", DataType.STRING)]),
+        [(1, "x"), (2, "y"), (3, "z")],
+    )
+    return database
+
+
+class TestSelectionFusion:
+    def test_adjacent_selections_fused(self):
+        plan = Select(Select(Scan("t"), col("a").eq(lit(1))), col("b").eq(lit(2)))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert isinstance(optimized.predicate, BinaryOp)
+        assert optimized.predicate.op == "and"
+
+    def test_triple_selection_fused(self):
+        plan = Select(
+            Select(Select(Scan("t"), col("a").eq(lit(1))), col("b").eq(lit(2))),
+            col("c").eq(lit(3)),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+
+
+class TestPredicatePushdown:
+    def test_selection_pushed_into_projected_join_side(self):
+        left = Project(Scan("left_table"), [("id", col("id")), ("kind", col("kind"))])
+        right = Project(Scan("right_table"), [("ref", col("ref")), ("label", col("label"))])
+        join = Join(left, right, [("id", "ref")])
+        plan = Select(join, col("kind").eq(lit("a")))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select) or isinstance(optimized.left, Project)
+        # the selection must no longer sit above the join
+        assert not isinstance(optimized, Select)
+
+    def test_pushdown_preserves_results(self, db):
+        left = Project(Scan("left_table"), [("id", col("id")), ("kind", col("kind"))])
+        right = Project(Scan("right_table"), [("ref", col("ref")), ("label", col("label"))])
+        join = Join(left, right, [("id", "ref")])
+        plan = Select(join, col("kind").eq(lit("a")))
+        db.optimize_plans = False
+        unoptimized = db.execute(plan, use_cache=False)
+        db.optimize_plans = True
+        optimized_result = db.execute(plan, use_cache=False)
+        assert sorted(unoptimized.rows()) == sorted(optimized_result.rows())
+
+    def test_selection_not_pushed_when_columns_unknown(self):
+        # scans have no statically known columns, so pushdown must not happen
+        join = Join(Scan("left_table"), Scan("right_table"), [("id", "ref")])
+        plan = Select(join, col("kind").eq(lit("a")))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Select)
+
+
+class TestLimitPushdown:
+    def test_limit_pushed_below_project(self):
+        plan = Limit(Project(Scan("t"), [("a", col("a"))]), 5)
+        optimized = optimize(plan)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Limit)
+
+    def test_limit_above_scan_unchanged(self):
+        plan = Limit(Scan("t"), 5)
+        optimized = optimize(plan)
+        assert isinstance(optimized, Limit)
+
+
+class TestIdempotence:
+    def test_optimize_is_idempotent(self):
+        plan = Select(Select(Scan("t"), col("a").eq(lit(1))), col("b").eq(lit(2)))
+        once = optimize(plan)
+        twice = optimize(once)
+        assert once.fingerprint() == twice.fingerprint()

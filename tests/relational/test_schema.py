@@ -1,0 +1,89 @@
+"""Unit tests for schemas and fields."""
+
+import pytest
+
+from repro.errors import ColumnError, SchemaError
+from repro.relational.column import DataType
+from repro.relational.schema import Field, Schema
+
+
+class TestField:
+    def test_renamed(self):
+        field = Field("a", DataType.INT)
+        renamed = field.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.dtype is DataType.INT
+        assert field.name == "a"  # original unchanged
+
+    def test_str(self):
+        assert str(Field("a", DataType.STRING)) == "a:string"
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(docID=DataType.INT, data=DataType.STRING)
+        assert schema.names == ["docID", "data"]
+        assert schema.dtypes == [DataType.INT, DataType.STRING]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", DataType.INT), Field("a", DataType.STRING)])
+
+    def test_contains_and_position(self):
+        schema = Schema.of(a=DataType.INT, b=DataType.STRING)
+        assert "a" in schema
+        assert "c" not in schema
+        assert schema.position("b") == 1
+
+    def test_field_lookup_unknown(self):
+        schema = Schema.of(a=DataType.INT)
+        with pytest.raises(ColumnError):
+            schema.field("missing")
+
+    def test_dtype_of(self):
+        schema = Schema.of(a=DataType.FLOAT)
+        assert schema.dtype_of("a") is DataType.FLOAT
+
+    def test_select(self):
+        schema = Schema.of(a=DataType.INT, b=DataType.STRING, c=DataType.FLOAT)
+        selected = schema.select(["c", "a"])
+        assert selected.names == ["c", "a"]
+
+    def test_rename(self):
+        schema = Schema.of(a=DataType.INT, b=DataType.STRING)
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+
+    def test_concat_without_clash(self):
+        left = Schema.of(a=DataType.INT)
+        right = Schema.of(b=DataType.STRING)
+        combined = left.concat(right)
+        assert combined.names == ["a", "b"]
+
+    def test_concat_suffixes_clashing_names(self):
+        left = Schema.of(a=DataType.INT, b=DataType.STRING)
+        right = Schema.of(a=DataType.INT)
+        combined = left.concat(right)
+        assert combined.names == ["a", "b", "a_right"]
+
+    def test_concat_double_clash(self):
+        left = Schema.of(a=DataType.INT, a_right=DataType.INT)
+        right = Schema.of(a=DataType.INT)
+        combined = left.concat(right)
+        assert combined.names == ["a", "a_right", "a_right_right"]
+
+    def test_compatible_with(self):
+        left = Schema.of(a=DataType.INT, b=DataType.STRING)
+        right = Schema.of(x=DataType.INT, y=DataType.STRING)
+        other = Schema.of(x=DataType.STRING, y=DataType.INT)
+        assert left.compatible_with(right)
+        assert not left.compatible_with(other)
+
+    def test_equality(self):
+        assert Schema.of(a=DataType.INT) == Schema.of(a=DataType.INT)
+        assert Schema.of(a=DataType.INT) != Schema.of(a=DataType.FLOAT)
+
+    def test_iteration(self):
+        schema = Schema.of(a=DataType.INT, b=DataType.STRING)
+        assert [field.name for field in schema] == ["a", "b"]
+        assert len(schema) == 2

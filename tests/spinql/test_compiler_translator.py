@@ -1,0 +1,166 @@
+"""Unit tests for the SpinQL compiler, evaluation and SQL translation."""
+
+import pytest
+
+from repro.errors import SpinQLCompileError
+from repro.pra.assumptions import Assumption
+from repro.pra.plan import PraJoin, PraProject, PraScan, PraSelect, PraValues, PraWeight
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import DataType
+from repro.spinql import compile_script, evaluate, to_sql
+from repro.spinql.compiler import SpinQLCompiler
+from repro.triples.triple_store import TripleStore
+
+PAPER_EXAMPLE = """
+docs = PROJECT [$1 AS docID, $6 AS data] (
+  JOIN INDEPENDENT [$1=$1] (
+    SELECT [$2="category" and $3="toy"] (triples),
+    SELECT [$2="description"] (triples) ) );
+"""
+
+
+@pytest.fixture
+def paper_store():
+    store = TripleStore()
+    store.add_all(
+        [
+            ("product1", "category", "toy"),
+            ("product1", "description", "wooden train set"),
+            ("product2", "category", "book"),
+            ("product2", "description", "history of trains"),
+            ("product3", "category", "toy"),
+            ("product3", "description", "plastic toy car"),
+        ]
+    )
+    store.load()
+    return store
+
+
+class TestCompiler:
+    def test_paper_example_plan_shape(self):
+        compiled = compile_script(PAPER_EXAMPLE)
+        plan = compiled.final_plan
+        assert isinstance(plan, PraProject)
+        assert plan.positions == (1, 6)
+        assert plan.output_names == ("docID", "data")
+        join = plan.child
+        assert isinstance(join, PraJoin)
+        assert join.assumption is Assumption.INDEPENDENT
+        assert join.conditions == ((1, 1),)
+        assert all(isinstance(side, PraSelect) for side in (join.left, join.right))
+        assert isinstance(join.left.child, PraScan)
+
+    def test_references_resolve_to_prior_statements(self):
+        compiled = compile_script("a = SELECT [$1='x'] (t); b = PROJECT [$1] (a);")
+        assert isinstance(compiled.plan("b").child, PraSelect)
+
+    def test_unknown_statement_lookup(self):
+        compiled = compile_script("a = SELECT [$1='x'] (t);")
+        with pytest.raises(SpinQLCompileError):
+            compiled.plan("missing")
+
+    def test_bindings_become_values_nodes(self):
+        ranked = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("lot1", 0.9)]
+        )
+        compiler = SpinQLCompiler(bindings={"ranked": ranked})
+        compiled = compiler.compile("out = PROJECT [$1] (ranked);")
+        assert isinstance(compiled.plan("out").child, PraValues)
+
+    def test_weight_compilation(self):
+        compiled = compile_script("w = WEIGHT [0.25] (t);")
+        plan = compiled.final_plan
+        assert isinstance(plan, PraWeight)
+        assert plan.factor == 0.25
+
+    def test_traverse_lowering_forward(self):
+        compiled = compile_script("x = TRAVERSE ['hasAuction'] (lots);")
+        plan = compiled.final_plan
+        assert isinstance(plan, PraProject)
+        assert isinstance(plan.child, PraJoin)
+        assert plan.child.conditions == ((1, 1),)
+        assert plan.positions == (4,)  # object of the triple, after the node column
+
+    def test_traverse_lowering_backward(self):
+        compiled = compile_script("x = TRAVERSE BACKWARD ['hasAuction'] (lots);")
+        plan = compiled.final_plan
+        assert plan.child.conditions == ((1, 3),)
+        assert plan.positions == (2,)  # subject of the triple
+
+    def test_select_requires_single_predicate(self):
+        from repro.spinql.ast import OperatorCall, Reference
+
+        compiler = SpinQLCompiler()
+        call = OperatorCall(operator="select", assumption=None, arguments=[], operands=[Reference("t")])
+        with pytest.raises(SpinQLCompileError):
+            compiler._compile_operator(call, compile_script("a = t;"))
+
+
+class TestEvaluation:
+    def test_paper_example_evaluates_to_toy_docs(self, paper_store):
+        result = evaluate(PAPER_EXAMPLE, paper_store.database)
+        docs = {row["docID"]: row["data"] for row in result.to_dicts()}
+        assert docs == {
+            "product1": "wooden train set",
+            "product3": "plastic toy car",
+        }
+        assert all(row["p"] == pytest.approx(1.0) for row in result.to_dicts())
+
+    def test_evaluation_with_uncertain_triples(self):
+        store = TripleStore()
+        store.add("item1", "category", "toy", probability=0.6)
+        store.add("item1", "description", "maybe a toy", probability=0.5)
+        store.load()
+        result = evaluate(PAPER_EXAMPLE, store.database)
+        assert result.probabilities()[0] == pytest.approx(0.3)
+
+    def test_evaluate_with_bindings(self, paper_store):
+        ranked = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("product1", 0.9), ("product3", 0.1)]
+        )
+        result = evaluate(
+            "out = WEIGHT [0.5] (ranked);", paper_store.database, bindings={"ranked": ranked}
+        )
+        assert sorted(result.probabilities()) == pytest.approx([0.05, 0.45])
+
+    def test_multi_statement_script_returns_last(self, paper_store):
+        source = PAPER_EXAMPLE + "\nonly_ids = PROJECT [$1] (docs);"
+        result = evaluate(source, paper_store.database)
+        # without an alias the projection keeps the original column name
+        assert result.value_columns == ["docID"]
+        assert result.num_rows == 2
+
+    def test_traverse_end_to_end(self, auction_store):
+        source = "auctions = TRAVERSE ['hasAuction'] (lots);"
+        lots = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("lot1", 1.0), ("lot3", 1.0)]
+        )
+        result = evaluate(source, auction_store.database, bindings={"lots": lots})
+        assert set(result.relation.column("node").to_list()) == {"auction1", "auction2"}
+
+
+class TestSqlTranslation:
+    def test_paper_shape_flattens_to_single_select(self):
+        compiled = compile_script(PAPER_EXAMPLE)
+        sql = to_sql(compiled.final_plan, view_name="docs")
+        assert sql.startswith("CREATE VIEW docs AS")
+        assert "FROM triples t1, triples t2" in sql
+        assert "t1.p * t2.p AS p" in sql
+        assert "t1.property = 'category'" in sql
+        assert "t1.object = 'toy'" in sql
+        assert "t2.property = 'description'" in sql
+        assert "t1.subject = t2.subject" in sql
+        assert "t1.subject AS docID" in sql
+        assert "t2.object AS data" in sql
+
+    def test_generic_shapes_render_nested_sql(self):
+        compiled = compile_script("w = WEIGHT [0.5] (SELECT [$1='x'] (t));")
+        sql = to_sql(compiled.final_plan)
+        assert "p * 0.5" in sql
+        assert "WHERE" in sql
+
+    def test_unite_and_bayes_rendering(self):
+        compiled = compile_script("m = UNITE DISJOINT (a, b); n = BAYES [$1] (m);")
+        sql = to_sql(compiled.final_plan)
+        assert "UNION ALL" in sql
+        assert "PARTITION BY $1" in sql

@@ -1,0 +1,173 @@
+"""Unit tests for the SpinQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SpinQLSyntaxError
+from repro.spinql.ast import (
+    BooleanExpr,
+    Comparison,
+    JoinCondition,
+    LiteralValue,
+    OperatorCall,
+    PositionalColumn,
+    ProjectionItem,
+    Reference,
+)
+from repro.spinql.lexer import TokenType, tokenize
+from repro.spinql.parser import parse
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize('SELECT [$2="toy"] (triples);')
+        types = [token.type for token in tokens]
+        assert types[0] is TokenType.KEYWORD
+        assert TokenType.POSITIONAL in types
+        assert TokenType.STRING in types
+        assert types[-1] is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Project JOIN independent")
+        assert all(token.type is TokenType.KEYWORD for token in tokens[:-1])
+        assert tokens[0].value == "select"
+
+    def test_identifiers(self):
+        tokens = tokenize("docs = triples;")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "docs"
+
+    def test_numbers(self):
+        tokens = tokenize("WEIGHT [0.7] (x);")
+        number = [token for token in tokens if token.type is TokenType.NUMBER][0]
+        assert number.value == "0.7"
+
+    def test_string_escaping(self):
+        tokens = tokenize("SELECT [$1='it''s'] (t);")
+        string = [token for token in tokens if token.type is TokenType.STRING][0]
+        assert string.value == "it's"
+
+    def test_double_quoted_strings(self):
+        tokens = tokenize('SELECT [$1="toy"] (t);')
+        string = [token for token in tokens if token.type is TokenType.STRING][0]
+        assert string.value == "toy"
+
+    def test_comparison_operators(self):
+        tokens = tokenize("$1 != $2 <= $3 >= $4 <> $5")
+        types = [token.type for token in tokens if token.type is not TokenType.POSITIONAL]
+        assert TokenType.NOT_EQUALS in types
+        assert TokenType.LESS_EQUALS in types
+        assert TokenType.GREATER_EQUALS in types
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("# a comment\ndocs = t; -- trailing comment\n")
+        values = [token.value for token in tokens if token.type is TokenType.IDENT]
+        assert values == ["docs", "t"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a =\n  b;")
+        b_token = [token for token in tokens if token.value == "b"][0]
+        assert b_token.line == 2
+        assert b_token.column == 3
+
+    def test_unterminated_string(self):
+        with pytest.raises(SpinQLSyntaxError):
+            tokenize('SELECT [$1="unterminated] (t);')
+
+    def test_dollar_without_digits(self):
+        with pytest.raises(SpinQLSyntaxError):
+            tokenize("SELECT [$x=1] (t);")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpinQLSyntaxError):
+            tokenize("docs = t @;")
+
+
+class TestParser:
+    def test_paper_example_structure(self):
+        source = """
+        docs = PROJECT [$1,$6] (
+          JOIN INDEPENDENT [$1=$1] (
+            SELECT [$2="category" and $3="toy"] (triples),
+            SELECT [$2="description"] (triples) ) );
+        """
+        script = parse(source)
+        assert script.names() == ["docs"]
+        project = script.statements[0].expression
+        assert isinstance(project, OperatorCall) and project.operator == "project"
+        assert [item.position for item in project.arguments] == [1, 6]
+        join = project.operands[0]
+        assert isinstance(join, OperatorCall) and join.operator == "join"
+        assert join.assumption == "independent"
+        assert join.arguments == [JoinCondition(1, 1)]
+        select_left, select_right = join.operands
+        assert select_left.operator == "select"
+        predicate = select_left.arguments[0]
+        assert isinstance(predicate, BooleanExpr) and predicate.operator == "and"
+        assert isinstance(select_right.arguments[0], Comparison)
+        assert isinstance(select_right.operands[0], Reference)
+
+    def test_anonymous_statement_gets_name(self):
+        script = parse("SELECT [$1=1] (t);")
+        assert script.result_name.startswith("_result")
+
+    def test_multiple_statements_resolve_in_order(self):
+        script = parse("a = SELECT [$1=1] (t); b = PROJECT [$1] (a);")
+        assert script.names() == ["a", "b"]
+        assert script.result_name == "b"
+
+    def test_projection_aliases(self):
+        script = parse("x = PROJECT [$1 AS docID, $2 AS data] (t);")
+        items = script.statements[0].expression.arguments
+        assert items == [ProjectionItem(1, "docID"), ProjectionItem(2, "data")]
+
+    def test_weight_and_unite(self):
+        script = parse("m = UNITE DISJOINT (WEIGHT [0.7] (a), WEIGHT [0.3] (b));")
+        unite = script.statements[0].expression
+        assert unite.operator == "unite"
+        assert unite.assumption == "disjoint"
+        weights = [operand.arguments[0] for operand in unite.operands]
+        assert [w.value for w in weights] == [0.7, 0.3]
+
+    def test_bayes_with_and_without_evidence(self):
+        with_evidence = parse("x = BAYES [$1] (t);").statements[0].expression
+        assert [arg.position for arg in with_evidence.arguments] == [1]
+        without = parse("x = BAYES [] (t);").statements[0].expression
+        assert without.arguments == []
+
+    def test_traverse_directions(self):
+        forward = parse("x = TRAVERSE ['hasAuction'] (lots);").statements[0].expression
+        assert forward.options.get("direction") != "backward"
+        backward = parse("x = TRAVERSE BACKWARD ['hasAuction'] (auctions);").statements[0]
+        assert backward.expression.options["direction"] == "backward"
+
+    def test_numeric_comparison_operand(self):
+        script = parse("x = SELECT [$3 > 100] (t);")
+        comparison = script.statements[0].expression.arguments[0]
+        assert isinstance(comparison.right, LiteralValue)
+        assert comparison.right.value == 100
+        assert comparison.operator == ">"
+
+    def test_not_equals_spellings(self):
+        for op_text in ("!=", "<>"):
+            script = parse(f"x = SELECT [$1 {op_text} 'a'] (t);")
+            assert script.statements[0].expression.arguments[0].operator == "!="
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SpinQLSyntaxError):
+            parse("x = SELECT [$1=1] (t)")
+
+    def test_missing_argument_list(self):
+        with pytest.raises(SpinQLSyntaxError):
+            parse("x = SELECT (t);")
+
+    def test_missing_operand_parens(self):
+        with pytest.raises(SpinQLSyntaxError):
+            parse("x = SELECT [$1=1] t;")
+
+    def test_empty_script(self):
+        with pytest.raises(SpinQLSyntaxError):
+            parse("   \n  ")
+
+    def test_positional_column_parsed_as_int(self):
+        script = parse("x = BAYES [$12] (t);")
+        assert script.statements[0].expression.arguments[0] == PositionalColumn(12)

@@ -1,0 +1,88 @@
+"""Unit tests for analyzers and stopword lists."""
+
+import pytest
+
+from repro.errors import TextAnalysisError
+from repro.text.analyzers import Analyzer, StandardAnalyzer
+from repro.text.stemming.porter import PorterStemmer
+from repro.text.stopwords import STOPWORDS, is_stopword, stopwords_for
+from repro.text.tokenizer import Tokenizer
+
+
+class TestStopwords:
+    def test_english_stopwords(self):
+        assert is_stopword("the")
+        assert is_stopword("The")
+        assert not is_stopword("database")
+
+    def test_other_languages(self):
+        assert is_stopword("het", "dutch")
+        assert is_stopword("der", "german")
+        assert is_stopword("les", "french")
+
+    def test_unknown_language_has_no_stopwords(self):
+        assert stopwords_for("klingon") == frozenset()
+        assert not is_stopword("the", "klingon")
+
+    def test_all_lists_are_lowercase(self):
+        for language, words in STOPWORDS.items():
+            assert all(word == word.lower() for word in words), language
+
+
+class TestAnalyzer:
+    def test_default_pipeline_lowercases(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("Hello World") == ["hello", "world"]
+
+    def test_stemming_applied_after_lowercasing(self):
+        analyzer = Analyzer(stemmer=PorterStemmer())
+        assert analyzer.analyze("Running Databases") == ["run", "databas"]
+
+    def test_stopword_removal(self):
+        analyzer = Analyzer(remove_stopwords=True)
+        assert analyzer.analyze("the cat and the dog") == ["cat", "dog"]
+
+    def test_stopwords_kept_by_default(self):
+        analyzer = Analyzer()
+        assert "the" in analyzer.analyze("the cat")
+
+    def test_custom_tokenizer(self):
+        analyzer = Analyzer(tokenizer=Tokenizer(min_length=4))
+        assert analyzer.analyze("an old oak tree") == ["tree"]
+
+    def test_analyze_query_matches_analyze(self):
+        analyzer = StandardAnalyzer()
+        text = "Wooden Train Sets"
+        assert analyzer.analyze_query(text) == analyzer.analyze(text)
+
+    def test_describe(self):
+        description = Analyzer(stemmer=PorterStemmer()).describe()
+        assert description["stemmer"] == "english"
+        assert description["lowercase"] is True
+
+
+class TestStandardAnalyzer:
+    def test_matches_paper_sql_expression(self):
+        """StandardAnalyzer must equal stem(lcase(token), 'sb-english') per token."""
+        from repro.text.stemming import stem
+
+        analyzer = StandardAnalyzer("english")
+        text = "Wooden Trains Running"
+        expected = [stem(token.lower(), "sb-english") for token in Tokenizer().tokenize(text)]
+        assert analyzer.analyze(text) == expected
+
+    def test_language_none_disables_stemming(self):
+        analyzer = StandardAnalyzer("none")
+        assert analyzer.analyze("Running") == ["running"]
+
+    def test_dutch_language(self):
+        analyzer = StandardAnalyzer("dutch")
+        assert analyzer.analyze("Boeken") == analyzer.analyze("boek")
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(TextAnalysisError):
+            StandardAnalyzer("")
+
+    def test_optional_stopword_removal(self):
+        analyzer = StandardAnalyzer("english", remove_stopwords=True)
+        assert "the" not in analyzer.analyze("the history of the book")

@@ -1,0 +1,116 @@
+"""Unit tests for the stemmer registry and the individual stemmers."""
+
+import pytest
+
+from repro.errors import UnknownLanguageError
+from repro.text.stemming import available_languages, get_stemmer, register_stemmer, stem
+from repro.text.stemming.base import IdentityStemmer, Stemmer
+from repro.text.stemming.porter import PorterStemmer
+from repro.text.stemming.snowball import DutchStemmer, FrenchStemmer, GermanStemmer
+
+
+class TestRegistry:
+    def test_available_languages(self):
+        languages = available_languages()
+        assert {"english", "dutch", "german", "french", "none"} <= set(languages)
+
+    def test_get_stemmer_plain_and_sb_prefix(self):
+        assert isinstance(get_stemmer("english"), PorterStemmer)
+        assert isinstance(get_stemmer("sb-english"), PorterStemmer)
+        assert isinstance(get_stemmer("SB-Dutch"), DutchStemmer)
+
+    def test_unknown_language(self):
+        with pytest.raises(UnknownLanguageError):
+            get_stemmer("klingon")
+
+    def test_stem_helper(self):
+        assert stem("running") == "run"
+        assert stem("running", "none") == "running"
+
+    def test_register_custom_stemmer(self):
+        class ReverseStemmer(Stemmer):
+            language = "reverse"
+
+            def stem(self, token):
+                return token[::-1]
+
+        register_stemmer("reverse", ReverseStemmer())
+        assert stem("abc", "reverse") == "cba"
+
+
+class TestPorterStemmer:
+    @pytest.mark.parametrize(
+        "word, expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("formalize", "formal"),
+            ("electrical", "electr"),
+            ("adjustable", "adjust"),
+            ("probate", "probat"),
+            ("running", "run"),
+            ("retrieval", "retriev"),
+        ],
+    )
+    def test_published_examples(self, word, expected):
+        assert PorterStemmer().stem(word) == expected
+
+    def test_short_words_unchanged(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("at") == "at"
+
+    def test_lowercases_input(self):
+        assert PorterStemmer().stem("Running") == "run"
+
+    def test_deterministic(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("databases") == stemmer.stem("databases")
+
+    def test_conflates_inflections(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("connect") == stemmer.stem("connected") == stemmer.stem("connecting")
+
+
+class TestOtherStemmers:
+    def test_identity(self):
+        assert IdentityStemmer().stem("Fietsen") == "Fietsen"
+
+    def test_dutch_plural_stripping(self):
+        stemmer = DutchStemmer()
+        assert stemmer.stem("boeken") == stemmer.stem("boek") == "boek"
+
+    def test_dutch_undoubles_consonants(self):
+        assert DutchStemmer().stem("bakken") == "bak"
+
+    def test_dutch_short_words_unchanged(self):
+        assert DutchStemmer().stem("de") == "de"
+
+    def test_german_suffix_stripping(self):
+        stemmer = GermanStemmer()
+        assert stemmer.stem("häusern") == stemmer.stem("häuser")
+
+    def test_german_eszett_normalisation(self):
+        assert "ss" in GermanStemmer().stem("straße")
+
+    def test_french_suffix_stripping(self):
+        stemmer = FrenchStemmer()
+        assert stemmer.stem("chanteuses") == stemmer.stem("chanteuse")
+
+    def test_stemmers_never_lengthen(self):
+        for stemmer in (DutchStemmer(), GermanStemmer(), FrenchStemmer(), PorterStemmer()):
+            for word in ("information", "retrieval", "databasesystemen", "wunderbaren"):
+                assert len(stemmer.stem(word)) <= len(word)
+
+    def test_stem_all(self):
+        assert PorterStemmer().stem_all(["cats", "running"]) == ["cat", "run"]

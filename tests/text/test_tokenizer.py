@@ -1,0 +1,58 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import TextAnalysisError
+from repro.text.tokenizer import Tokenizer
+
+
+class TestDefaults:
+    def test_splits_on_punctuation_and_whitespace(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.tokenize("Hello, world! 2nd try.") == ["Hello", "world", "2nd", "try"]
+
+    def test_preserves_case_by_default(self):
+        assert Tokenizer().tokenize("MonetDB SQL") == ["MonetDB", "SQL"]
+
+    def test_empty_string(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert Tokenizer().tokenize("... --- !!!") == []
+
+    def test_apostrophes_kept_inside_words(self):
+        assert Tokenizer().tokenize("o'clock isn't") == ["o'clock", "isn't"]
+
+    def test_positions_are_token_ordinals(self):
+        pairs = Tokenizer().tokenize_with_positions("a b c")
+        assert pairs == [("a", 0), ("b", 1), ("c", 2)]
+
+
+class TestConfiguration:
+    def test_lowercase_option(self):
+        assert Tokenizer(lowercase=True).tokenize("Hello World") == ["hello", "world"]
+
+    def test_drop_numbers(self):
+        tokenizer = Tokenizer(keep_numbers=False)
+        assert tokenizer.tokenize("route 66 is a road") == ["route", "is", "a", "road"]
+        # mixed alphanumerics are kept
+        assert "b2b" in Tokenizer(keep_numbers=False).tokenize("b2b sales")
+
+    def test_min_length(self):
+        tokenizer = Tokenizer(min_length=3)
+        assert tokenizer.tokenize("an old oak") == ["old", "oak"]
+
+    def test_max_length(self):
+        tokenizer = Tokenizer(max_length=4)
+        assert tokenizer.tokenize("tiny enormous") == ["tiny"]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(TextAnalysisError):
+            Tokenizer(min_length=0)
+        with pytest.raises(TextAnalysisError):
+            Tokenizer(min_length=5, max_length=3)
+
+    def test_iter_tokens_is_lazy_equivalent(self):
+        tokenizer = Tokenizer()
+        text = "one two three"
+        assert list(tokenizer.iter_tokens(text)) == tokenizer.tokenize(text)

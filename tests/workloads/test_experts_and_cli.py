@@ -1,0 +1,127 @@
+"""Unit tests for the expert-finding workload, its strategy, and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import WorkloadError
+from repro.strategy import StrategyExecutor
+from repro.strategy.prebuilt import build_expert_strategy
+from repro.triples import TripleStore
+from repro.workloads.experts import generate_expert_triples
+
+
+@pytest.fixture(scope="module")
+def expert_workload():
+    return generate_expert_triples(25, 120, num_topics=4, seed=3)
+
+
+class TestExpertWorkload:
+    def test_counts(self, expert_workload):
+        assert expert_workload.num_people == 25
+        assert expert_workload.num_documents == 120
+        assert len(expert_workload.topics) == 4
+
+    def test_every_document_has_authors_and_topic(self, expert_workload):
+        about = {t.subject for t in expert_workload.triples if t.property == "about"}
+        authored = {t.subject for t in expert_workload.triples if t.property == "authoredBy"}
+        assert about == set(expert_workload.document_ids)
+        assert authored == set(expert_workload.document_ids)
+
+    def test_ground_truth_consistency(self, expert_workload):
+        # a person's topics are exactly the topics of the documents they author
+        for document, authors in expert_workload.document_authors.items():
+            topic = next(
+                t.object for t in expert_workload.triples
+                if t.subject == document and t.property == "about"
+            )
+            for author in authors:
+                assert topic in expert_workload.person_topics[author]
+
+    def test_experts_on(self, expert_workload):
+        topic = expert_workload.topics[0]
+        experts = expert_workload.experts_on(topic)
+        assert experts
+        assert all(topic in expert_workload.person_topics[person] for person in experts)
+
+    def test_query_for_topic_uses_topic_vocabulary(self, expert_workload):
+        topic = expert_workload.topics[1]
+        query = expert_workload.query_for_topic(topic)
+        assert all(term in expert_workload.topic_terms[topic] for term in query.split())
+
+    def test_topic_vocabularies_are_disjoint(self, expert_workload):
+        seen = set()
+        for topic, terms in expert_workload.topic_terms.items():
+            assert not (seen & set(terms))
+            seen.update(terms)
+
+    def test_deterministic(self):
+        first = generate_expert_triples(10, 30, seed=9)
+        second = generate_expert_triples(10, 30, seed=9)
+        assert [t.as_row() for t in first.triples] == [t.as_row() for t in second.triples]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_expert_triples(0, 10)
+        with pytest.raises(WorkloadError):
+            generate_expert_triples(10, 10, authors_per_document=0)
+
+
+class TestExpertStrategy:
+    def test_returns_people_and_finds_true_experts(self, expert_workload):
+        store = TripleStore()
+        store.add_all(expert_workload.triples)
+        store.load()
+        strategy = build_expert_strategy()
+        topic = expert_workload.topics[0]
+        run = StrategyExecutor(store).run(strategy, query=expert_workload.query_for_topic(topic))
+        nodes = [node for node, _ in run.top(10)]
+        assert nodes
+        assert all(node in expert_workload.person_ids for node in nodes)
+        true_experts = set(expert_workload.experts_on(topic))
+        assert set(nodes[:5]) & true_experts
+
+
+class TestCli:
+    def test_toy_command(self, capsys):
+        exit_code = main(["toy", "--products", "80", "--top", "3", "--seed", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "query:" in output
+        assert "p = " in output
+
+    def test_toy_command_with_explicit_query_and_strategy(self, capsys):
+        exit_code = main(
+            ["toy", "--products", "80", "--query", "wooden train", "--show-strategy"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rank toy products" in output
+
+    def test_toy_command_unknown_category_fails(self, capsys):
+        exit_code = main(["toy", "--products", "40", "--category", "nonexistent"])
+        assert exit_code == 1
+
+    def test_auction_command(self, capsys):
+        exit_code = main(["auction", "--lots", "150", "--top", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lot" in output
+
+    def test_experts_command(self, capsys):
+        exit_code = main(
+            ["experts", "--people", "15", "--documents", "60", "--top", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "person" in output
+
+    def test_spinql_command(self, capsys):
+        exit_code = main(["spinql", 'x = SELECT [$2="category"] (triples);'])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "PRA plan" in output
+        assert "SQL translation" in output
+
+    def test_unknown_command_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            main(["unknown-command"])

@@ -1,0 +1,180 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    generate_auction_triples,
+    generate_collection,
+    generate_product_triples,
+    generate_queries,
+)
+from repro.workloads.vocabulary import ZipfianVocabulary
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocabulary = ZipfianVocabulary(500, seed=1)
+        assert len(vocabulary.words) == 500
+        assert len(set(vocabulary.words)) == 500
+
+    def test_deterministic_for_seed(self):
+        assert ZipfianVocabulary(100, seed=3).words == ZipfianVocabulary(100, seed=3).words
+        assert ZipfianVocabulary(100, seed=3).words != ZipfianVocabulary(100, seed=4).words
+
+    def test_zipf_skew(self):
+        vocabulary = ZipfianVocabulary(1000, seed=2)
+        rng = np.random.default_rng(0)
+        sample = vocabulary.sample(rng, 20_000)
+        counts = {word: 0 for word in vocabulary.words[:10]}
+        for word in sample:
+            if word in counts:
+                counts[word] += 1
+        frequent = counts[vocabulary.words[0]]
+        tenth = counts[vocabulary.words[9]]
+        assert frequent > tenth > 0
+
+    def test_probability_of_rank_decreasing(self):
+        vocabulary = ZipfianVocabulary(100)
+        assert vocabulary.probability_of_rank(1) > vocabulary.probability_of_rank(50)
+        with pytest.raises(WorkloadError):
+            vocabulary.probability_of_rank(0)
+
+    def test_frequent_and_rare_terms(self):
+        vocabulary = ZipfianVocabulary(100)
+        assert vocabulary.frequent_terms(3) == vocabulary.words[:3]
+        assert vocabulary.rare_terms(3) == vocabulary.words[-3:]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianVocabulary(5)
+        with pytest.raises(WorkloadError):
+            ZipfianVocabulary(100, exponent=0)
+
+
+class TestTextCollection:
+    def test_collection_size(self):
+        collection = generate_collection(50, seed=1)
+        assert collection.num_documents == 50
+        assert len({doc_id for doc_id, _ in collection.documents}) == 50
+
+    def test_deterministic(self):
+        assert generate_collection(20, seed=9).documents == generate_collection(20, seed=9).documents
+
+    def test_average_length_close_to_requested(self):
+        collection = generate_collection(200, average_length=40, seed=3)
+        assert 25 <= collection.average_length_terms() <= 60
+
+    def test_to_relation(self):
+        relation = generate_collection(10, seed=2).to_relation()
+        assert relation.schema.names == ["docID", "data"]
+        assert relation.num_rows == 10
+
+    def test_raw_size_positive(self):
+        assert generate_collection(5, seed=1).raw_size_bytes() > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_collection(0)
+        with pytest.raises(WorkloadError):
+            generate_collection(10, average_length=0)
+
+
+class TestProductWorkload:
+    def test_counts_and_required_properties(self, product_workload):
+        assert product_workload.num_products == 120
+        properties = {t.property for t in product_workload.triples}
+        assert {"type", "category", "description", "price"} <= properties
+
+    def test_products_in_category(self, product_workload):
+        toys = product_workload.products_in_category("toy")
+        assert toys
+        assert all(product in product_workload.product_ids for product in toys)
+
+    def test_descriptions_recorded(self, product_workload):
+        product = product_workload.product_ids[0]
+        assert product_workload.descriptions[product]
+
+    def test_extra_properties_increase_property_count(self):
+        base = generate_product_triples(50, seed=2)
+        extended = generate_product_triples(50, seed=2, extra_properties=5)
+        base_properties = {t.property for t in base.triples}
+        extended_properties = {t.property for t in extended.triples}
+        assert len(extended_properties) > len(base_properties)
+
+    def test_price_is_integer_typed(self, product_workload):
+        prices = [t.object for t in product_workload.triples if t.property == "price"]
+        assert all(isinstance(price, int) for price in prices)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_product_triples(0)
+
+
+class TestAuctionWorkload:
+    def test_counts(self, auction_workload):
+        assert auction_workload.num_lots == 150
+        assert auction_workload.num_auctions == 4
+
+    def test_every_lot_has_an_auction(self, auction_workload):
+        assert set(auction_workload.lot_auction.keys()) == set(auction_workload.lot_ids)
+        assert set(auction_workload.lot_auction.values()) <= set(auction_workload.auction_ids)
+
+    def test_default_auction_ratio(self):
+        workload = generate_auction_triples(640, seed=1)
+        assert workload.num_auctions == 2
+
+    def test_lot_descriptions_share_terms_with_their_auction(self, auction_workload):
+        lot = auction_workload.lot_ids[0]
+        auction = auction_workload.lot_auction[lot]
+        lot_terms = set(auction_workload.lot_descriptions[lot].split())
+        auction_terms = set(auction_workload.auction_descriptions[auction].split())
+        assert lot_terms & auction_terms
+
+    def test_triples_contain_has_auction_edges(self, auction_workload):
+        edges = [t for t in auction_workload.triples if t.property == "hasAuction"]
+        assert len(edges) == auction_workload.num_lots
+
+    def test_lots_in_auction(self, auction_workload):
+        auction = auction_workload.auction_ids[0]
+        lots = auction_workload.lots_in_auction(auction)
+        assert all(auction_workload.lot_auction[lot] == auction for lot in lots)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_auction_triples(0)
+        with pytest.raises(WorkloadError):
+            generate_auction_triples(10, 0)
+        with pytest.raises(WorkloadError):
+            generate_auction_triples(10, 2, shared_term_fraction=1.5)
+
+
+class TestQueryWorkload:
+    def test_query_count_and_length(self):
+        vocabulary = ZipfianVocabulary(200, seed=1)
+        workload = generate_queries(vocabulary, 30, terms_per_query=3, seed=5)
+        assert len(workload) == 30
+        assert all(len(query.split()) == 3 for query in workload)
+
+    def test_deterministic(self):
+        vocabulary = ZipfianVocabulary(200, seed=1)
+        first = generate_queries(vocabulary, 10, seed=5).queries
+        second = generate_queries(vocabulary, 10, seed=5).queries
+        assert first == second
+
+    def test_queries_drawn_from_vocabulary(self):
+        vocabulary = ZipfianVocabulary(200, seed=1)
+        workload = generate_queries(vocabulary, 20, seed=2)
+        words = set(vocabulary.words)
+        for query in workload:
+            assert all(term in words for term in query.split())
+
+    def test_validation(self):
+        vocabulary = ZipfianVocabulary(200, seed=1)
+        with pytest.raises(WorkloadError):
+            generate_queries(vocabulary, 0)
+        with pytest.raises(WorkloadError):
+            generate_queries(vocabulary, 5, terms_per_query=0)
+        with pytest.raises(WorkloadError):
+            generate_queries(vocabulary, 5, rare_term_fraction=2.0)
