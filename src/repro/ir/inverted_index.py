@@ -95,9 +95,17 @@ class InvertedIndex:
         return sorted(self._postings)
 
     def posting_list(self, term: str) -> list[tuple[Any, int]]:
-        """Return the ``(doc, pos)`` posting list of ``term`` (Figure 1a)."""
-        normalized = self._normalize(term)
-        return list(self._postings.get(normalized, []))
+        """Return the ``(doc, pos)`` posting list of ``term`` (Figure 1a).
+
+        ``term`` may be either raw query text or an already-normalized
+        vocabulary term.  The raw spelling is tried first: stemming is not
+        idempotent (e.g. Porter maps "agreed" to "agre" but re-stems "agre"
+        to "agr"), so re-analyzing a vocabulary term can miss its postings.
+        """
+        postings = self._postings.get(term)
+        if postings is None:
+            postings = self._postings.get(self._normalize(term), [])
+        return list(postings)
 
     def document_frequency(self, term: str) -> int:
         """Number of distinct documents containing ``term``."""

@@ -29,7 +29,7 @@ from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
 from repro.relational.column import Column, DataType
 from repro.relational.expressions import Expression
 from repro.relational.functions import FunctionRegistry
-from repro.relational.operators import hash_join_indices
+from repro.relational.operators import group_codes, group_segments, hash_join_indices
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
 
@@ -73,6 +73,36 @@ def project(
         projected = projected.rename(dict(zip(columns, output_names)))
     probabilities = input_relation.probabilities()
 
+    try:
+        codes, representatives = group_codes(projected, projected.schema.names)
+    except TypeError:
+        return _project_merge_rows(projected, probabilities, assumption)
+    num_groups = len(representatives)
+    if num_groups and projected.num_rows:
+        order, starts = group_segments(codes, num_groups)
+        sorted_probabilities = probabilities[order]
+        if assumption is Assumption.INDEPENDENT:
+            merged = 1.0 - np.multiply.reduceat(1.0 - sorted_probabilities, starts)
+        elif assumption is Assumption.DISJOINT:
+            merged = np.minimum(np.add.reduceat(sorted_probabilities, starts), 1.0)
+        else:
+            merged = np.maximum.reduceat(sorted_probabilities, starts)
+    else:
+        merged = np.empty(0, dtype=np.float64)
+
+    values = projected.take(representatives)
+    column = Column(merged.astype(np.float64), DataType.FLOAT)
+    return ProbabilisticRelation(
+        values.with_column(PROBABILITY_COLUMN, column), validate=False
+    )
+
+
+def _project_merge_rows(
+    projected: Relation,
+    probabilities: np.ndarray,
+    assumption: Assumption,
+) -> ProbabilisticRelation:
+    """Row-at-a-time duplicate merge: fallback for non-orderable values."""
     merged: "OrderedDict[tuple[Any, ...], float]" = OrderedDict()
     for index, row in enumerate(projected.rows()):
         probability = float(probabilities[index])
@@ -186,6 +216,30 @@ def bayes(
     probabilities = input_relation.probabilities()
     if input_relation.num_rows == 0:
         return input_relation
+    try:
+        codes, representatives = group_codes(
+            input_relation.relation, list(evidence_columns)
+        )
+    except TypeError:
+        return _bayes_rows(input_relation, evidence_columns, probabilities)
+    num_groups = max(len(representatives), 1)
+    totals = np.bincount(codes, weights=probabilities, minlength=num_groups)
+    row_totals = totals[codes]
+    normalised = np.divide(
+        probabilities,
+        row_totals,
+        out=np.zeros(len(probabilities), dtype=np.float64),
+        where=row_totals > 0,
+    )
+    return input_relation.with_probabilities(normalised)
+
+
+def _bayes_rows(
+    input_relation: ProbabilisticRelation,
+    evidence_columns: Sequence[str],
+    probabilities: np.ndarray,
+) -> ProbabilisticRelation:
+    """Row-at-a-time evidence grouping: fallback for non-orderable values."""
     if evidence_columns:
         values = input_relation.relation.select_columns(list(evidence_columns))
         keys = list(values.rows())

@@ -81,8 +81,8 @@ class Values(LogicalPlan):
         return self
 
     def fingerprint(self) -> str:
-        rows = ";".join(",".join(map(repr, row)) for row in self.relation.rows())
-        return f"values({self.label}:{self.relation.schema.names}:{hash(rows)})"
+        content = self.relation.content_fingerprint()
+        return f"values({self.label}:{self.relation.schema.names}:{content})"
 
     def _describe_self(self) -> str:
         return f"Values({self.label}, rows={self.relation.num_rows})"

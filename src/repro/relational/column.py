@@ -98,13 +98,20 @@ class Column:
     Columns are the unit of data flow in the engine.  They are cheap to
     slice and to select from via boolean masks or index arrays, which is how
     the physical operators implement selection and joins.
+
+    Columns also support dictionary encoding via :meth:`factorize`: the
+    dense integer codes are computed once, cached, and propagated through
+    :meth:`take`/:meth:`filter`/:meth:`slice`, so repeated joins and
+    aggregations over the same (or derived) columns skip the encoding step.
     """
 
-    __slots__ = ("_dtype", "_values")
+    __slots__ = ("_dtype", "_values", "_codes", "_dictionary")
 
     def __init__(self, values: Iterable[Any] | np.ndarray, dtype: DataType):
         self._dtype = dtype
         self._values = _coerce_array(values, dtype)
+        self._codes: np.ndarray | None = None
+        self._dictionary: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -180,11 +187,45 @@ class Column:
         suffix = ", ..." if len(self) > 6 else ""
         return f"Column<{self._dtype.value}>[{preview}{suffix}]"
 
+    # -- dictionary encoding ----------------------------------------------
+
+    def factorize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(codes, dictionary)`` such that ``dictionary[codes] == values``.
+
+        ``codes`` is an ``int64`` array of dense non-negative integers and
+        ``dictionary`` holds the encoded values in sorted order.  The result
+        is cached on the column (columns are immutable) and propagated by
+        :meth:`take`/:meth:`filter`/:meth:`slice`, in which case the
+        dictionary may contain values no longer present in the column; codes
+        remain valid indices into it.
+
+        Raises :class:`TypeError` when the values are not totally orderable
+        (e.g. an object column mixing strings and numbers) or when a float
+        column contains NaN — ``np.unique`` collapses NaNs while the
+        row-at-a-time kernels follow Python's ``NaN != NaN``; callers fall
+        back to row-at-a-time hashing in both cases.
+        """
+        if self._codes is None:
+            if self._dtype is DataType.FLOAT and np.isnan(self._values).any():
+                raise TypeError("cannot factorize a float column containing NaN")
+            dictionary, codes = np.unique(self._values, return_inverse=True)
+            self._codes = codes.astype(np.int64, copy=False).reshape(-1)
+            self._dictionary = dictionary
+        return self._codes, self._dictionary
+
+    def _derive(self, values: np.ndarray, selector: Any) -> "Column":
+        """Build a derived column, carrying the factorization cache along."""
+        column = Column(values, self._dtype)
+        if self._codes is not None:
+            column._codes = self._codes[selector]
+            column._dictionary = self._dictionary
+        return column
+
     # -- vectorised manipulation ------------------------------------------
 
     def take(self, indices: np.ndarray) -> "Column":
         """Return a new column containing the rows at ``indices``."""
-        return Column(self._values[indices], self._dtype)
+        return self._derive(self._values[indices], indices)
 
     def filter(self, mask: np.ndarray) -> "Column":
         """Return a new column keeping only rows where ``mask`` is True."""
@@ -192,11 +233,11 @@ class Column:
             raise ColumnError(
                 f"mask length {len(mask)} does not match column length {len(self._values)}"
             )
-        return Column(self._values[mask], self._dtype)
+        return self._derive(self._values[mask], mask)
 
     def slice(self, start: int, stop: int) -> "Column":
         """Return the rows in ``[start, stop)`` as a new column."""
-        return Column(self._values[start:stop], self._dtype)
+        return self._derive(self._values[start:stop], slice(start, stop))
 
     def concat(self, other: "Column") -> "Column":
         """Concatenate two columns of the same type."""
@@ -230,6 +271,31 @@ class Column:
         """Return True if the column values are non-decreasing."""
         values = self.to_list()
         return all(a <= b for a, b in zip(values, values[1:]))
+
+
+def combine_codes(columns: Sequence["Column"], num_rows: int) -> np.ndarray:
+    """Combine the factorization codes of ``columns`` into one code per row.
+
+    Rows receive equal codes iff they agree on every column.  The codes are
+    built by mixed-radix combination of the per-column dictionary codes,
+    re-densified after every step so the intermediate values stay far from
+    ``int64`` overflow.  Codes are *not* guaranteed dense or ordered; use
+    ``np.unique`` on the result for group identification.
+
+    Raises :class:`TypeError` when any column cannot be factorized.
+    """
+    codes: np.ndarray | None = None
+    for column in columns:
+        column_codes, dictionary = column.factorize()
+        if codes is None:
+            codes = column_codes
+            continue
+        codes = codes * max(len(dictionary), 1) + column_codes
+        _, codes = np.unique(codes, return_inverse=True)
+        codes = codes.astype(np.int64, copy=False).reshape(-1)
+    if codes is None:
+        return np.zeros(num_rows, dtype=np.int64)
+    return codes
 
 
 def _parse_bool(text: str) -> bool:

@@ -2,10 +2,20 @@
 
 The :class:`Executor` walks a :class:`~repro.relational.algebra.LogicalPlan`
 bottom-up and produces a :class:`~repro.relational.relation.Relation` for
-every node.  Execution is column-at-a-time: selection evaluates the
-predicate once over the whole input and applies the resulting boolean mask,
-the equi-join builds a hash table on the smaller input and probes it with the
-larger one, and aggregation groups via a dictionary of key tuples.
+every node.  Execution is column-at-a-time over NumPy arrays: selection
+evaluates the predicate once over the whole input and applies the resulting
+boolean mask; the equi-join dictionary-encodes both key sides into a shared
+integer domain, sorts the build side's codes once, and probes with
+``np.searchsorted`` range lookups; aggregation factorizes the group keys
+into dense codes and evaluates ``count``/``sum``/``avg``/``min``/``max``
+with ``np.bincount`` and ``np.ufunc.reduceat`` over the argsorted codes.
+
+Columns cache their dictionary codes (see
+:meth:`~repro.relational.column.Column.factorize`), so repeated joins
+against the same relation — e.g. the term-lookup join of Figure 1 — pay the
+encoding cost only once.  Inputs whose key values are not totally orderable
+fall back to the original row-at-a-time hash kernels, which are kept both as
+that fallback and as the reference implementation for equivalence tests.
 
 This mirrors the execution model of the column store the paper runs on; the
 goal is that the *relative* performance behaviour (e.g. materialised
@@ -38,7 +48,7 @@ from repro.relational.algebra import (
     Union,
     Values,
 )
-from repro.relational.column import Column, DataType
+from repro.relational.column import Column, DataType, combine_codes
 from repro.relational.expressions import Expression
 from repro.relational.functions import FunctionRegistry
 from repro.relational.relation import Relation
@@ -164,10 +174,89 @@ def hash_join_indices(
 
     Returns two integer arrays of equal length: positions into ``left`` and
     positions into ``right``.  For a left outer join, unmatched left rows are
-    emitted with a right index of ``-1``.
+    emitted with a right index of ``-1``.  Output pairs are ordered by left
+    row, then by right row within each left row.
     """
     if len(left_keys) != len(right_keys) or not left_keys:
         raise PlanError("join requires at least one (left, right) key pair")
+    try:
+        return _join_indices_vectorized(left, right, left_keys, right_keys, how)
+    except TypeError:
+        return _join_indices_rows(left, right, left_keys, right_keys, how)
+
+
+def _joint_key_codes(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode both sides' join keys into one shared integer code space.
+
+    Per key pair, the two columns' (cached) dictionaries are merged into a
+    common sorted domain and each side's codes are remapped into it; multiple
+    key pairs combine by mixed radix with re-densification.  Rows compare
+    equal across sides iff their codes are equal.
+    """
+    left_codes: np.ndarray | None = None
+    right_codes: np.ndarray | None = None
+    for left_name, right_name in zip(left_keys, right_keys):
+        lcodes, ldict = left.column(left_name).factorize()
+        rcodes, rdict = right.column(right_name).factorize()
+        domain = np.unique(np.concatenate([ldict, rdict]))
+        lcol = np.searchsorted(domain, ldict)[lcodes] if len(ldict) else lcodes
+        rcol = np.searchsorted(domain, rdict)[rcodes] if len(rdict) else rcodes
+        if left_codes is None:
+            left_codes, right_codes = lcol, rcol
+        else:
+            left_codes = left_codes * len(domain) + lcol
+            right_codes = right_codes * len(domain) + rcol
+            stacked = np.concatenate([left_codes, right_codes])
+            _, stacked = np.unique(stacked, return_inverse=True)
+            stacked = stacked.astype(np.int64, copy=False).reshape(-1)
+            left_codes = stacked[: len(left_codes)]
+            right_codes = stacked[len(left_codes) :]
+    return left_codes, right_codes
+
+
+def _join_indices_vectorized(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    how: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    left_codes, right_codes = _joint_key_codes(left, right, left_keys, right_keys)
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = ends - starts
+    if how == "left":
+        # unmatched left rows point one past the sorted build side, where a
+        # sentinel -1 is appended, and emit exactly one output row
+        unmatched = counts == 0
+        starts = np.where(unmatched, len(order), starts)
+        counts = np.where(unmatched, 1, counts)
+        order = np.concatenate([order, np.asarray([-1], dtype=np.int64)])
+    total = int(counts.sum())
+    left_out = np.repeat(np.arange(left.num_rows, dtype=np.int64), counts)
+    if total == 0:
+        return left_out, np.empty(0, dtype=np.int64)
+    output_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(output_starts, counts)
+    right_out = order[np.repeat(starts, counts) + offsets]
+    return left_out, right_out.astype(np.int64, copy=False)
+
+
+def _join_indices_rows(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-at-a-time reference join: fallback for non-orderable key values."""
     right_key_columns = [right.column(name).to_list() for name in right_keys]
     table: dict[tuple[Any, ...], list[int]] = defaultdict(list)
     for row_index in range(right.num_rows):
@@ -219,16 +308,138 @@ _AGGREGATE_OUTPUT_TYPES = {
 }
 
 
+def group_codes(relation: Relation, keys: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each row of ``relation`` a dense group id in first-seen order.
+
+    Returns ``(codes, representatives)``: ``codes[i]`` is the group of row
+    ``i`` (``0 .. G-1``, numbered in order of each group's first occurrence)
+    and ``representatives[g]`` is the row index of group ``g``'s first row.
+    With empty ``keys`` every row belongs to one global group.
+
+    Raises :class:`TypeError` when a key column cannot be factorized; callers
+    fall back to dictionary grouping in that case.
+    """
+    num_rows = relation.num_rows
+    if not keys:
+        return np.zeros(num_rows, dtype=np.int64), np.zeros(min(num_rows, 1), dtype=np.int64)
+    raw = combine_codes([relation.column(name) for name in keys], num_rows)
+    uniques, first_seen, inverse = np.unique(raw, return_index=True, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    by_first_seen = np.argsort(first_seen, kind="stable")
+    rank = np.empty(len(uniques), dtype=np.int64)
+    rank[by_first_seen] = np.arange(len(uniques), dtype=np.int64)
+    return rank[inverse], first_seen[by_first_seen]
+
+
+def group_segments(codes: np.ndarray, num_groups: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(order, segment_starts)`` for segmented reductions over groups.
+
+    ``order`` stably sorts rows by group code (preserving row order within
+    each group) and ``segment_starts[g]`` is the offset of group ``g``'s
+    first row in the sorted view — the index array ``np.ufunc.reduceat``
+    expects.  Requires every group ``0 .. num_groups-1`` to be non-empty.
+    """
+    order = np.argsort(codes, kind="stable")
+    segment_starts = np.searchsorted(codes[order], np.arange(num_groups))
+    return order, segment_starts
+
+
 def aggregate_relation(
     relation: Relation,
     keys: Sequence[str],
     aggregates: Sequence[AggregateSpec],
 ) -> Relation:
-    """Group ``relation`` by ``keys`` and evaluate ``aggregates`` per group."""
+    """Group ``relation`` by ``keys`` and evaluate ``aggregates`` per group.
+
+    Output groups appear in order of first occurrence of their key values.
+    """
     for spec in aggregates:
         if spec.function not in _AGGREGATE_OUTPUT_TYPES:
             raise PlanError(f"unknown aggregate function {spec.function!r}")
+    try:
+        return _aggregate_relation_vectorized(relation, keys, aggregates)
+    except TypeError:
+        return _aggregate_relation_rows(relation, keys, aggregates)
 
+
+def _aggregate_relation_vectorized(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Relation:
+    codes, representatives = group_codes(relation, keys)
+    num_groups = len(representatives) if keys else 1
+
+    # one stable sort by group code shared by every reduceat-based aggregate
+    order: np.ndarray | None = None
+    segment_starts: np.ndarray | None = None
+    if relation.num_rows and any(spec.function != "count" for spec in aggregates):
+        order, segment_starts = group_segments(codes, num_groups)
+
+    fields: list[Field] = []
+    columns: list[Column] = []
+    for name in keys:
+        fields.append(Field(name, relation.schema.dtype_of(name)))
+        columns.append(relation.column(name).take(representatives))
+
+    for spec in aggregates:
+        values, dtype = _evaluate_aggregate_vectorized(
+            relation, spec, codes, num_groups, order, segment_starts
+        )
+        fields.append(Field(spec.output_name, dtype))
+        columns.append(Column(values, dtype))
+
+    return Relation(Schema(fields), columns)
+
+
+def _evaluate_aggregate_vectorized(
+    relation: Relation,
+    spec: AggregateSpec,
+    codes: np.ndarray,
+    num_groups: int,
+    order: np.ndarray | None,
+    segment_starts: np.ndarray | None,
+) -> tuple[np.ndarray | list[Any], DataType]:
+    if spec.function == "count":
+        counts = np.bincount(codes, minlength=num_groups).astype(np.int64)
+        return counts, DataType.INT
+
+    if spec.input_column is None:
+        raise PlanError(f"aggregate {spec.function!r} requires an input column")
+    column = relation.column(spec.input_column)
+
+    if spec.function == "avg":
+        output_dtype = DataType.FLOAT
+    elif spec.function == "sum":
+        output_dtype = DataType.INT if column.dtype is DataType.INT else DataType.FLOAT
+    else:
+        output_dtype = column.dtype
+
+    if relation.num_rows == 0:
+        # the global group over an empty input aggregates to the 0 surrogate
+        return [0] * num_groups, output_dtype
+
+    values = column.values
+    if spec.function in ("sum", "avg"):
+        if column.dtype is DataType.STRING:
+            raise TypeError(f"cannot {spec.function} a string column")
+        if column.dtype is DataType.BOOL:
+            values = values.astype(np.int64)
+        sums = np.add.reduceat(values[order], segment_starts)
+        if spec.function == "sum":
+            return sums, output_dtype
+        counts = np.bincount(codes, minlength=num_groups)
+        return sums.astype(np.float64) / counts, output_dtype
+    reducer = np.minimum if spec.function == "min" else np.maximum
+    return reducer.reduceat(values[order], segment_starts), output_dtype
+
+
+def _aggregate_relation_rows(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Relation:
+    """Row-at-a-time reference aggregation: fallback for non-orderable keys."""
     key_columns = [relation.column(name) for name in keys]
     groups: dict[tuple[Any, ...], list[int]] = defaultdict(list)
     if keys:

@@ -16,16 +16,17 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ColumnError, SchemaError
-from repro.relational.column import Column, DataType
+from repro.relational.column import Column, DataType, combine_codes
 from repro.relational.schema import Field, Schema
 
 
 class Relation:
     """An immutable columnar table."""
 
-    __slots__ = ("_schema", "_columns", "_num_rows")
+    __slots__ = ("_schema", "_columns", "_num_rows", "_fingerprint")
 
     def __init__(self, schema: Schema, columns: Sequence[Column]):
+        self._fingerprint: int | None = None
         if len(schema) != len(columns):
             raise SchemaError(
                 f"schema has {len(schema)} fields but {len(columns)} columns were given"
@@ -132,6 +133,24 @@ class Relation:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation({self._schema!r}, rows={self._num_rows})"
 
+    def content_fingerprint(self) -> int:
+        """A process-stable hash of the schema and data, computed once.
+
+        Relations are immutable, so the result is cached; plan fingerprinting
+        (e.g. :class:`~repro.relational.algebra.Values` nodes embedding large
+        constant relations) relies on this to stay O(1) after the first call.
+        """
+        if self._fingerprint is None:
+            parts: list[int] = [hash(tuple(self._schema.names))]
+            for column in self._columns:
+                values = column.values
+                if values.dtype == object:
+                    parts.append(hash(tuple(values.tolist())))
+                else:
+                    parts.append(hash((str(values.dtype), values.tobytes())))
+            self._fingerprint = hash(tuple(parts))
+        return self._fingerprint
+
     # -- vectorised manipulation -------------------------------------------
 
     def filter(self, mask: np.ndarray) -> "Relation":
@@ -219,6 +238,18 @@ class Relation:
 
     def distinct(self) -> "Relation":
         """Remove duplicate rows, keeping the first occurrence of each."""
+        if self._num_rows == 0:
+            return self
+        try:
+            codes = combine_codes(self._columns, self._num_rows)
+        except TypeError:
+            return self._distinct_rows()
+        keep = np.zeros(self._num_rows, dtype=bool)
+        keep[np.unique(codes, return_index=True)[1]] = True
+        return self.filter(keep)
+
+    def _distinct_rows(self) -> "Relation":
+        """Row-at-a-time fallback for rows whose values cannot be factorized."""
         seen: set[tuple[Any, ...]] = set()
         keep = np.zeros(self._num_rows, dtype=bool)
         for index, row in enumerate(self.rows()):

@@ -9,19 +9,33 @@ against the published examples.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.text.stemming.base import Stemmer
 
 _VOWELS = set("aeiou")
 
+#: size of the per-instance stem memo; index builds see far fewer distinct
+#: tokens than occurrences, so a bounded LRU captures nearly all repeats
+_STEM_CACHE_SIZE = 65536
+
 
 class PorterStemmer(Stemmer):
-    """English suffix-stripping stemmer (Porter, 1980)."""
+    """English suffix-stripping stemmer (Porter, 1980).
+
+    Stemming is deterministic, so results are memoized per instance with a
+    bounded LRU cache: index builds stem every token occurrence, and the
+    distinct-token count is orders of magnitude below the occurrence count.
+    """
 
     language = "english"
 
+    def __init__(self) -> None:
+        self.stem = lru_cache(maxsize=_STEM_CACHE_SIZE)(self._stem_uncached)
+
     # -- public API -----------------------------------------------------------
 
-    def stem(self, token: str) -> str:
+    def _stem_uncached(self, token: str) -> str:
         word = token.lower()
         if len(word) <= 2:
             return word

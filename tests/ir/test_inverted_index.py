@@ -79,6 +79,47 @@ class TestLookup:
         assert all(position >= 0 for position in positions)
 
 
+class TestNonIdempotentStems:
+    """Porter stemming is not idempotent: "agreed" stems to "agre", but
+    re-stemming "agre" yields "agr".  Vocabulary terms (already stemmed) must
+    therefore be looked up raw, never re-analyzed, or their postings vanish.
+    """
+
+    @pytest.fixture
+    def stemmed_index(self):
+        analyzer = StandardAnalyzer("english")
+        # sanity-check the premise before relying on it
+        stemmed = analyzer.analyze("agreed")[0]
+        assert stemmed == "agre"
+        assert analyzer.analyze(stemmed)[0] != stemmed
+        return InvertedIndex.from_documents(
+            [(1, "they agreed to the plan"), (2, "everyone agreed loudly")],
+            analyzer,
+        )
+
+    def test_posting_list_accepts_vocabulary_terms(self, stemmed_index):
+        assert "agre" in stemmed_index.vocabulary
+        assert {doc for doc, _ in stemmed_index.posting_list("agre")} == {1, 2}
+
+    def test_posting_list_still_normalizes_raw_terms(self, stemmed_index):
+        assert {doc for doc, _ in stemmed_index.posting_list("agreed")} == {1, 2}
+
+    def test_document_frequency_of_vocabulary_term(self, stemmed_index):
+        assert stemmed_index.document_frequency("agre") == 2
+        assert stemmed_index.document_frequency("agreed") == 2
+
+    def test_term_frequency_of_vocabulary_term(self, stemmed_index):
+        assert stemmed_index.term_frequency("agre", 1) == 1
+        assert stemmed_index.term_frequency("agreed", 2) == 1
+
+    def test_posting_lists_cover_relation(self, stemmed_index):
+        """Summing posting lists over the vocabulary reconstructs the relation."""
+        relation = stemmed_index.to_relation()
+        assert relation.num_rows == sum(
+            len(stemmed_index.posting_list(term)) for term in stemmed_index.vocabulary
+        )
+
+
 class TestRelationalForm:
     def test_to_relation_schema(self, figure1_index):
         relation = figure1_index.to_relation()

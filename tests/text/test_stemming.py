@@ -81,6 +81,21 @@ class TestPorterStemmer:
         stemmer = PorterStemmer()
         assert stemmer.stem("connect") == stemmer.stem("connected") == stemmer.stem("connecting")
 
+    def test_memoizes_repeated_tokens(self):
+        stemmer = PorterStemmer()
+        stemmer.stem("running")
+        before = stemmer.stem.cache_info()
+        assert stemmer.stem("running") == "run"
+        after = stemmer.stem.cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_caches_are_per_instance(self):
+        first, second = PorterStemmer(), PorterStemmer()
+        first.stem("jumping")
+        assert second.stem.cache_info().currsize == 0
+        assert second.stem("jumping") == first.stem("jumping")
+
 
 class TestOtherStemmers:
     def test_identity(self):
