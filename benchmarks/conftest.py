@@ -4,6 +4,10 @@ Workloads are generated once per session; individual benchmarks time the hot
 operations with pytest-benchmark and print ResultTable sweeps whose rows feed
 EXPERIMENTS.md.
 
+Stores and executors are built through the :class:`~repro.engine.Engine`
+facade — the same entry point the CLI and examples use — so the benchmark
+numbers measure the public API path.
+
 All sizes are laptop-scale stand-ins for the paper's collections (1.1M raw
 text documents; 8M lots): the absolute numbers differ, the relative shapes
 (hot vs. cold, scaling with size and query length, branch composition) are
@@ -14,9 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.relational.database import Database
-from repro.strategy import StrategyExecutor, build_auction_strategy
-from repro.triples import TripleStore
+from repro.engine import Engine
 from repro.workloads import (
     generate_auction_triples,
     generate_collection,
@@ -32,10 +34,13 @@ def text_collection():
 
 
 @pytest.fixture(scope="session")
-def text_database(text_collection):
-    db = Database()
-    db.create_table("docs", text_collection.to_relation())
-    return db
+def text_engine(text_collection):
+    return Engine().create_table("docs", text_collection.to_relation())
+
+
+@pytest.fixture(scope="session")
+def text_database(text_engine):
+    return text_engine.database
 
 
 @pytest.fixture(scope="session")
@@ -56,25 +61,28 @@ def auction_workload_bench():
 
 
 @pytest.fixture(scope="session")
-def auction_store_bench(auction_workload_bench):
-    store = TripleStore()
-    store.add_all(auction_workload_bench.triples)
-    store.load()
-    return store
+def auction_engine(auction_workload_bench):
+    """One engine session over the auction graph (the facade the CLI uses)."""
+    return Engine.from_triples(auction_workload_bench.triples)
 
 
 @pytest.fixture(scope="session")
-def auction_executor(auction_store_bench):
-    return StrategyExecutor(auction_store_bench)
+def auction_store_bench(auction_engine):
+    return auction_engine.store
 
 
 @pytest.fixture(scope="session")
-def warm_auction_strategy(auction_executor, auction_workload_bench):
+def auction_executor(auction_engine):
+    return auction_engine.executor
+
+
+@pytest.fixture(scope="session")
+def warm_auction_strategy(auction_engine, auction_workload_bench):
     """The Figure 3 strategy with both on-demand indexes already built (hot state)."""
-    strategy = build_auction_strategy()
     query = " ".join(auction_workload_bench.lot_descriptions["lot1"].split()[:3])
-    auction_executor.run(strategy, query=query)
-    return strategy
+    strategy = auction_engine.strategy("auction")
+    strategy.execute(query=query)
+    return strategy.graph
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,7 @@ that the engine maintains.
 
 from repro.bench.harness import measure_latency
 from repro.bench.reporting import ResultTable
-from repro.ir import KeywordSearchEngine
+from repro.engine import Engine
 from repro.ir.statistics import RelationalStatisticsBuilder
 from repro.relational.database import Database
 from repro.workloads import generate_collection, generate_queries
@@ -38,21 +38,25 @@ def test_e9_statistics_views_first_vs_repeat(benchmark):
 
 
 def test_e9_query_latency_hot_vs_cold_engine(benchmark):
-    """End-to-end: per-query latency with and without reusable statistics."""
+    """End-to-end: per-query latency with and without reusable statistics.
+
+    Both paths go through the facade: the cold path opens a fresh session per
+    query (statistics rebuilt each time), the hot path reuses one engine whose
+    cached search statistics stay warm across queries.
+    """
     collection = generate_collection(1000, average_length=40, seed=5)
     queries = generate_queries(collection.vocabulary, 6, terms_per_query=3, seed=2)
-    db = Database()
-    db.create_table("docs", collection.to_relation())
+    engine = Engine().create_table("docs", collection.to_relation())
 
     def cold_query():
-        engine = KeywordSearchEngine(db, "docs")
-        return engine.search(queries.queries[0], top_k=10)
+        fresh = Engine(engine.database)
+        return fresh.search("docs", queries.queries[0], top_k=10).execute()
 
-    hot_engine = KeywordSearchEngine(db, "docs")
-    hot_engine.warm_up()
+    hot_query = engine.search("docs", top_k=10)
+    hot_query.execute(query=queries.queries[0])  # warm the statistics
 
     cold = measure_latency(cold_query, repetitions=2)
-    hot = measure_latency(lambda: hot_engine.search(queries.queries[1], top_k=10), repetitions=6, warmup=1)
+    hot = measure_latency(lambda: hot_query.execute(query=queries.queries[1]), repetitions=6, warmup=1)
 
     table = ResultTable(
         "E9 — per-query cost with and without materialised statistics (1000 docs)",
@@ -63,7 +67,7 @@ def test_e9_query_latency_hot_vs_cold_engine(benchmark):
     table.print()
 
     assert hot.mean_ms < cold.mean_ms
-    benchmark(hot_engine.search, queries.queries[2])
+    benchmark(lambda: hot_query.execute(query=queries.queries[2]))
 
 
 def test_e9_cache_invalidation_on_update(benchmark):

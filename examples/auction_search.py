@@ -2,20 +2,21 @@
 """The real-world scenario (Section 3, Figure 3): rank auction lots.
 
 The script generates a synthetic auction graph (a scaled-down stand-in for
-the paper's 8M-lot customer database), builds the Figure 3 strategy — rank
-lots by their own description and by the description of the auction they
-belong to, mixed with weights — and replays a small query workload, printing
-per-query latency and the requests-per-day extrapolation that corresponds to
-the paper's production numbers (150,000 requests/day at ~150 ms).
+the paper's 8M-lot customer database), builds the Figure 3 strategy through
+the engine facade — rank lots by their own description and by the
+description of the auction they belong to, mixed with weights — and replays
+a small query workload with :meth:`~repro.engine.query.Query.execute_many`,
+printing per-query latency and the requests-per-day extrapolation that
+corresponds to the paper's production numbers (150,000 requests/day at
+~150 ms).
 
 Run with:  python examples/auction_search.py [num_lots] [num_queries]
 """
 
 import sys
 
+from repro import Engine
 from repro.bench.harness import LatencyStats, throughput_per_day
-from repro.strategy import StrategyExecutor, build_auction_strategy, render_ascii
-from repro.triples import TripleStore
 from repro.workloads import generate_auction_triples, generate_queries
 
 
@@ -30,27 +31,21 @@ def main() -> None:
         f"{len(workload.triples)} triples"
     )
 
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
-
-    strategy = build_auction_strategy(lot_weight=0.7, auction_weight=0.3)
+    engine = Engine.from_triples(workload.triples)
+    strategy = engine.strategy("auction", lot_weight=0.7, auction_weight=0.3)
     print()
-    print(render_ascii(strategy))
+    print(strategy.explain())
 
-    executor = StrategyExecutor(store)
     queries = generate_queries(workload.vocabulary, num_queries, terms_per_query=3, seed=5)
 
     # the first query is "cold": it builds both on-demand indexes
     first_query = queries.queries[0]
-    cold_run = executor.run(strategy, query=first_query)
+    cold_run = strategy.execute(query=first_query)
     print(f"Cold query ({first_query!r}): {cold_run.elapsed_seconds * 1000:.1f} ms "
           f"(builds two on-demand inverted indexes)")
 
-    samples = []
-    for query in queries.queries[1:]:
-        run = executor.run(strategy, query=query)
-        samples.append(run.elapsed_seconds * 1000.0)
+    runs = strategy.execute_many([{"query": query} for query in queries.queries[1:]])
+    samples = [run.elapsed_seconds * 1000.0 for run in runs]
     stats = LatencyStats(samples)
 
     print(f"\nHot queries ({len(samples)}):")
@@ -64,7 +59,7 @@ def main() -> None:
     )
 
     print("\nSample result for the last query:")
-    last_run = executor.run(strategy, query=queries.queries[-1])
+    last_run = runs[-1]
     for node, probability in last_run.top(5):
         auction = workload.lot_auction[node]
         print(f"  {node:<10} p = {probability:.3f}   (in {auction})")

@@ -5,28 +5,24 @@ Section 3 notes that the production strategy adds "query expansion with
 synonyms and compound terms" on top of the Figure 3 strategy, at no extra
 engineering cost.  This example builds a synonym dictionary and a compound
 expander over the collection vocabulary, runs the same queries through the
-plain and the expanded strategy, and reports the recall difference and the
-latency overhead.
+plain and the expanded strategy (both lazy queries off one engine), and
+reports the recall difference and the latency overhead.
 
 Run with:  python examples/expanded_auction_search.py [num_lots]
 """
 
 import sys
 
+from repro import Engine
 from repro.bench.harness import LatencyStats
 from repro.ir.query_expansion import ChainedExpander, CompoundExpander, SynonymExpander
-from repro.strategy import StrategyExecutor, build_auction_strategy
-from repro.strategy.prebuilt import build_expanded_auction_strategy
-from repro.triples import TripleStore
 from repro.workloads import generate_auction_triples
 
 
 def main() -> None:
     num_lots = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
     workload = generate_auction_triples(num_lots, seed=53)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
+    engine = Engine.from_triples(workload.triples)
 
     # synonym dictionary: invented user vocabulary mapped to collection terms
     frequent = workload.vocabulary.frequent_terms(20)
@@ -38,9 +34,8 @@ def main() -> None:
         ]
     )
 
-    plain = build_auction_strategy()
-    expanded = build_expanded_auction_strategy(expander)
-    executor = StrategyExecutor(store)
+    plain = engine.strategy("auction")
+    expanded = engine.strategy("expanded-auction", expander=expander)
 
     # queries phrased in the "user vocabulary": only the expanded strategy can
     # map them onto collection terms
@@ -50,22 +45,20 @@ def main() -> None:
 
     print("Recall on user-vocabulary queries (results found):")
     for query in user_queries:
-        plain_run = executor.run(plain, query=query)
-        expanded_run = executor.run(expanded, query=query)
+        plain_run = plain.execute(query=query)
+        expanded_run = expanded.execute(query=query)
         print(
             f"  {query!r:<28} plain: {plain_run.result.num_rows:5d}   "
             f"expanded: {expanded_run.result.num_rows:5d}"
         )
 
     print("\nLatency on collection-term queries (hot, ms):")
-    plain_samples, expanded_samples = [], []
-    executor.run(plain, query=collection_queries[0])      # warm up indexes
-    executor.run(expanded, query=collection_queries[0])
-    for query in collection_queries:
-        plain_samples.append(executor.run(plain, query=query).elapsed_seconds * 1000)
-        expanded_samples.append(executor.run(expanded, query=query).elapsed_seconds * 1000)
-    plain_stats = LatencyStats(plain_samples)
-    expanded_stats = LatencyStats(expanded_samples)
+    plain.execute(query=collection_queries[0])      # warm up indexes
+    expanded.execute(query=collection_queries[0])
+    plain_runs = plain.execute_many([{"query": q} for q in collection_queries])
+    expanded_runs = expanded.execute_many([{"query": q} for q in collection_queries])
+    plain_stats = LatencyStats([run.elapsed_seconds * 1000 for run in plain_runs])
+    expanded_stats = LatencyStats([run.elapsed_seconds * 1000 for run in expanded_runs])
     print(f"  plain    mean {plain_stats.mean_ms:7.1f} ms")
     print(f"  expanded mean {expanded_stats.mean_ms:7.1f} ms")
     overhead = (expanded_stats.mean_ms / plain_stats.mean_ms - 1.0) * 100 if plain_stats.mean_ms else 0

@@ -13,10 +13,8 @@ Run with:  python examples/expert_finding.py [num_people] [num_documents]
 
 import sys
 
+from repro import Engine
 from repro.eval import Qrels, evaluate_strategy
-from repro.strategy import StrategyExecutor, render_ascii
-from repro.strategy.prebuilt import build_expert_strategy
-from repro.triples import TripleStore
 from repro.workloads.experts import generate_expert_triples
 
 
@@ -26,21 +24,17 @@ def main() -> None:
 
     print(f"Generating {num_people} people, {num_documents} documents ...")
     workload = generate_expert_triples(num_people, num_documents, seed=77)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
+    engine = Engine.from_triples(workload.triples)
 
-    strategy = build_expert_strategy()
+    strategy = engine.strategy("experts")
     print()
-    print(render_ascii(strategy))
-
-    executor = StrategyExecutor(store)
+    print(strategy.explain())
 
     # one query per topic, phrased in the topic's distinctive vocabulary
     print("Top experts per topic query:")
     for topic in workload.topics[:4]:
         query = workload.query_for_topic(topic)
-        run = executor.run(strategy, query=query)
+        run = strategy.execute(query=query)
         true_experts = set(workload.experts_on(topic))
         print(f"\n  topic {topic}  (query: {query!r}, {len(true_experts)} true experts)")
         for person, probability in run.top(5):
@@ -53,7 +47,7 @@ def main() -> None:
         query = workload.query_for_topic(topic)
         for person in workload.experts_on(topic):
             qrels.add(query, person, 1.0)
-    report = evaluate_strategy(executor, strategy, qrels, cutoff=10)
+    report = evaluate_strategy(engine.executor, strategy.graph, qrels, cutoff=10)
     means = report.means()
     print("\nEffectiveness over all topic queries (ground truth by construction):")
     print(f"  queries           : {report.num_queries}")

@@ -1,86 +1,53 @@
 #!/usr/bin/env python3
-"""Quickstart: IR-on-DB in a few lines.
+"""Quickstart: IR-on-DB in a few lines, through the unified Engine facade.
 
-This example walks through the core ideas of the paper on a tiny hand-made
-product catalog:
+The whole stack — triple store, probabilistic algebra, SpinQL, keyword
+search, strategies — hangs off one session object::
+
+    engine = connect().load_triples([...])
+
+This example walks the core ideas of the paper on a tiny hand-made product
+catalog:
 
 1. load triples into the probabilistic triple store (Section 2.2/2.3);
-2. reproduce Figure 1: an inverted index is a relational table and term
-   lookup is a join;
-3. run the Figure 2 strategy ("rank toy products by their description") and
-   print the ranked results;
-4. show the SpinQL program for the sub-collection filter and its SQL
-   translation (Section 2.3).
+2. run the Figure 2 strategy ("rank toy products by their description");
+3. ask the same question with the fluent builder (filter → extract → rank);
+4. show the SpinQL program for the sub-collection filter, its optimized PRA
+   plan and its SQL translation (Section 2.3) — all from ``Query.explain()``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.ir.inverted_index import InvertedIndex, term_lookup_join
-from repro.spinql import compile_script, to_sql
-from repro.strategy import StrategyExecutor, build_toy_strategy, render_ascii
-from repro.text.analyzers import StandardAnalyzer
-from repro.triples import TripleStore
+from repro import connect
+
+TRIPLES = [
+    ("product1", "category", "toy"),
+    ("product1", "description", "wooden train set for children"),
+    ("product2", "category", "book"),
+    ("product2", "description", "history of trains and railways"),
+    ("product3", "category", "toy"),
+    ("product3", "description", "plastic toy car with remote control"),
+    ("product4", "category", "toy"),
+    ("product4", "description", "board game about trains and stations"),
+]
+
+SPINQL_DOCS = """
+docs = PROJECT [$1 AS docID, $6 AS data] (
+  JOIN INDEPENDENT [$1=$1] (
+    SELECT [$2="category" and $3="toy"] (triples),
+    SELECT [$2="description"] (triples) ) );
+"""
 
 
-def build_store() -> TripleStore:
-    """A handful of products, three of them in the 'toy' category."""
-    store = TripleStore()
-    store.add_all(
-        [
-            ("product1", "type", "product"),
-            ("product1", "category", "toy"),
-            ("product1", "description", "wooden train set for children"),
-            ("product2", "type", "product"),
-            ("product2", "category", "book"),
-            ("product2", "description", "history of trains and railways"),
-            ("product3", "type", "product"),
-            ("product3", "category", "toy"),
-            ("product3", "description", "plastic toy car with remote control"),
-            ("product4", "type", "product"),
-            ("product4", "category", "toy"),
-            ("product4", "description", "board game about trains and stations"),
-        ]
-    )
-    store.load()
-    return store
+def main() -> None:
+    engine = connect().load_triples(TRIPLES)
 
-
-def demonstrate_figure1(store: TripleStore) -> None:
-    """Figure 1: the inverted index as a relation, term lookup as a join."""
     print("=" * 72)
-    print("Figure 1 — term look-up as a relational join")
+    print("Figure 2 — rank toy products by their description (strategy front end)")
     print("=" * 72)
-    descriptions = store.select_property("description")
-    documents = list(
-        zip(
-            descriptions.relation.column("subject").to_list(),
-            descriptions.relation.column("object").to_list(),
-        )
-    )
-    index = InvertedIndex.from_documents(documents, StandardAnalyzer("none"))
-    index_relation = index.to_relation()
-    print("\nInverted index as a (term, doc, pos) relation (first rows):")
-    print(index_relation.to_text(max_rows=8))
-
-    result = term_lookup_join(store.database, index_relation, ["train", "history"])
-    print("\nJoin of query terms {train, history} with the term-doc table:")
-    print(result.to_text())
-    print()
-
-
-def demonstrate_toy_strategy(store: TripleStore) -> None:
-    """Figure 2: rank toy products by their description."""
-    print("=" * 72)
-    print("Figure 2 — rank toy products by their description")
-    print("=" * 72)
-    strategy = build_toy_strategy(category="toy")
-    print()
-    print(render_ascii(strategy))
-    print()
-
-    executor = StrategyExecutor(store)
+    strategy = engine.strategy("toy", category="toy")
     for query in ("wooden train", "remote control car", "history of trains"):
-        run = executor.run(strategy, query=query)
+        run = strategy.execute(query=query)
         print(f"query: {query!r}")
         for node, probability in run.top(3):
             print(f"    {node:<12} p = {probability:.3f}")
@@ -90,33 +57,32 @@ def demonstrate_toy_strategy(store: TripleStore) -> None:
     print("book — the category filter keeps it out of the ranked sub-collection.")
     print()
 
-
-def demonstrate_spinql() -> None:
-    """Section 2.3: SpinQL and its SQL translation."""
     print("=" * 72)
-    print("Section 2.3 — SpinQL and its translation to SQL")
+    print("The same question through the fluent builder")
     print("=" * 72)
-    source = """
-    docs = PROJECT [$1 AS docID, $6 AS data] (
-      JOIN INDEPENDENT [$1=$1] (
-        SELECT [$2="category" and $3="toy"] (triples),
-        SELECT [$2="description"] (triples) ) );
-    """
-    print("\nSpinQL program:")
-    print(source)
-    compiled = compile_script(source)
-    print("Compiled PRA plan:")
-    print(compiled.final_plan.describe())
-    print("\nSQL translation (compare with the listing in the paper):")
-    print(to_sql(compiled.final_plan, view_name="docs"))
+    toy_docs = (
+        engine.table("triples")
+        .where(property="category", object="toy")
+        .select("subject")
+        .traverse("description")
+    )
+    ranked = (
+        engine.table("triples")
+        .where(property="description")
+        .select("subject", "object")
+        .rank("wooden train")
+    )
+    print(f"toy descriptions found: {toy_docs.execute().num_rows}")
+    print("rank over all descriptions for 'wooden train':")
+    for node, probability in ranked.top(3):
+        print(f"    {node:<12} p = {probability:.3f}")
     print()
 
-
-def main() -> None:
-    store = build_store()
-    demonstrate_figure1(store)
-    demonstrate_toy_strategy(store)
-    demonstrate_spinql()
+    print("=" * 72)
+    print("Section 2.3 — SpinQL and its translation to SQL (Query.explain())")
+    print("=" * 72)
+    print(engine.spinql(SPINQL_DOCS).explain())
+    print()
 
 
 if __name__ == "__main__":

@@ -3,37 +3,32 @@
 
 SpinQL is the paper's DSL for the probabilistic relational algebra
 (Section 2.3).  This example builds a small uncertain triple store (some
-triples carry extraction confidences below 1.0) and walks through each
-operator: selection, projection with duplicate merging, independent join,
-weighted disjoint union, subtraction, the relational Bayes operator and the
-TRAVERSE convenience form.
+triples carry extraction confidences below 1.0) behind an engine session and
+walks through each operator: selection, projection with duplicate merging,
+independent join, weighted disjoint union, subtraction, the relational Bayes
+operator and the TRAVERSE convenience form.  Each program is shown through
+``Query.explain()`` (raw plan, optimized plan, SQL) and then executed.
 
 Run with:  python examples/spinql_tour.py
 """
 
-from repro.spinql import compile_script, evaluate, to_sql
-from repro.triples import TripleStore
+from repro import Engine, connect
 
 
-def show(title: str, source: str, store: TripleStore) -> None:
+def show(title: str, source: str, engine: Engine) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
-    print(source.strip())
-    compiled = compile_script(source)
-    print("\nPRA plan:")
-    print(compiled.final_plan.describe())
-    print("\nSQL translation:")
-    print(to_sql(compiled.final_plan))
-    result = evaluate(source, store.database)
+    query = engine.spinql(source)
+    print(query.explain())
+    result = query.execute()
     print("\nResult:")
     print(result.relation.to_text(max_rows=8))
     print()
 
 
-def build_store() -> TripleStore:
-    store = TripleStore()
-    store.add_all(
+def build_engine() -> Engine:
+    return connect().load_triples(
         [
             # certain facts
             ("lot1", "type", "lot"),
@@ -50,24 +45,22 @@ def build_store() -> TripleStore:
             ("lot3", "style", "antique", 0.3),
         ]
     )
-    store.load()
-    return store
 
 
 def main() -> None:
-    store = build_store()
+    engine = build_engine()
 
     show(
         "SELECT — uncertain facts keep their probabilities",
         'oak_lots = SELECT [$2="material" and $3="oak"] (triples);',
-        store,
+        engine,
     )
 
     show(
         "PROJECT — duplicate subjects merge under an assumption",
         'antique_or_oak = PROJECT [$1 AS lot] ('
         ' SELECT [$2="material" and $3="oak"] (triples));',
-        store,
+        engine,
     )
 
     show(
@@ -78,7 +71,7 @@ def main() -> None:
             SELECT [$2="material" and $3="oak"] (triples),
             SELECT [$2="style" and $3="antique"] (triples) ) );
         """,
-        store,
+        engine,
     )
 
     show(
@@ -88,7 +81,7 @@ def main() -> None:
         antique = PROJECT [$1 AS lot] (SELECT [$2="style" and $3="antique"] (triples));
         mixed = UNITE DISJOINT (WEIGHT [0.7] (oak), WEIGHT [0.3] (antique));
         """,
-        store,
+        engine,
     )
 
     show(
@@ -98,7 +91,7 @@ def main() -> None:
         antique = PROJECT [$1 AS lot] (SELECT [$2="style" and $3="antique"] (triples));
         oak_not_antique = SUBTRACT (oak, antique);
         """,
-        store,
+        engine,
     )
 
     show(
@@ -107,7 +100,7 @@ def main() -> None:
         oak = PROJECT [$1 AS lot] (SELECT [$2="material" and $3="oak"] (triples));
         distribution = BAYES [] (oak);
         """,
-        store,
+        engine,
     )
 
     show(
@@ -116,8 +109,20 @@ def main() -> None:
         oak = PROJECT [$1 AS lot] (SELECT [$2="material" and $3="oak"] (triples));
         auctions = TRAVERSE ['hasAuction'] (oak);
         """,
-        store,
+        engine,
     )
+
+    # parameterized TRAVERSE: one compiled plan, many seed sets — the pattern
+    # behind the engine's plan cache
+    print("=" * 72)
+    print("Parameterized TRAVERSE — one plan, many bindings")
+    print("=" * 72)
+    hop = engine.spinql("auctions = TRAVERSE ['hasAuction'] (seeds);", seeds=[])
+    for seeds in (["lot1"], ["lot2", "lot3"], [("lot1", 0.5)]):
+        result = hop.execute(seeds=seeds)
+        print(f"  seeds={seeds!r:<24} -> {result.value_rows()}")
+    stats = engine.plan_cache.statistics
+    print(f"  plan cache: {stats.hits} hits / {stats.misses} misses")
 
 
 if __name__ == "__main__":

@@ -2,12 +2,13 @@
 """The toy scenario (Section 2, Figure 2) on a generated product catalog.
 
 The script generates a synthetic product catalog as triples, then answers the
-same information need three ways and checks they agree:
+same information need three ways through one :class:`~repro.engine.Engine`
+and checks they agree:
 
-* the **strategy** path: the Figure 2 block graph compiled and executed by
-  the strategy layer;
-* the **SpinQL** path: the sub-collection filter written in SpinQL, its SQL
-  translation printed, and keyword search run over the resulting docs view;
+* the **strategy** path: the Figure 2 block graph (``engine.strategy``);
+* the **SpinQL** path: the sub-collection filter written in SpinQL
+  (``engine.spinql``), its SQL translation printed, and keyword search run
+  over the resulting docs view (``engine.search``);
 * the **SQL-view** path: the docs view registered in the database and the
   paper's BM25 pipeline (the view chain of Section 2.1) run over it with the
   faithful relational statistics builder.
@@ -17,10 +18,7 @@ Run with:  python examples/toy_products.py [num_products]
 
 import sys
 
-from repro.ir import KeywordSearchEngine
-from repro.spinql import compile_script, evaluate, to_sql
-from repro.strategy import StrategyExecutor, build_toy_strategy
-from repro.triples import TripleStore
+from repro import Engine
 from repro.workloads import generate_product_triples
 
 SPINQL_DOCS = """
@@ -35,9 +33,7 @@ def main() -> None:
     num_products = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     print(f"Generating a catalog of {num_products} products ...")
     workload = generate_product_triples(num_products, seed=21)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
+    engine = Engine.from_triples(workload.triples)
 
     toy_products = workload.products_in_category("toy")
     print(f"  {len(workload.triples)} triples, {len(toy_products)} products in category 'toy'")
@@ -48,7 +44,7 @@ def main() -> None:
     print(f"  query: {query!r} (taken from {target})\n")
 
     # -- path 1: the strategy ------------------------------------------------------
-    run = StrategyExecutor(store).run(build_toy_strategy(category="toy"), query=query)
+    run = engine.strategy("toy", query=query, category="toy").execute()
     strategy_top = run.top(10)
     print("Strategy path (Figure 2):")
     for node, probability in strategy_top[:5]:
@@ -59,25 +55,23 @@ def main() -> None:
 
     # -- path 2: SpinQL -------------------------------------------------------------
     print("SpinQL path (Section 2.3):")
-    print(to_sql(compile_script(SPINQL_DOCS).final_plan, view_name="docs"))
-    docs = evaluate(SPINQL_DOCS, store.database)
+    docs_query = engine.spinql(SPINQL_DOCS)
+    docs = docs_query.execute()
     print(f"    the docs view holds {docs.num_rows} toy descriptions")
-    store.database.create_table("spinql_docs", docs.relation, replace=True)
-    engine = KeywordSearchEngine(store.database, "spinql_docs")
-    spinql_top = [doc for doc, _ in engine.search(query).top(10)]
+    engine.create_table("spinql_docs", docs.relation, replace=True)
+    spinql_top = [doc for doc, _ in engine.search("spinql_docs", query).top(10)]
     print(f"    top-5 by BM25 over that view: {spinql_top[:5]}")
     print()
 
     # -- path 3: the SQL view chain of Section 2.1 ----------------------------------
     print("SQL-view path (Section 2.1, relational statistics builder):")
-    store.register_docs_view(
+    engine.store.register_docs_view(
         "docs_sql",
         filter_property="category",
         filter_value="toy",
         text_property="description",
     )
-    sql_engine = KeywordSearchEngine(store.database, "docs_sql", pipeline="relational")
-    sql_top = [doc for doc, _ in sql_engine.search(query).top(10)]
+    sql_top = [doc for doc, _ in engine.search("docs_sql", query, pipeline="relational").top(10)]
     print(f"    top-5: {sql_top[:5]}")
     print()
 

@@ -6,8 +6,25 @@ A from-scratch Python reproduction of the platform described in
     "Challenges for industrial-strength Information Retrieval on Databases."
     EDBT/ICDT 2017 workshops.
 
+Quickstart — one engine, every front end::
+
+    from repro import connect
+
+    engine = connect().load_triples(
+        [
+            ("product1", "category", "toy"),
+            ("product1", "description", "wooden train set for children"),
+            ("product2", "category", "toy"),
+            ("product2", "description", "plastic toy car with remote control"),
+        ]
+    )
+    for node, p in engine.strategy("toy", query="wooden train").top(5):
+        print(node, p)
+
 The package is organised along the paper's sections:
 
+* :mod:`repro.engine` — **the public API**: the :class:`Engine` facade and
+  lazy :class:`~repro.engine.query.Query` objects over every front end;
 * :mod:`repro.relational` — the columnar relational engine (the MonetDB
   stand-in);
 * :mod:`repro.text` — tokenizer and stemmers (the paper's two UDFs);
@@ -24,31 +41,50 @@ The package is organised along the paper's sections:
   paper's proprietary collections;
 * :mod:`repro.bench` — the benchmark harness.
 
-Quickstart::
+Deprecation policy
+------------------
 
-    from repro.triples import TripleStore
-    from repro.strategy import StrategyExecutor, build_toy_strategy
-    from repro.workloads import generate_product_triples
-
-    store = TripleStore()
-    store.add_all(generate_product_triples(500).triples)
-    store.load()
-
-    strategy = build_toy_strategy(category="toy")
-    run = StrategyExecutor(store).run(strategy, query="wooden train set")
-    print(run.top(10))
+:class:`Engine` / :func:`connect` are the supported entry points from
+version 1.1 on.  The hand-wired layer entry points re-exported below
+(``Database``, ``TripleStore``, ``KeywordSearchEngine``,
+``StrategyExecutor``, …) remain importable and functional — they are what
+the facade itself is built from — but new cross-layer features (batching,
+caching, routing) land on the facade only.  Shims are kept for at least two
+minor versions after an entry point is superseded, and removals are
+announced in ``CHANGES.md``.
 """
 
-from repro.errors import ReproError
+from repro.errors import EngineError, ReproError
+from repro.engine import (
+    Engine,
+    PlanCache,
+    Query,
+    SearchQuery,
+    SpinQLQuery,
+    StrategyQuery,
+    TableQuery,
+    connect,
+)
 from repro.relational import Database, Relation
 from repro.pra import ProbabilisticRelation
 from repro.triples import TripleStore
 from repro.ir import KeywordSearchEngine
 from repro.strategy import StrategyExecutor, StrategyGraph, build_auction_strategy, build_toy_strategy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # the public facade
+    "Engine",
+    "EngineError",
+    "PlanCache",
+    "Query",
+    "SearchQuery",
+    "SpinQLQuery",
+    "StrategyQuery",
+    "TableQuery",
+    "connect",
+    # layer entry points (supported; see the deprecation policy above)
     "Database",
     "KeywordSearchEngine",
     "ProbabilisticRelation",

@@ -1,7 +1,6 @@
 """Command-line interface: run the paper's scenarios without writing code.
 
-The CLI exposes the two scenarios of the paper plus an interactive-style
-ad-hoc query mode over a generated workload:
+Every subcommand drives the :class:`~repro.engine.Engine` facade:
 
 * ``python -m repro toy --products 400 --query "wooden train"`` — the toy
   scenario (Figure 2) on a generated catalog;
@@ -9,25 +8,24 @@ ad-hoc query mode over a generated workload:
   auction scenario (Figure 3) on a generated auction graph;
 * ``python -m repro experts --query-topic 0`` — the expert-finding scenario;
 * ``python -m repro spinql "<program>"`` — compile a SpinQL program and print
-  its PRA plan and SQL translation.
+  its PRA plan and SQL translation;
+* ``python -m repro explain "<program>"`` — the full
+  :meth:`~repro.engine.query.Query.explain` report (raw plan, optimized
+  plan, SQL).
 
-Every subcommand prints the strategy diagram (``--show-strategy``) and the
-top results with their probabilities.
+Every subcommand accepts ``--json`` for machine-readable output, and the
+scenario subcommands print the strategy diagram with ``--show-strategy``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from typing import Any
 
-from repro.strategy import (
-    StrategyExecutor,
-    build_auction_strategy,
-    build_toy_strategy,
-    render_ascii,
-)
-from repro.triples import TripleStore
+from repro.engine import Engine
 from repro.workloads import (
     generate_auction_triples,
     generate_expert_triples,
@@ -35,20 +33,45 @@ from repro.workloads import (
 )
 
 
-def _print_results(run, top_k: int) -> None:
+def _emit_run(command: str, run, args: argparse.Namespace, extra: dict[str, Any] | None = None) -> None:
+    """Print a strategy run as text or JSON, honouring ``--json`` and ``--top``."""
+    results = run.top(args.top)
+    if args.json:
+        payload: dict[str, Any] = {
+            "command": command,
+            "query": run.query,
+            "elapsed_ms": run.elapsed_seconds * 1000.0,
+            "results": [{"node": node, "p": probability} for node, probability in results],
+        }
+        if extra:
+            payload.update(extra)
+        print(json.dumps(payload, indent=2))
+        return
     print(f"query: {run.query!r}  ({run.elapsed_seconds * 1000:.1f} ms)")
-    for node, probability in run.top(top_k):
+    for node, probability in results:
         print(f"  {node:<14} p = {probability:.4f}")
+
+
+def _run_scenario(
+    args: argparse.Namespace,
+    command: str,
+    engine: Engine,
+    strategy_name: str,
+    query: str,
+    extra: dict[str, Any] | None = None,
+    **builder_kwargs: Any,
+) -> int:
+    strategy_query = engine.strategy(strategy_name, query=query, **builder_kwargs)
+    if args.show_strategy and not args.json:
+        print(strategy_query.explain())
+    run = strategy_query.execute()
+    _emit_run(command, run, args, extra)
+    return 0
 
 
 def _cmd_toy(args: argparse.Namespace) -> int:
     workload = generate_product_triples(args.products, seed=args.seed)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
-    strategy = build_toy_strategy(category=args.category)
-    if args.show_strategy:
-        print(render_ascii(strategy))
+    engine = Engine.from_triples(workload.triples)
     query = args.query
     if not query:
         target = workload.products_in_category(args.category)
@@ -56,57 +79,80 @@ def _cmd_toy(args: argparse.Namespace) -> int:
             print(f"no products in category {args.category!r}", file=sys.stderr)
             return 1
         query = " ".join(workload.descriptions[target[0]].split()[:3])
-    run = StrategyExecutor(store).run(strategy, query=query)
-    _print_results(run, args.top)
-    return 0
+    return _run_scenario(args, "toy", engine, "toy", query, category=args.category)
 
 
 def _cmd_auction(args: argparse.Namespace) -> int:
     workload = generate_auction_triples(args.lots, seed=args.seed)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
-    strategy = build_auction_strategy(
-        lot_weight=args.lot_weight, auction_weight=args.auction_weight
-    )
-    if args.show_strategy:
-        print(render_ascii(strategy))
+    engine = Engine.from_triples(workload.triples)
     query = args.query or " ".join(workload.lot_descriptions["lot1"].split()[:3])
-    run = StrategyExecutor(store).run(strategy, query=query)
-    _print_results(run, args.top)
-    return 0
+    return _run_scenario(
+        args,
+        "auction",
+        engine,
+        "auction",
+        query,
+        lot_weight=args.lot_weight,
+        auction_weight=args.auction_weight,
+    )
 
 
 def _cmd_experts(args: argparse.Namespace) -> int:
-    from repro.strategy.prebuilt import build_expert_strategy
-
     workload = generate_expert_triples(args.people, args.documents, seed=args.seed)
-    store = TripleStore()
-    store.add_all(workload.triples)
-    store.load()
-    strategy = build_expert_strategy()
-    if args.show_strategy:
-        print(render_ascii(strategy))
+    engine = Engine.from_triples(workload.triples)
+    extra: dict[str, Any] | None = None
     if args.query:
         query = args.query
     else:
         topic = workload.topics[args.query_topic % len(workload.topics)]
         query = workload.query_for_topic(topic)
-        print(f"(query drawn from {topic}: true experts = {workload.experts_on(topic)})")
-    run = StrategyExecutor(store).run(strategy, query=query)
-    _print_results(run, args.top)
-    return 0
+        true_experts = workload.experts_on(topic)
+        extra = {"topic": topic, "true_experts": true_experts}
+        if not args.json:
+            print(f"(query drawn from {topic}: true experts = {true_experts})")
+    return _run_scenario(args, "experts", engine, "experts", query, extra)
 
 
 def _cmd_spinql(args: argparse.Namespace) -> int:
-    from repro.spinql import compile_script, to_sql
+    from repro.spinql import to_sql
 
-    compiled = compile_script(args.program)
+    query = Engine().spinql(args.program)
+    sql = to_sql(query.optimized_plan, view_name=args.view_name)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "command": "spinql",
+                    "pra_plan": query.plan.describe(),
+                    "optimized_plan": query.optimized_plan.describe(),
+                    "sql": sql,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print("PRA plan:")
-    print(compiled.final_plan.describe())
+    print(query.plan.describe())
     print("\nSQL translation:")
-    print(to_sql(compiled.final_plan, view_name=args.view_name))
+    print(sql)
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = Engine().spinql(args.program)
+    if args.json:
+        print(json.dumps({"command": "explain", **query.explain_data()}, indent=2))
+        return 0
+    print(query.explain())
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser, *, top: bool = True) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON output"
+    )
+    if top:
+        parser.add_argument("--top", type=int, default=10)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,9 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     toy.add_argument("--products", type=int, default=400)
     toy.add_argument("--category", default="toy")
     toy.add_argument("--query", default="")
-    toy.add_argument("--top", type=int, default=10)
     toy.add_argument("--seed", type=int, default=21)
     toy.add_argument("--show-strategy", action="store_true")
+    _add_common(toy)
     toy.set_defaults(handler=_cmd_toy)
 
     auction = subparsers.add_parser("auction", help="the auction scenario (Figure 3)")
@@ -130,9 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     auction.add_argument("--query", default="")
     auction.add_argument("--lot-weight", type=float, default=0.7)
     auction.add_argument("--auction-weight", type=float, default=0.3)
-    auction.add_argument("--top", type=int, default=10)
     auction.add_argument("--seed", type=int, default=37)
     auction.add_argument("--show-strategy", action="store_true")
+    _add_common(auction)
     auction.set_defaults(handler=_cmd_auction)
 
     experts = subparsers.add_parser("experts", help="the expert-finding scenario")
@@ -140,15 +186,23 @@ def build_parser() -> argparse.ArgumentParser:
     experts.add_argument("--documents", type=int, default=500)
     experts.add_argument("--query", default="")
     experts.add_argument("--query-topic", type=int, default=0)
-    experts.add_argument("--top", type=int, default=10)
     experts.add_argument("--seed", type=int, default=77)
     experts.add_argument("--show-strategy", action="store_true")
+    _add_common(experts)
     experts.set_defaults(handler=_cmd_experts)
 
     spinql = subparsers.add_parser("spinql", help="compile a SpinQL program")
     spinql.add_argument("program")
     spinql.add_argument("--view-name", default=None)
+    _add_common(spinql, top=False)
     spinql.set_defaults(handler=_cmd_spinql)
+
+    explain = subparsers.add_parser(
+        "explain", help="full explain report for a SpinQL program"
+    )
+    explain.add_argument("program")
+    _add_common(explain, top=False)
+    explain.set_defaults(handler=_cmd_explain)
 
     return parser
 

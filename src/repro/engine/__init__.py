@@ -1,0 +1,396 @@
+"""The unified engine facade: one entry point over SpinQL, PRA and search.
+
+The paper's pitch is that structured querying, graph traversal and IR
+ranking live in *one* algebra.  :class:`Engine` makes that true at the API
+level: it owns the relational :class:`~repro.relational.database.Database`,
+the probabilistic :class:`~repro.triples.triple_store.TripleStore`, the
+analyzer/ranking configuration and the caches, and every front end returns a
+lazy :class:`~repro.engine.query.Query`:
+
+* ``engine.spinql(text, **bindings)`` — SpinQL programs with named
+  parameters;
+* ``engine.search(table, query)`` — keyword search (warm statistics are
+  shared across queries);
+* ``engine.traverse(property, seeds)`` — graph traversal;
+* ``engine.strategy("auction", query=...)`` — block-based strategies, by
+  name or as a :class:`~repro.strategy.graph.StrategyGraph`;
+* ``engine.table("docs").where(...).rank(...)`` — the fluent builder.
+
+Internally every relation-producing front end lowers to one shared pipeline:
+parse/build → PRA plan → optimize → evaluate.  Compiled programs and
+optimized plans are memoized in a fingerprint-keyed
+:class:`~repro.engine.plan_cache.PlanCache`, so repeated parameterized
+queries skip compilation and optimization entirely::
+
+    from repro import connect
+
+    engine = connect().load_triples(triples)
+    ranked = engine.strategy("toy", query="wooden train").top(10)
+
+This facade is the repository's public API.  The underlying layers
+(:mod:`repro.spinql`, :mod:`repro.pra`, :mod:`repro.ir`,
+:mod:`repro.strategy`, :mod:`repro.triples`) remain importable and supported
+for advanced use; see the deprecation policy in :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import EngineError, ReproError
+from repro.engine.plan_cache import PlanCache, PlanCacheStatistics
+from repro.engine.query import (
+    Query,
+    RankedQuery,
+    SearchQuery,
+    SpinQLQuery,
+    StrategyQuery,
+    TableQuery,
+    as_probabilistic,
+    scan_tables,
+)
+from repro.pra.evaluator import PRAEvaluator
+from repro.pra.optimizer import optimize_pra
+from repro.pra.plan import PraParam, PraPlan, PraScan
+from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.spinql.compiler import CompiledScript, compile_script
+from repro.strategy.executor import StrategyExecutor
+from repro.strategy.graph import StrategyGraph
+from repro.text.analyzers import StandardAnalyzer
+from repro.triples.triple_store import TripleStore
+
+__all__ = [
+    "CompiledProgram",
+    "Engine",
+    "PlanCache",
+    "PlanCacheStatistics",
+    "Query",
+    "RankedQuery",
+    "SearchQuery",
+    "SpinQLQuery",
+    "StrategyQuery",
+    "TableQuery",
+    "as_probabilistic",
+    "connect",
+]
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled SpinQL program plus its optimized final plan."""
+
+    source: str
+    compiled: CompiledScript
+    plan: PraPlan
+    optimized: PraPlan
+
+
+def _strategy_builders() -> dict[str, Any]:
+    from repro.strategy.prebuilt import (
+        build_auction_strategy,
+        build_expanded_auction_strategy,
+        build_expert_strategy,
+        build_toy_strategy,
+    )
+
+    return {
+        "toy": build_toy_strategy,
+        "auction": build_auction_strategy,
+        "expanded-auction": build_expanded_auction_strategy,
+        "experts": build_expert_strategy,
+    }
+
+
+class Engine:
+    """The session-style facade over the whole reproduction stack."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        *,
+        storage: Any | None = None,
+        triples_table: str = "triples",
+        language: str = "english",
+        plan_cache_size: int | None = None,
+    ):
+        self.store = TripleStore(database, storage=storage, table_name=triples_table)
+        self.database = self.store.database
+        self.triples_table = triples_table
+        self.language = language
+        self.analyzer = StandardAnalyzer(language)
+        self.plan_cache = PlanCache(max_entries=plan_cache_size)
+        self._evaluator = PRAEvaluator(self.database)
+        self._executor: StrategyExecutor | None = None
+        self._search_engines: dict[tuple, Any] = {}
+        self._rank_blocks: dict[tuple, Any] = {}
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples: Iterable, **kwargs: Any) -> "Engine":
+        """Build an engine, load ``triples`` and materialize storage in one call."""
+        return cls(**kwargs).load_triples(triples)
+
+    def connect_info(self) -> dict[str, Any]:
+        """A description of the session (tables, caches, configuration)."""
+        return {
+            "triples": self.store.num_triples,
+            "tables": self.database.table_names(),
+            "views": self.database.view_names(),
+            "language": self.language,
+            "plan_cache": self.plan_cache.statistics,
+            "materialization_cache": self.database.cache.statistics,
+        }
+
+    # -- data loading ----------------------------------------------------------------
+
+    def add_triples(self, triples: Iterable) -> "Engine":
+        """Buffer triples (tuples of length 3/4 or :class:`Triple`); chainable."""
+        self.store.add_all(triples)
+        return self
+
+    def load(self) -> "Engine":
+        """(Re)materialize buffered triples and invalidate dependent caches."""
+        self.store.load()
+        self._on_data_changed()
+        return self
+
+    def load_triples(self, triples: Iterable) -> "Engine":
+        """Buffer and materialize in one step; chainable."""
+        return self.add_triples(triples).load()
+
+    def create_table(self, name: str, relation: Relation, *, replace: bool = False) -> "Engine":
+        """Register a base table in the database; invalidates dependent caches."""
+        self.database.create_table(name, relation, replace=replace)
+        self.plan_cache.invalidate_table(name)
+        self._invalidate_search_statistics(name)
+        return self
+
+    def _on_data_changed(self) -> None:
+        for name in self.database.table_names() + self.database.view_names():
+            self.plan_cache.invalidate_table(name)
+        self._invalidate_search_statistics()
+
+    def _invalidate_search_statistics(self, table: str | None = None) -> None:
+        for (source, *_rest), searcher in self._search_engines.items():
+            if table is None or source == table:
+                searcher.invalidate()
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan and materialized result (cold-start state)."""
+        self.plan_cache.clear()
+        self.database.clear_cache()
+        self._invalidate_search_statistics()
+        for block in self._rank_blocks.values():
+            block.clear_statistics()
+
+    # -- front ends -------------------------------------------------------------------
+
+    def spinql(self, source: str, **bindings: Any) -> SpinQLQuery:
+        """A lazy SpinQL query; keyword arguments become named parameters."""
+        return SpinQLQuery(self, source, bindings)
+
+    def search(
+        self,
+        table: str,
+        query: str | None = None,
+        *,
+        model: Any | None = None,
+        pipeline: str = "direct",
+        top_k: int | None = None,
+        expander: Any | None = None,
+        id_column: str = "docID",
+        text_column: str = "data",
+    ) -> SearchQuery:
+        """Lazy keyword search over a docs table/view, sharing warm statistics."""
+        return SearchQuery(
+            self,
+            table,
+            query,
+            model=model,
+            pipeline=pipeline,
+            top_k=top_k,
+            expander=expander,
+            id_column=id_column,
+            text_column=text_column,
+        )
+
+    def table(self, name: str) -> TableQuery:
+        """Start a fluent builder chain over a table or view."""
+        return TableQuery(self, PraScan(name), self._value_columns_of(name))
+
+    def traverse(
+        self,
+        property_name: str,
+        seeds: Any | None = None,
+        *,
+        direction: str = "forward",
+        merge: str = "independent",
+    ) -> TableQuery:
+        """Lazy graph traversal from ``seeds`` (any :func:`as_probabilistic` shape).
+
+        Without ``seeds`` the query keeps a free ``seeds`` parameter, so one
+        compiled traversal can be executed against many seed sets::
+
+            hop = engine.traverse("hasAuction")
+            hop.execute(seeds=["lot1", "lot2"])
+        """
+        bindings = {} if seeds is None else {"seeds": as_probabilistic(seeds)}
+        start = TableQuery(self, PraParam("seeds"), ["node"], bindings)
+        return start.traverse(property_name, direction=direction, merge=merge)
+
+    def strategy(
+        self,
+        graph: StrategyGraph | str,
+        query: str = "",
+        *,
+        result_block: str | None = None,
+        parameters: Mapping[str, Any] | None = None,
+        **builder_kwargs: Any,
+    ) -> StrategyQuery:
+        """A lazy strategy execution; ``graph`` is a graph or a prebuilt name.
+
+        Known names: ``toy``, ``auction``, ``expanded-auction``, ``experts``;
+        ``builder_kwargs`` are forwarded to the prebuilt builder.
+        """
+        if isinstance(graph, str):
+            builders = _strategy_builders()
+            try:
+                builder = builders[graph]
+            except KeyError:
+                raise EngineError(
+                    f"unknown strategy {graph!r}; known strategies: {sorted(builders)}"
+                ) from None
+            graph = builder(**builder_kwargs)
+        elif builder_kwargs:
+            raise EngineError(
+                "builder keyword arguments are only valid with a strategy name, "
+                "not a pre-built graph"
+            )
+        return StrategyQuery(
+            self, graph, query, result_block=result_block, parameters=parameters
+        )
+
+    def explain(self, source: str, **bindings: Any) -> str:
+        """Shorthand for ``engine.spinql(source, **bindings).explain()``."""
+        return self.spinql(source, **bindings).explain()
+
+    # -- shared pipeline ---------------------------------------------------------------
+
+    @property
+    def executor(self) -> StrategyExecutor:
+        """The strategy executor bound to this engine's triple store."""
+        if self._executor is None:
+            self._executor = StrategyExecutor(self.store)
+        return self._executor
+
+    def _compile_spinql(self, source: str, parameters: frozenset[str]) -> CompiledProgram:
+        key = f"spinql::{self.triples_table}::{','.join(sorted(parameters))}::{source}"
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
+        compiled = compile_script(
+            source, parameters=parameters, triples_table=self.triples_table
+        )
+        plan = compiled.final_plan
+        program = CompiledProgram(
+            source=source, compiled=compiled, plan=plan, optimized=optimize_pra(plan)
+        )
+        dependencies = frozenset().union(
+            *(scan_tables(statement) for statement in compiled.plans.values())
+        )
+        self.plan_cache.put(key, program, dependencies=dependencies)
+        return program
+
+    def _optimize_plan(self, plan: PraPlan) -> PraPlan:
+        key = f"pra::{plan.fingerprint()}"
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
+        optimized = optimize_pra(plan)
+        self.plan_cache.put(key, optimized, dependencies=scan_tables(plan))
+        return optimized
+
+    def _evaluate(
+        self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
+    ) -> ProbabilisticRelation:
+        return self._evaluator.evaluate(plan, bindings=bindings or None)
+
+    def _execute_plan(
+        self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
+    ) -> ProbabilisticRelation:
+        return self._evaluate(self._optimize_plan(plan), bindings)
+
+    def _value_columns_of(self, name: str) -> list[str]:
+        try:
+            relation = self.database.table(name)
+        except ReproError:
+            relation = self.database.query(name)
+        return [column for column in relation.schema.names if column != PROBABILITY_COLUMN]
+
+    def _search_engine(
+        self,
+        table: str,
+        *,
+        model: Any | None,
+        pipeline: str,
+        expander: Any | None,
+        id_column: str,
+        text_column: str,
+    ):
+        from repro.ir.search import KeywordSearchEngine
+
+        model_key = repr(model.describe()) if model is not None else "default"
+        expander_key = id(expander) if expander is not None else None
+        key = (table, pipeline, model_key, expander_key, id_column, text_column)
+        searcher = self._search_engines.get(key)
+        if searcher is None:
+            searcher = KeywordSearchEngine(
+                self.database,
+                table,
+                model=model,
+                pipeline=pipeline,
+                language=self.language,
+                id_column=id_column,
+                text_column=text_column,
+                expander=expander,
+            )
+            self._search_engines[key] = searcher
+        return searcher
+
+    def _rank_documents(
+        self,
+        docs: ProbabilisticRelation,
+        query: str,
+        *,
+        model: Any | None,
+        top_k: int | None,
+    ) -> ProbabilisticRelation:
+        from repro.strategy.blocks import StrategyContext
+        from repro.strategy.library import RankByTextBlock
+
+        model_key = repr(model.describe()) if model is not None else "default"
+        key = (model_key, top_k)
+        block = self._rank_blocks.get(key)
+        if block is None:
+            block = RankByTextBlock(model, language=self.language, top_k=top_k)
+            self._rank_blocks[key] = block
+        # the rank block expects (docID, data, p) column names
+        relation = docs.relation
+        id_name, text_name = docs.value_columns
+        if (id_name, text_name) != ("docID", "data"):
+            relation = relation.rename({id_name: "docID", text_name: "data"})
+            docs = ProbabilisticRelation(relation, validate=False)
+        context = StrategyContext(store=self.store, query=query)
+        terms = self.analyzer.analyze_query(query)
+        ranked = block.execute(context, {"documents": docs, "query": terms})
+        return ranked.sorted_by_probability()
+
+
+def connect(database: Database | None = None, **kwargs: Any) -> Engine:
+    """Open an engine session (the EVA-style ``connect()`` entry point)."""
+    return Engine(database, **kwargs)

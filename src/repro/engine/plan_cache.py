@@ -1,0 +1,104 @@
+"""The engine's plan cache: compiled and optimized plans keyed by fingerprint.
+
+Where the relational layer's :class:`~repro.relational.cache.MaterializationCache`
+stores query *results*, this cache stores query *plans*: compiled SpinQL
+programs and optimized PRA plans, keyed by deterministic fingerprints (the
+source text for programs, :meth:`~repro.pra.plan.PraPlan.fingerprint` for
+plans).  Repeated parameterized queries therefore skip parsing, compilation
+and optimization entirely — only evaluation runs per binding set.
+
+Entries record the base tables their plan scans.  Replacing a table (e.g.
+reloading the triple store) invalidates exactly the dependent entries, since
+plans built through the fluent builder resolve column names against the table
+schema at build time and would silently go stale otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class PlanCacheStatistics:
+    """Counters describing plan-cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class _PlanEntry:
+    value: Any
+    dependencies: frozenset[str] = field(default_factory=frozenset)
+    uses: int = 0
+
+
+class PlanCache:
+    """An LRU-bounded cache of compiled/optimized plans keyed by fingerprint."""
+
+    def __init__(self, max_entries: int | None = None):
+        self._entries: dict[str, _PlanEntry] = {}
+        self._order: list[str] = []
+        self._max_entries = max_entries
+        self.statistics = PlanCacheStatistics()
+
+    def get(self, key: str) -> Any | None:
+        """Return the cached value for ``key`` or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        entry.uses += 1
+        self._order.remove(key)
+        self._order.append(key)
+        return entry.value
+
+    def put(self, key: str, value: Any, *, dependencies: frozenset[str] = frozenset()) -> None:
+        """Store ``value`` under ``key``, recording the tables it depends on."""
+        if key not in self._entries:
+            self._order.append(key)
+        self._entries[key] = _PlanEntry(value=value, dependencies=dependencies)
+        if self._max_entries is not None:
+            while len(self._entries) > self._max_entries:
+                oldest = self._order.pop(0)
+                del self._entries[oldest]
+        self.statistics.entries = len(self._entries)
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every cached plan that depends on ``table_name``."""
+        stale = [
+            key for key, entry in self._entries.items() if table_name in entry.dependencies
+        ]
+        for key in stale:
+            del self._entries[key]
+            self._order.remove(key)
+        self.statistics.invalidations += len(stale)
+        self.statistics.entries = len(self._entries)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self.statistics.invalidations += len(self._entries)
+        self._entries.clear()
+        self._order.clear()
+        self.statistics.entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -1,0 +1,495 @@
+"""Lazy queries: the uniform result interface of the engine facade.
+
+Every front end of :class:`~repro.engine.Engine` — SpinQL text, keyword
+search, graph traversal, strategy graphs and the fluent builder — returns a
+:class:`Query`.  Nothing executes until :meth:`Query.execute` (or a
+convenience wrapper such as :meth:`Query.top`) is called, so queries can be
+built, inspected with :meth:`Query.explain`, cached and re-executed against
+different parameter bindings:
+
+* :class:`SpinQLQuery` — a compiled SpinQL program; parameters bind
+  probabilistic relations by name;
+* :class:`TableQuery` — the fluent builder
+  (``engine.table("docs").where(...).rank(...)``), which lowers to the same
+  PRA plans as SpinQL;
+* :class:`RankedQuery` — a table query ranked against a keyword query;
+* :class:`SearchQuery` — keyword search over a docs table/view;
+* :class:`StrategyQuery` — a block-based strategy graph.
+
+All relation-producing queries share one pipeline: build → PRA plan →
+optimize (:func:`repro.pra.optimizer.optimize_pra`, memoized in the engine's
+plan cache) → evaluate.  :meth:`Query.execute_many` amortizes that pipeline
+over a batch of parameter sets: compilation and optimization happen once,
+only evaluation runs per batch element.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import EngineError
+from repro.pra.assumptions import Assumption
+from repro.pra.expressions import PositionalRef
+from repro.pra.plan import (
+    PraJoin,
+    PraParam,
+    PraPlan,
+    PraProject,
+    PraScan,
+    PraSelect,
+)
+from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.expressions import BinaryOp, Expression, Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.spinql.sql_translator import to_sql
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import Engine
+
+
+def as_probabilistic(value: Any) -> ProbabilisticRelation:
+    """Coerce ``value`` into a probabilistic relation usable as a binding.
+
+    Accepted shapes: a :class:`ProbabilisticRelation`; a plain
+    :class:`Relation` (lifted to ``p = 1``); an iterable of ``(node, p)``
+    pairs; or an iterable of bare node identifiers (``p = 1``).
+    """
+    if isinstance(value, ProbabilisticRelation):
+        return value
+    if isinstance(value, Relation):
+        return ProbabilisticRelation.lift(value)
+    if isinstance(value, (str, bytes)):
+        value = [value]
+    try:
+        items = list(value)
+    except TypeError:
+        raise EngineError(
+            f"cannot bind {type(value).__name__} as a probabilistic relation"
+        ) from None
+    rows: list[tuple[str, float]] = []
+    for item in items:
+        if isinstance(item, tuple) and len(item) == 2:
+            rows.append((str(item[0]), float(item[1])))
+        else:
+            rows.append((str(item), 1.0))
+    schema = Schema(
+        [Field("node", DataType.STRING), Field(PROBABILITY_COLUMN, DataType.FLOAT)]
+    )
+    return ProbabilisticRelation(Relation.from_rows(schema, rows), validate=False)
+
+
+def _coerce_bindings(bindings: Mapping[str, Any]) -> dict[str, ProbabilisticRelation]:
+    return {name: as_probabilistic(value) for name, value in bindings.items()}
+
+
+def scan_tables(plan: PraPlan) -> frozenset[str]:
+    """The names of every table scanned anywhere in ``plan``."""
+    names: set[str] = set()
+    stack: list[PraPlan] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PraScan):
+            names.add(node.table)
+        stack.extend(node.children())
+    return frozenset(names)
+
+
+def plan_parameters(plan: PraPlan) -> frozenset[str]:
+    """The names of every :class:`PraParam` placeholder anywhere in ``plan``."""
+    names: set[str] = set()
+    stack: list[PraPlan] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PraParam):
+            names.add(node.name)
+        stack.extend(node.children())
+    return frozenset(names)
+
+
+def result_pairs(result: Any, k: int | None = None) -> list[tuple[Any, float]]:
+    """Extract ``(item, probability-or-score)`` pairs from any query result."""
+    from repro.ir.search import SearchResult
+    from repro.strategy.executor import StrategyRun
+
+    if isinstance(result, StrategyRun):
+        return result.top(k if k is not None else result.result.num_rows)
+    if isinstance(result, SearchResult):
+        return result.top(k if k is not None else len(result.ranked))
+    if isinstance(result, ProbabilisticRelation):
+        ranked = result.top(k) if k is not None else result.sorted_by_probability()
+        nodes = ranked.relation.column(ranked.value_columns[0]).to_list()
+        return [(node, float(p)) for node, p in zip(nodes, ranked.probabilities())]
+    raise EngineError(f"cannot rank a result of type {type(result).__name__}")
+
+
+class Query:
+    """A lazy query; subclasses define how :meth:`execute` produces a result."""
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+
+    @property
+    def engine(self) -> "Engine":
+        return self._engine
+
+    def execute(self, **parameters: Any) -> Any:
+        """Run the query and return its result."""
+        raise NotImplementedError
+
+    def execute_many(self, param_batches: Iterable[Mapping[str, Any]]) -> list[Any]:
+        """Execute once per parameter set, amortizing compilation/optimization.
+
+        The plan is compiled and optimized at most once (on the first
+        execution); each batch element only pays for evaluation.
+        """
+        return [self.execute(**dict(batch)) for batch in param_batches]
+
+    def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
+        """Execute and return the ``k`` best ``(item, probability)`` pairs."""
+        return result_pairs(self.execute(**parameters), k)
+
+    def explain(self) -> str:
+        """Describe how the query will run (plans, translations, configuration)."""
+        raise NotImplementedError
+
+
+def _explain_plan_sections(engine: "Engine", plan: PraPlan) -> list[str]:
+    optimized = engine._optimize_plan(plan)
+    sections = ["PRA plan:", plan.describe()]
+    sections += ["", "Optimized PRA plan:", optimized.describe()]
+    sections += ["", "SQL translation:", to_sql(optimized)]
+    return sections
+
+
+class SpinQLQuery(Query):
+    """A lazily compiled SpinQL program with named parameters."""
+
+    def __init__(self, engine: "Engine", source: str, bindings: Mapping[str, Any]):
+        super().__init__(engine)
+        self.source = source
+        self._bindings = _coerce_bindings(bindings)
+
+    def _program(self):
+        return self._engine._compile_spinql(self.source, frozenset(self._bindings))
+
+    @property
+    def plan(self) -> PraPlan:
+        """The compiled (unoptimized) PRA plan of the final statement."""
+        return self._program().plan
+
+    @property
+    def optimized_plan(self) -> PraPlan:
+        """The optimized PRA plan the query will actually evaluate."""
+        return self._program().optimized
+
+    def execute(self, **parameters: Any) -> ProbabilisticRelation:
+        """Evaluate the program; keyword arguments override the stored bindings.
+
+        Only parameters declared at construction can be overridden — an
+        undeclared name has no placeholder in the compiled plan and would be
+        silently ignored, so it raises instead.
+        """
+        undeclared = set(parameters) - set(self._bindings)
+        if undeclared:
+            raise EngineError(
+                f"undeclared parameters {sorted(undeclared)}; declare them when "
+                f"building the query: engine.spinql(source, "
+                f"{', '.join(sorted(undeclared))}=...)"
+            )
+        program = self._program()
+        bindings = dict(self._bindings)
+        bindings.update(_coerce_bindings(parameters))
+        return self._engine._evaluate(program.optimized, bindings)
+
+    def explain_data(self) -> dict[str, str]:
+        """The explain report as structured data (used by the CLI's --json)."""
+        program = self._program()
+        return {
+            "spinql": self.source.strip(),
+            "parameters": sorted(self._bindings),
+            "pra_plan": program.plan.describe(),
+            "optimized_plan": program.optimized.describe(),
+            "sql": to_sql(program.optimized),
+        }
+
+    def explain(self) -> str:
+        data = self.explain_data()
+        sections = ["SpinQL program:", data["spinql"], ""]
+        if data["parameters"]:
+            sections += ["Parameters: " + ", ".join(data["parameters"]), ""]
+        sections += ["PRA plan:", data["pra_plan"]]
+        sections += ["", "Optimized PRA plan:", data["optimized_plan"]]
+        sections += ["", "SQL translation:", data["sql"]]
+        return "\n".join(sections)
+
+
+class TableQuery(Query):
+    """The fluent builder: chainable operators over a table, view or parameter.
+
+    Instances are immutable; every operator returns a new query, so partial
+    chains can be reused::
+
+        toys = engine.table("triples").where(property="category", object="toy")
+        toys.select("subject").execute()
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        plan: PraPlan,
+        columns: Sequence[str],
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+    ):
+        super().__init__(engine)
+        self._plan = plan
+        self._columns = list(columns)
+        self._bindings = dict(bindings or {})
+
+    # -- chaining --------------------------------------------------------------------
+
+    def _derive(self, plan: PraPlan, columns: Sequence[str]) -> "TableQuery":
+        return TableQuery(self._engine, plan, columns, self._bindings)
+
+    def _position_of(self, column: int | str) -> int:
+        if isinstance(column, int):
+            if column < 1 or column > len(self._columns):
+                raise EngineError(
+                    f"position {column} out of range; columns are {self._columns}"
+                )
+            return column
+        try:
+            return self._columns.index(column) + 1
+        except ValueError:
+            raise EngineError(
+                f"unknown column {column!r}; available columns: {self._columns}"
+            ) from None
+
+    def where(self, predicate: Expression | None = None, **equals: Any) -> "TableQuery":
+        """Filter rows: a raw predicate expression and/or column equalities."""
+        clauses: list[Expression] = []
+        if predicate is not None:
+            clauses.append(predicate)
+        for column, value in equals.items():
+            clauses.append(
+                BinaryOp("=", PositionalRef(self._position_of(column)), Literal(value))
+            )
+        if not clauses:
+            raise EngineError("where() needs a predicate or at least one column=value")
+        combined = clauses[0]
+        for clause in clauses[1:]:
+            combined = BinaryOp("and", combined, clause)
+        return self._derive(PraSelect(self._plan, combined), self._columns)
+
+    def select(self, *columns: int | str, **aliases: int | str) -> "TableQuery":
+        """Project columns (by name or 1-based position); ``alias=column`` renames."""
+        if not columns and not aliases:
+            raise EngineError("select() needs at least one column")
+        positions = [self._position_of(column) for column in columns]
+        names = [
+            column if isinstance(column, str) else self._columns[position - 1]
+            for column, position in zip(columns, positions)
+        ]
+        for alias, column in aliases.items():
+            positions.append(self._position_of(column))
+            names.append(alias)
+        plan = PraProject(self._plan, positions, Assumption.INDEPENDENT, names)
+        return self._derive(plan, names)
+
+    def traverse(
+        self,
+        property_name: str,
+        *,
+        direction: str = "forward",
+        merge: str | Assumption = "independent",
+    ) -> "TableQuery":
+        """Follow one property edge from the first column, as SpinQL TRAVERSE does."""
+        if direction not in ("forward", "backward"):
+            raise EngineError(f"direction must be 'forward' or 'backward', got {direction!r}")
+        assumption = merge if isinstance(merge, Assumption) else Assumption.parse(merge)
+        edges = PraSelect(
+            PraScan(self._engine.triples_table),
+            BinaryOp("=", PositionalRef(2), Literal(property_name)),
+        )
+        arity = len(self._columns)
+        if direction == "backward":
+            join_condition = (1, 3)  # node = object
+            projected = 1  # subject of the triple
+        else:
+            join_condition = (1, 1)  # node = subject
+            projected = 3  # object of the triple
+        joined = PraJoin(self._plan, edges, [join_condition], Assumption.INDEPENDENT)
+        plan = PraProject(joined, [arity + projected], assumption, output_names=["node"])
+        return self._derive(plan, ["node"])
+
+    def rank(
+        self,
+        query: str | None = None,
+        *,
+        model: Any | None = None,
+        top_k: int | None = None,
+    ) -> "RankedQuery":
+        """Rank the (id, text) rows of this query against a keyword query."""
+        return RankedQuery(self, query=query, model=model, top_k=top_k)
+
+    # -- execution --------------------------------------------------------------------
+
+    @property
+    def plan(self) -> PraPlan:
+        return self._plan
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def execute(self, **parameters: Any) -> ProbabilisticRelation:
+        undeclared = set(parameters) - plan_parameters(self._plan)
+        if undeclared:
+            raise EngineError(
+                f"undeclared parameters {sorted(undeclared)}; this query's plan "
+                f"has parameters {sorted(plan_parameters(self._plan))}"
+            )
+        bindings = dict(self._bindings)
+        bindings.update(_coerce_bindings(parameters))
+        return self._engine._execute_plan(self._plan, bindings)
+
+    def explain(self) -> str:
+        sections = [f"Builder query over columns {self._columns}:", ""]
+        sections += _explain_plan_sections(self._engine, self._plan)
+        return "\n".join(sections)
+
+
+class RankedQuery(Query):
+    """A table query ranked by a keyword query (the Rank-by-Text step)."""
+
+    def __init__(
+        self,
+        docs: TableQuery,
+        *,
+        query: str | None,
+        model: Any | None = None,
+        top_k: int | None = None,
+    ):
+        super().__init__(docs.engine)
+        self._docs = docs
+        self._query = query
+        self._model = model
+        self._top_k = top_k
+
+    def execute(self, *, query: str | None = None, **parameters: Any) -> ProbabilisticRelation:
+        effective = query if query is not None else self._query
+        if effective is None:
+            raise EngineError("rank() has no query; pass one to rank() or execute()")
+        docs = self._docs.execute(**parameters)
+        if len(docs.value_columns) != 2:
+            raise EngineError(
+                "rank() expects a two-column (id, text) input; got columns "
+                f"{docs.value_columns} — use .select() to shape the query first"
+            )
+        return self._engine._rank_documents(
+            docs, effective, model=self._model, top_k=self._top_k
+        )
+
+    def explain(self) -> str:
+        model = self._model.describe() if self._model is not None else "BM25 (default)"
+        sections = [
+            f"Rank by text (model: {model}, query: {self._query!r}) over:",
+            "",
+        ]
+        sections += _explain_plan_sections(self._engine, self._docs.plan)
+        return "\n".join(sections)
+
+
+class SearchQuery(Query):
+    """Lazy keyword search over a ``docs(docID, data)`` table or view."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        table: str,
+        query: str | None = None,
+        *,
+        model: Any | None = None,
+        pipeline: str = "direct",
+        top_k: int | None = None,
+        expander: Any | None = None,
+        id_column: str = "docID",
+        text_column: str = "data",
+    ):
+        super().__init__(engine)
+        self.table = table
+        self._query = query
+        self._model = model
+        self._pipeline = pipeline
+        self._top_k = top_k
+        self._expander = expander
+        self._id_column = id_column
+        self._text_column = text_column
+
+    def _search_engine(self):
+        return self._engine._search_engine(
+            self.table,
+            model=self._model,
+            pipeline=self._pipeline,
+            expander=self._expander,
+            id_column=self._id_column,
+            text_column=self._text_column,
+        )
+
+    def execute(self, *, query: str | None = None, top_k: int | None = None):
+        effective = query if query is not None else self._query
+        if effective is None:
+            raise EngineError("search() has no query; pass one to search() or execute()")
+        return self._search_engine().search(
+            effective, top_k=top_k if top_k is not None else self._top_k
+        )
+
+    def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
+        return self.execute(top_k=k, **parameters).top(k)
+
+    def explain(self) -> str:
+        searcher = self._search_engine()
+        lines = [f"Keyword search over {self.table!r}:"]
+        for key, value in searcher.describe().items():
+            lines.append(f"  {key}: {value}")
+        state = "materialized (hot)" if searcher.is_warm else "not built (cold)"
+        lines.append(f"  statistics: {state}")
+        if self._query is not None:
+            lines.append(f"  query: {self._query!r}")
+        return "\n".join(lines)
+
+
+class StrategyQuery(Query):
+    """Lazy execution of a block-based strategy graph."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        graph: Any,
+        query: str = "",
+        *,
+        result_block: str | None = None,
+        parameters: Mapping[str, Any] | None = None,
+    ):
+        super().__init__(engine)
+        self.graph = graph
+        self._query = query
+        self._result_block = result_block
+        self._parameters = dict(parameters or {})
+
+    def execute(self, *, query: str | None = None, **parameters: Any):
+        merged = dict(self._parameters)
+        merged.update(parameters)
+        return self._engine.executor.run(
+            self.graph,
+            query=query if query is not None else self._query,
+            result_block=self._result_block,
+            parameters=merged,
+        )
+
+    def explain(self) -> str:
+        from repro.strategy.render import render_ascii
+
+        return render_ascii(self.graph)

@@ -111,3 +111,7 @@ class PortError(StrategyError):
 
 class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
+
+
+class EngineError(ReproError):
+    """The engine facade was used incorrectly (bad binding, malformed chain)."""

@@ -104,6 +104,11 @@ class KeywordSearchEngine:
             self._statistics = self._build_statistics()
         return self._statistics
 
+    @property
+    def is_warm(self) -> bool:
+        """True once the collection statistics have been materialised."""
+        return self._statistics is not None
+
     def invalidate(self) -> None:
         """Discard the statistics (e.g. after the docs source changed)."""
         self._statistics = None

@@ -24,9 +24,11 @@ block graphs into them.
 
 from repro.pra.assumptions import Assumption
 from repro.pra.evaluator import PRAEvaluator
+from repro.pra.optimizer import optimize_pra
 from repro.pra.plan import (
     PraBayes,
     PraJoin,
+    PraParam,
     PraPlan,
     PraProject,
     PraScan,
@@ -45,6 +47,7 @@ __all__ = [
     "PositionalRef",
     "PraBayes",
     "PraJoin",
+    "PraParam",
     "PraPlan",
     "PraProject",
     "PraScan",
@@ -54,5 +57,6 @@ __all__ = [
     "PraValues",
     "PraWeight",
     "ProbabilisticRelation",
+    "optimize_pra",
     "positional",
 ]

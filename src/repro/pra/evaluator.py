@@ -5,15 +5,22 @@ database catalog, lifting ordinary relations to probability 1.0, and applies
 the probability-combination kernels of :mod:`repro.pra.operators` node by
 node.  The positional column references used by SpinQL are resolved against
 the value columns of each intermediate relation.
+
+:class:`~repro.pra.plan.PraParam` nodes are resolved against the ``bindings``
+mapping passed to :meth:`PRAEvaluator.evaluate`, which is how the engine
+facade executes one compiled plan against many different parameter values.
 """
 
 from __future__ import annotations
+
+from collections.abc import Mapping
 
 from repro.errors import PRAError
 from repro.pra import operators as pra_operators
 from repro.pra.plan import (
     PraBayes,
     PraJoin,
+    PraParam,
     PraPlan,
     PraProject,
     PraScan,
@@ -33,25 +40,41 @@ class PRAEvaluator:
     def __init__(self, database: Database):
         self.database = database
 
-    def evaluate(self, plan: PraPlan) -> ProbabilisticRelation:
-        """Evaluate ``plan`` and return the resulting probabilistic relation."""
+    def evaluate(
+        self,
+        plan: PraPlan,
+        *,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+    ) -> ProbabilisticRelation:
+        """Evaluate ``plan`` and return the resulting probabilistic relation.
+
+        ``bindings`` maps :class:`~repro.pra.plan.PraParam` names to the
+        probabilistic relations to substitute for them.
+        """
         if isinstance(plan, PraScan):
             relation = self.database.query(plan.table)
             return ProbabilisticRelation.lift(relation)
         if isinstance(plan, PraValues):
             return plan.relation
+        if isinstance(plan, PraParam):
+            if bindings is None or plan.name not in bindings:
+                available = sorted(bindings) if bindings else []
+                raise PRAError(
+                    f"unbound plan parameter {plan.name!r}; bound parameters: {available}"
+                )
+            return bindings[plan.name]
         if isinstance(plan, PraSelect):
-            child = self.evaluate(plan.child)
+            child = self.evaluate(plan.child, bindings=bindings)
             return pra_operators.select(child, plan.predicate, self.database.functions)
         if isinstance(plan, PraProject):
-            child = self.evaluate(plan.child)
+            child = self.evaluate(plan.child, bindings=bindings)
             columns = self._resolve_positions(child, plan.positions)
             return pra_operators.project(
                 child, columns, plan.assumption, output_names=plan.output_names
             )
         if isinstance(plan, PraJoin):
-            left = self.evaluate(plan.left)
-            right = self.evaluate(plan.right)
+            left = self.evaluate(plan.left, bindings=bindings)
+            right = self.evaluate(plan.right, bindings=bindings)
             conditions = [
                 (
                     self._resolve_position(left, left_position),
@@ -61,19 +84,19 @@ class PRAEvaluator:
             ]
             return pra_operators.join(left, right, conditions, plan.assumption)
         if isinstance(plan, PraUnite):
-            left = self.evaluate(plan.left)
-            right = self.evaluate(plan.right)
+            left = self.evaluate(plan.left, bindings=bindings)
+            right = self.evaluate(plan.right, bindings=bindings)
             return pra_operators.unite(left, right, plan.assumption)
         if isinstance(plan, PraSubtract):
-            left = self.evaluate(plan.left)
-            right = self.evaluate(plan.right)
+            left = self.evaluate(plan.left, bindings=bindings)
+            right = self.evaluate(plan.right, bindings=bindings)
             return pra_operators.subtract(left, right)
         if isinstance(plan, PraBayes):
-            child = self.evaluate(plan.child)
+            child = self.evaluate(plan.child, bindings=bindings)
             evidence = self._resolve_positions(child, plan.evidence_positions)
             return pra_operators.bayes(child, evidence)
         if isinstance(plan, PraWeight):
-            child = self.evaluate(plan.child)
+            child = self.evaluate(plan.child, bindings=bindings)
             return pra_operators.weight(child, plan.factor)
         raise PRAError(f"unknown PRA plan node {type(plan).__name__}")
 

@@ -1,0 +1,161 @@
+"""A rule-based optimizer for logical PRA plans.
+
+The relational layer already optimizes the physical plans it executes
+(:mod:`repro.relational.optimizer`); this module applies the analogous
+rewrites one level up, on the probabilistic algebra, before a plan reaches
+the evaluator.  Only rewrites that provably preserve the probability
+semantics of :mod:`repro.pra.operators` are implemented:
+
+* **selection fusion** — ``SELECT p2 (SELECT p1 (x))`` becomes
+  ``SELECT [p1 AND p2] (x)``: selections keep tuple probabilities untouched,
+  so conjoining predicates changes nothing;
+* **weight folding** — ``WEIGHT a (WEIGHT b (x))`` becomes
+  ``WEIGHT a*b (x)`` and ``WEIGHT 1.0 (x)`` disappears: probability scaling
+  is associative;
+* **selection past weight** — ``SELECT p (WEIGHT f (x))`` becomes
+  ``WEIGHT f (SELECT p (x))``: predicates only see value columns, never
+  ``p``, so filtering commutes with scaling (and exposes further fusion);
+* **selection into union** — ``SELECT p (UNITE (a, b))`` distributes into
+  ``UNITE (SELECT p (a), SELECT p (b))``: the union merges tuples with equal
+  value columns, and equal tuples agree on any value-column predicate.
+
+Rewrites that evaluate a predicate over rows the original plan filtered out
+(fusion, distribution into union) only fire for *total* predicates —
+comparisons, boolean connectives, references, literals.  Predicates
+containing scalar UDF calls may raise value-dependently and are left where
+the query author put them.
+
+Rules are applied bottom-up to a fixpoint, mirroring the relational
+optimizer's driver loop.
+"""
+
+from __future__ import annotations
+
+from repro.pra.expressions import PositionalRef
+from repro.pra.plan import (
+    PraJoin,
+    PraPlan,
+    PraSelect,
+    PraSubtract,
+    PraUnite,
+    PraWeight,
+)
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    UnaryOp,
+)
+
+
+def optimize_pra(plan: PraPlan) -> PraPlan:
+    """Apply all rewrite rules bottom-up until the plan stops changing."""
+    previous_fingerprint = None
+    current = plan
+    while current.fingerprint() != previous_fingerprint:
+        previous_fingerprint = current.fingerprint()
+        current = _rewrite(current)
+    return current
+
+
+def _rewrite(plan: PraPlan) -> PraPlan:
+    plan = _rewrite_children(plan)
+    plan = _fold_weights(plan)
+    plan = _push_select_past_weight(plan)
+    plan = _push_select_into_unite(plan)
+    plan = _fuse_selections(plan)
+    return plan
+
+
+def _rewrite_children(plan: PraPlan) -> PraPlan:
+    """Rebuild ``plan`` with rewritten children (PRA nodes are immutable)."""
+    if isinstance(plan, PraSelect):
+        return PraSelect(_rewrite(plan.child), plan.predicate)
+    if isinstance(plan, PraWeight):
+        return PraWeight(_rewrite(plan.child), plan.factor)
+    if isinstance(plan, PraUnite):
+        return PraUnite(_rewrite(plan.left), _rewrite(plan.right), plan.assumption)
+    if isinstance(plan, PraSubtract):
+        return PraSubtract(_rewrite(plan.left), _rewrite(plan.right))
+    if isinstance(plan, PraJoin):
+        return PraJoin(
+            _rewrite(plan.left), _rewrite(plan.right), plan.conditions, plan.assumption
+        )
+    # PraProject / PraBayes keep positional references that are only valid
+    # against their direct child's column layout, so their subtree is rewritten
+    # but the node itself is never reordered.
+    from repro.pra.plan import PraBayes, PraProject
+
+    if isinstance(plan, PraProject):
+        return PraProject(
+            _rewrite(plan.child), plan.positions, plan.assumption, plan.output_names
+        )
+    if isinstance(plan, PraBayes):
+        return PraBayes(_rewrite(plan.child), plan.evidence_positions)
+    return plan
+
+
+def _is_simple_predicate(expression: Expression) -> bool:
+    """True if evaluating ``expression`` on extra rows cannot raise.
+
+    Comparisons, boolean connectives, column/positional references and
+    literals are total over whatever rows they see; anything else (notably
+    scalar UDF calls, which may raise value-dependently) makes a rewrite that
+    evaluates the predicate over rows the original plan filtered out unsafe.
+    """
+    if isinstance(expression, (Literal, ColumnRef, PositionalRef)):
+        return True
+    if isinstance(expression, BinaryOp):
+        return _is_simple_predicate(expression.left) and _is_simple_predicate(
+            expression.right
+        )
+    if isinstance(expression, UnaryOp):
+        return _is_simple_predicate(expression.operand)
+    return False
+
+
+def _fuse_selections(plan: PraPlan) -> PraPlan:
+    if isinstance(plan, PraSelect) and isinstance(plan.child, PraSelect):
+        # fusing evaluates the outer predicate over rows the inner one would
+        # have removed, so both must be total
+        if not (
+            _is_simple_predicate(plan.predicate)
+            and _is_simple_predicate(plan.child.predicate)
+        ):
+            return plan
+        inner = plan.child
+        combined = BinaryOp("and", inner.predicate, plan.predicate)
+        return PraSelect(inner.child, combined)
+    return plan
+
+
+def _fold_weights(plan: PraPlan) -> PraPlan:
+    if isinstance(plan, PraWeight) and isinstance(plan.child, PraWeight):
+        inner = plan.child
+        return PraWeight(inner.child, plan.factor * inner.factor)
+    if isinstance(plan, PraWeight) and plan.factor == 1.0:
+        return plan.child
+    return plan
+
+
+def _push_select_past_weight(plan: PraPlan) -> PraPlan:
+    if isinstance(plan, PraSelect) and isinstance(plan.child, PraWeight):
+        weight = plan.child
+        return PraWeight(PraSelect(weight.child, plan.predicate), weight.factor)
+    return plan
+
+
+def _push_select_into_unite(plan: PraPlan) -> PraPlan:
+    if isinstance(plan, PraSelect) and isinstance(plan.child, PraUnite):
+        # the union merges duplicate tuples, so distributing evaluates the
+        # predicate over the (larger) pre-merge row sets — it must be total
+        if not _is_simple_predicate(plan.predicate):
+            return plan
+        unite = plan.child
+        return PraUnite(
+            PraSelect(unite.left, plan.predicate),
+            PraSelect(unite.right, plan.predicate),
+            unite.assumption,
+        )
+    return plan

@@ -66,6 +66,25 @@ class PraValues(PraPlan):
         return f"Values({self.label}, rows={self.relation.num_rows})"
 
 
+@dataclass(frozen=True)
+class PraParam(PraPlan):
+    """A named placeholder for a probabilistic relation bound at execution time.
+
+    Parameters make compiled plans reusable: the fingerprint depends only on
+    the parameter *name*, never on the bound value, so a parameterized query
+    compiled once can be executed many times against different bindings while
+    hitting the engine's plan cache.
+    """
+
+    name: str
+
+    def fingerprint(self) -> str:
+        return f"praparam({self.name})"
+
+    def _describe_self(self) -> str:
+        return f"Param({self.name})"
+
+
 class PraSelect(PraPlan):
     """``SELECT [predicate] (input)``."""
 

@@ -14,6 +14,7 @@ about graphs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -23,6 +24,7 @@ from repro.pra.expressions import PositionalRef
 from repro.pra.plan import (
     PraBayes,
     PraJoin,
+    PraParam,
     PraPlan,
     PraProject,
     PraScan,
@@ -82,9 +84,11 @@ class SpinQLCompiler:
         self,
         *,
         bindings: dict[str, ProbabilisticRelation] | None = None,
+        parameters: Iterable[str] | None = None,
         triples_table: str = "triples",
     ):
         self.bindings = bindings or {}
+        self.parameters = frozenset(parameters or ())
         self.triples_table = triples_table
 
     # -- entry points ------------------------------------------------------------------
@@ -115,6 +119,11 @@ class SpinQLCompiler:
     def _resolve_reference(self, name: str, compiled: CompiledScript) -> PraPlan:
         if name in compiled.plans:
             return compiled.plans[name]
+        if name in self.parameters:
+            # parameters compile to placeholders resolved at evaluation time,
+            # so the compiled plan (and its fingerprint) is independent of the
+            # bound values — the basis of the engine's plan cache
+            return PraParam(name)
         if name in self.bindings:
             return PraValues(self.bindings[name], label=name)
         return PraScan(name)
@@ -275,8 +284,11 @@ def compile_script(
     source: str | Script,
     *,
     bindings: dict[str, ProbabilisticRelation] | None = None,
+    parameters: Iterable[str] | None = None,
     triples_table: str = "triples",
 ) -> CompiledScript:
     """Convenience wrapper: parse (if needed) and compile a SpinQL script."""
-    compiler = SpinQLCompiler(bindings=bindings, triples_table=triples_table)
+    compiler = SpinQLCompiler(
+        bindings=bindings, parameters=parameters, triples_table=triples_table
+    )
     return compiler.compile(source)

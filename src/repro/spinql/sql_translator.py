@@ -18,6 +18,7 @@ from repro.pra.assumptions import Assumption
 from repro.pra.plan import (
     PraBayes,
     PraJoin,
+    PraParam,
     PraPlan,
     PraProject,
     PraScan,
@@ -143,6 +144,8 @@ def _render_nested(plan: PraPlan, depth: int = 0) -> str:
         return f"{indent}SELECT *, p FROM {plan.table}"
     if isinstance(plan, PraValues):
         return f"{indent}SELECT *, p FROM ({plan.label})"
+    if isinstance(plan, PraParam):
+        return f"{indent}SELECT *, p FROM :{plan.name} -- parameter bound at execution time"
     if isinstance(plan, PraSelect):
         child = _render_nested(plan.child, depth + 1)
         return (

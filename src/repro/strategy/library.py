@@ -245,6 +245,10 @@ class RankByTextBlock(Block):
         ids = docs.relation.column("docID").to_list()
         return f"{len(ids)}:{hash(tuple(ids))}"
 
+    def clear_statistics(self) -> None:
+        """Drop the cached per-collection statistics (cold-start state)."""
+        self._statistics_cache.clear()
+
     def execute(self, context: StrategyContext, inputs: dict[str, Any]) -> ProbabilisticRelation:
         docs = self._require_resources(self._require_input(inputs, "documents"), port="documents")
         query_terms = self._require_input(inputs, "query")

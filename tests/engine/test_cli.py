@@ -1,0 +1,99 @@
+"""CLI smoke tests: every subcommand, text and JSON output."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPINQL = (
+    'docs = PROJECT [$1 AS docID, $6 AS data] ('
+    ' JOIN INDEPENDENT [$1=$1] ('
+    ' SELECT [$2="category" and $3="toy"] (triples),'
+    ' SELECT [$2="description"] (triples) ) );'
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestScenarioCommands:
+    def test_toy_text(self, capsys):
+        code, out = run_cli(capsys, "toy", "--products", "40", "--top", "3")
+        assert code == 0
+        assert "query:" in out
+        assert "p = " in out
+
+    def test_toy_json(self, capsys):
+        code, out = run_cli(capsys, "toy", "--products", "40", "--top", "3", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "toy"
+        assert payload["results"]
+        assert {"node", "p"} <= set(payload["results"][0])
+
+    def test_auction_json(self, capsys):
+        code, out = run_cli(capsys, "auction", "--lots", "60", "--top", "2", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "auction"
+        assert len(payload["results"]) <= 2
+
+    def test_experts_json_includes_ground_truth(self, capsys):
+        code, out = run_cli(
+            capsys, "experts", "--people", "10", "--documents", "40", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "experts"
+        assert "true_experts" in payload
+
+    def test_show_strategy(self, capsys):
+        code, out = run_cli(capsys, "toy", "--products", "40", "--show-strategy")
+        assert code == 0
+        assert "Rank by Text" in out
+
+
+class TestSpinQLCommands:
+    def test_spinql_text(self, capsys):
+        code, out = run_cli(capsys, "spinql", SPINQL)
+        assert code == 0
+        assert "PRA plan:" in out
+        assert "SQL translation:" in out
+
+    def test_spinql_json(self, capsys):
+        code, out = run_cli(capsys, "spinql", SPINQL, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert {"pra_plan", "optimized_plan", "sql"} <= set(payload)
+
+    def test_spinql_view_name(self, capsys):
+        code, out = run_cli(capsys, "spinql", SPINQL, "--view-name", "docs")
+        assert code == 0
+        assert "CREATE VIEW docs AS" in out
+
+    def test_explain_text(self, capsys):
+        code, out = run_cli(capsys, "explain", SPINQL)
+        assert code == 0
+        assert "SpinQL program:" in out
+        assert "Optimized PRA plan:" in out
+        assert "SQL translation:" in out
+
+    def test_explain_json(self, capsys):
+        code, out = run_cli(capsys, "explain", SPINQL, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert {"spinql", "pra_plan", "optimized_plan", "sql"} <= set(payload)
+
+
+class TestErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_toy_empty_category_fails(self, capsys):
+        code = main(["toy", "--products", "20", "--category", "nonexistent"])
+        assert code == 1

@@ -1,0 +1,230 @@
+"""The lazy Query API: laziness, fluent chaining, explain, bindings."""
+
+import pytest
+
+from repro.engine import Engine, connect
+from repro.engine.query import as_probabilistic
+from repro.errors import EngineError
+from repro.pra.relation import ProbabilisticRelation
+
+TRIPLES = [
+    ("product1", "type", "product"),
+    ("product1", "category", "toy"),
+    ("product1", "description", "wooden train set for children"),
+    ("product2", "type", "product"),
+    ("product2", "category", "book"),
+    ("product2", "description", "history of trains and railways"),
+    ("product3", "type", "product"),
+    ("product3", "category", "toy"),
+    ("product3", "description", "plastic toy car with remote control"),
+]
+
+
+@pytest.fixture
+def engine():
+    return connect().load_triples(TRIPLES)
+
+
+class TestLaziness:
+    def test_spinql_does_not_execute_on_construction(self, engine):
+        query = engine.spinql("bad = SELECT [$1=\"x\"] (missing_table);")
+        # construction is fine; only execution resolves the scan
+        with pytest.raises(Exception):
+            query.execute()
+
+    def test_builder_chain_is_immutable(self, engine):
+        base = engine.table("triples")
+        filtered = base.where(property="category")
+        assert base.plan is not filtered.plan
+        assert base.columns == ["subject", "property", "object"]
+        assert filtered.columns == base.columns
+
+    def test_strategy_query_is_reusable_across_queries(self, engine):
+        strategy = engine.strategy("toy", category="toy")
+        first = strategy.execute(query="wooden train")
+        second = strategy.execute(query="remote control")
+        assert first.query == "wooden train"
+        assert second.query == "remote control"
+
+
+class TestFluentBuilder:
+    def test_where_select_traverse(self, engine):
+        rows = (
+            engine.table("triples")
+            .where(property="category", object="toy")
+            .select("subject")
+            .traverse("description")
+            .execute()
+            .value_rows()
+        )
+        texts = {row[0] for row in rows}
+        assert texts == {
+            "wooden train set for children",
+            "plastic toy car with remote control",
+        }
+
+    def test_select_by_position_and_alias(self, engine):
+        query = engine.table("triples").select(1, doc=3)
+        assert query.columns == ["subject", "doc"]
+        result = query.execute()
+        assert result.value_columns == ["subject", "doc"]
+
+    def test_where_unknown_column_raises(self, engine):
+        with pytest.raises(EngineError, match="unknown column"):
+            engine.table("triples").where(nope="x")
+
+    def test_where_without_arguments_raises(self, engine):
+        with pytest.raises(EngineError, match="needs a predicate"):
+            engine.table("triples").where()
+
+    def test_rank_requires_two_columns(self, engine):
+        query = engine.table("triples").select("subject").rank("train")
+        with pytest.raises(EngineError, match="two-column"):
+            query.execute()
+
+    def test_rank_returns_sorted_probabilities(self, engine):
+        ranked = (
+            engine.table("triples")
+            .where(property="description")
+            .select("subject", "object")
+            .rank("wooden train")
+        )
+        pairs = ranked.top(3)
+        assert pairs[0][0] == "product1"
+        probabilities = [probability for _, probability in pairs]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_rank_query_override_at_execute(self, engine):
+        ranked = (
+            engine.table("triples")
+            .where(property="description")
+            .select("subject", "object")
+            .rank()
+        )
+        with pytest.raises(EngineError, match="no query"):
+            ranked.execute()
+        assert ranked.top(1, query="remote control car")[0][0] == "product3"
+
+
+class TestTraverseFrontEnd:
+    def test_traverse_with_seed_shapes(self, engine):
+        for seeds in (["product1"], [("product1", 1.0)], "product1"):
+            result = engine.traverse("description", seeds=seeds).execute()
+            assert result.value_rows() == [("wooden train set for children",)]
+
+    def test_traverse_backward(self, engine):
+        result = engine.traverse(
+            "category", seeds=["toy"], direction="backward"
+        ).execute()
+        assert {row[0] for row in result.value_rows()} == {"product1", "product3"}
+
+    def test_traverse_unbound_seeds_is_reusable(self, engine):
+        hop = engine.traverse("category")
+        assert hop.execute(seeds=["product1"]).value_rows() == [("toy",)]
+        assert hop.execute(seeds=["product2"]).value_rows() == [("book",)]
+
+    def test_invalid_direction_raises(self, engine):
+        with pytest.raises(EngineError, match="direction"):
+            engine.traverse("category", direction="sideways")
+
+
+class TestExplain:
+    def test_spinql_explain_has_all_sections(self, engine):
+        report = engine.spinql(
+            'docs = SELECT [$2="description"] (triples);'
+        ).explain()
+        assert "SpinQL program:" in report
+        assert "PRA plan:" in report
+        assert "Optimized PRA plan:" in report
+        assert "SQL translation:" in report
+
+    def test_optimized_plan_fuses_selections(self, engine):
+        report = engine.spinql(
+            'a = SELECT [$3="toy"] (SELECT [$2="category"] (triples));'
+        ).explain()
+        raw, optimized = report.split("Optimized PRA plan:")
+        assert optimized.count("SELECT [") == 1  # fused into one conjunction
+        assert raw.split("PRA plan:")[1].count("SELECT [") == 2
+
+    def test_strategy_explain_renders_diagram(self, engine):
+        diagram = engine.strategy("toy").explain()
+        assert "Rank by Text" in diagram
+
+    def test_search_explain_reports_statistics_state(self, engine):
+        engine.store.register_docs_view(
+            "docs",
+            filter_property="category",
+            filter_value="toy",
+            text_property="description",
+        )
+        query = engine.search("docs", "train")
+        assert "cold" in query.explain()
+        query.execute()
+        assert "hot" in query.explain()
+
+    def test_parameter_rendered_in_sql(self, engine):
+        report = engine.spinql(
+            "out = TRAVERSE ['category'] (seeds);", seeds=["product1"]
+        ).explain()
+        assert ":seeds" in report
+        assert "Param(seeds)" in report
+
+
+class TestBindings:
+    def test_as_probabilistic_shapes(self):
+        from repro.relational.column import DataType
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Field, Schema
+
+        pairs = as_probabilistic([("a", 0.5), ("b", 1.0)])
+        assert pairs.value_rows() == [("a",), ("b",)]
+        assert list(pairs.probabilities()) == [0.5, 1.0]
+
+        bare = as_probabilistic(["a", "b"])
+        assert list(bare.probabilities()) == [1.0, 1.0]
+
+        relation = Relation.from_rows(Schema([Field("n", DataType.STRING)]), [("x",)])
+        lifted = as_probabilistic(relation)
+        assert isinstance(lifted, ProbabilisticRelation)
+
+        assert as_probabilistic(pairs) is pairs
+
+    def test_as_probabilistic_rejects_garbage(self):
+        with pytest.raises(EngineError):
+            as_probabilistic(42)
+
+    def test_undeclared_spinql_parameter_raises(self, engine):
+        query = engine.spinql('out = PROJECT [$1 AS n] (triples);')
+        with pytest.raises(EngineError, match="undeclared parameters"):
+            query.execute(triples=["product1"])  # 'triples' compiled to a scan
+
+    def test_undeclared_builder_parameter_raises(self, engine):
+        hop = engine.traverse("category")
+        with pytest.raises(EngineError, match="undeclared parameters"):
+            hop.execute(seedz=["product1"])
+
+    def test_strategy_unknown_name_raises(self, engine):
+        with pytest.raises(EngineError, match="unknown strategy"):
+            engine.strategy("nope")
+
+    def test_strategy_graph_with_builder_kwargs_raises(self, engine):
+        graph = engine.strategy("toy").graph
+        with pytest.raises(EngineError, match="builder keyword"):
+            engine.strategy(graph, category="toy")
+
+
+class TestEngineSession:
+    def test_connect_info(self, engine):
+        info = engine.connect_info()
+        assert info["triples"] == len(TRIPLES)
+        assert "triples" in info["tables"]
+
+    def test_from_triples_classmethod(self):
+        engine = Engine.from_triples(TRIPLES)
+        assert engine.store.num_triples == len(TRIPLES)
+
+    def test_clear_caches_resets_plan_cache(self, engine):
+        engine.spinql('a = SELECT [$2="category"] (triples);').execute()
+        assert len(engine.plan_cache) > 0
+        engine.clear_caches()
+        assert len(engine.plan_cache) == 0

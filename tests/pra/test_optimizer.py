@@ -1,0 +1,181 @@
+"""The PRA plan optimizer: rewrites fire and preserve probability semantics."""
+
+import pytest
+
+from repro.pra.assumptions import Assumption
+from repro.pra.evaluator import PRAEvaluator
+from repro.pra.expressions import PositionalRef
+from repro.pra.optimizer import optimize_pra
+from repro.pra.plan import (
+    PraJoin,
+    PraProject,
+    PraScan,
+    PraSelect,
+    PraSubtract,
+    PraUnite,
+    PraWeight,
+)
+from repro.relational.expressions import BinaryOp, Literal
+from repro.triples import TripleStore
+
+TRIPLES = [
+    ("lot1", "material", "oak", 0.9),
+    ("lot2", "material", "oak", 0.4),
+    ("lot3", "material", "bronze", 0.8),
+    ("lot1", "style", "antique", 0.7),
+    ("lot3", "style", "antique", 0.3),
+]
+
+
+@pytest.fixture
+def database():
+    store = TripleStore()
+    store.add_all(TRIPLES)
+    store.load()
+    return store.database
+
+
+def predicate(position, value):
+    return BinaryOp("=", PositionalRef(position), Literal(value))
+
+
+def assert_equivalent(plan, database):
+    """The optimized plan must produce exactly the original result."""
+    evaluator = PRAEvaluator(database)
+    original = evaluator.evaluate(plan)
+    optimized_plan = optimize_pra(plan)
+    optimized = evaluator.evaluate(optimized_plan)
+    assert sorted(optimized.rows()) == sorted(original.rows())
+    return optimized_plan
+
+
+class TestRewrites:
+    def test_selection_fusion(self, database):
+        plan = PraSelect(
+            PraSelect(PraScan("triples"), predicate(2, "material")),
+            predicate(3, "oak"),
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraSelect)
+        assert isinstance(optimized.child, PraScan)
+
+    def test_weight_folding(self, database):
+        plan = PraWeight(PraWeight(PraScan("triples"), 0.5), 0.4)
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraWeight)
+        assert optimized.factor == pytest.approx(0.2)
+        assert isinstance(optimized.child, PraScan)
+
+    def test_identity_weight_removed(self, database):
+        plan = PraWeight(PraScan("triples"), 1.0)
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraScan)
+
+    def test_select_pushed_past_weight(self, database):
+        plan = PraSelect(
+            PraWeight(PraScan("triples"), 0.5), predicate(2, "material")
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraWeight)
+        assert isinstance(optimized.child, PraSelect)
+
+    def test_select_distributes_into_unite(self, database):
+        plan = PraSelect(
+            PraUnite(PraScan("triples"), PraScan("triples"), Assumption.INDEPENDENT),
+            predicate(2, "style"),
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraUnite)
+        assert isinstance(optimized.left, PraSelect)
+        assert isinstance(optimized.right, PraSelect)
+
+    def test_rules_compose_to_fixpoint(self, database):
+        # select over weight over select: push + fuse in one pass
+        plan = PraSelect(
+            PraWeight(
+                PraSelect(PraScan("triples"), predicate(2, "material")), 0.5
+            ),
+            predicate(3, "oak"),
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraWeight)
+        assert isinstance(optimized.child, PraSelect)
+        assert isinstance(optimized.child.child, PraScan)
+
+
+class TestSemanticsPreserved:
+    def test_join_subtree_rewritten(self, database):
+        left = PraSelect(
+            PraSelect(PraScan("triples"), predicate(2, "material")),
+            predicate(3, "oak"),
+        )
+        right = PraSelect(PraScan("triples"), predicate(2, "style"))
+        plan = PraProject(
+            PraJoin(left, right, [(1, 1)], Assumption.INDEPENDENT),
+            [1],
+            Assumption.INDEPENDENT,
+            output_names=["lot"],
+        )
+        assert_equivalent(plan, database)
+
+    def test_subtract_preserved(self, database):
+        oak = PraProject(
+            PraSelect(PraScan("triples"), predicate(3, "oak")),
+            [1],
+            Assumption.INDEPENDENT,
+            output_names=["lot"],
+        )
+        antique = PraProject(
+            PraSelect(PraScan("triples"), predicate(3, "antique")),
+            [1],
+            Assumption.INDEPENDENT,
+            output_names=["lot"],
+        )
+        assert_equivalent(PraSubtract(oak, antique), database)
+
+    def test_projection_positions_untouched(self, database):
+        plan = PraProject(
+            PraSelect(
+                PraSelect(PraScan("triples"), predicate(2, "material")),
+                predicate(3, "oak"),
+            ),
+            [1, 3],
+            Assumption.INDEPENDENT,
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraProject)
+        assert optimized.positions == (1, 3)
+
+    def test_fixpoint_terminates_on_already_optimal_plan(self, database):
+        plan = PraSelect(PraScan("triples"), predicate(2, "material"))
+        optimized = optimize_pra(plan)
+        assert optimized.fingerprint() == plan.fingerprint()
+
+    def test_udf_predicate_is_not_fused(self, database):
+        # a UDF can raise value-dependently, so it must only see the rows the
+        # inner selection lets through — fusion would evaluate it everywhere
+        from repro.relational.expressions import FunctionCall
+
+        udf_predicate = BinaryOp(
+            ">", FunctionCall("length", [PositionalRef(3)]), Literal(2)
+        )
+        plan = PraSelect(
+            PraSelect(PraScan("triples"), predicate(2, "material")), udf_predicate
+        )
+        optimized = optimize_pra(plan)
+        assert isinstance(optimized, PraSelect)
+        assert isinstance(optimized.child, PraSelect)  # still two selections
+
+    def test_udf_predicate_not_distributed_into_unite(self, database):
+        from repro.relational.expressions import FunctionCall
+
+        udf_predicate = BinaryOp(
+            ">", FunctionCall("length", [PositionalRef(3)]), Literal(2)
+        )
+        plan = PraSelect(
+            PraUnite(PraScan("triples"), PraScan("triples"), Assumption.INDEPENDENT),
+            udf_predicate,
+        )
+        optimized = optimize_pra(plan)
+        assert isinstance(optimized, PraSelect)
+        assert isinstance(optimized.child, PraUnite)
