@@ -13,7 +13,10 @@ Every subcommand drives the :class:`~repro.engine.Engine` facade:
   :meth:`~repro.engine.query.Query.explain` report (raw plan, optimized
   plan, SQL).
 
-Every subcommand accepts ``--json`` for machine-readable output, and the
+Every subcommand accepts ``--json`` for machine-readable output and
+``--top-k``: on the scenario subcommands it bounds the ranked answer (a
+synonym of ``--top``); on ``spinql``/``explain`` it wraps the program in a
+``TOP k`` node so the reports show where the optimizer pushes it.  The
 scenario subcommands print the strategy diagram with ``--show-strategy``.
 """
 
@@ -117,14 +120,15 @@ def _cmd_spinql(args: argparse.Namespace) -> int:
     from repro.spinql import to_sql
 
     query = Engine().spinql(args.program)
-    sql = to_sql(query.optimized_plan, view_name=args.view_name)
+    plan, optimized = query.plans(top_k=args.top_k)
+    sql = to_sql(optimized, view_name=args.view_name)
     if args.json:
         print(
             json.dumps(
                 {
                     "command": "spinql",
-                    "pra_plan": query.plan.describe(),
-                    "optimized_plan": query.optimized_plan.describe(),
+                    "pra_plan": plan.describe(),
+                    "optimized_plan": optimized.describe(),
                     "sql": sql,
                 },
                 indent=2,
@@ -132,7 +136,7 @@ def _cmd_spinql(args: argparse.Namespace) -> int:
         )
         return 0
     print("PRA plan:")
-    print(query.plan.describe())
+    print(plan.describe())
     print("\nSQL translation:")
     print(sql)
     return 0
@@ -141,9 +145,13 @@ def _cmd_spinql(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     query = Engine().spinql(args.program)
     if args.json:
-        print(json.dumps({"command": "explain", **query.explain_data()}, indent=2))
+        print(
+            json.dumps(
+                {"command": "explain", **query.explain_data(top_k=args.top_k)}, indent=2
+            )
+        )
         return 0
-    print(query.explain())
+    print(query.explain(top_k=args.top_k))
     return 0
 
 
@@ -152,7 +160,22 @@ def _add_common(parser: argparse.ArgumentParser, *, top: bool = True) -> None:
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
     if top:
-        parser.add_argument("--top", type=int, default=10)
+        parser.add_argument(
+            "--top",
+            "--top-k",
+            dest="top",
+            type=int,
+            default=10,
+            help="how many ranked answers to print (rank-aware top-k)",
+        )
+    else:
+        parser.add_argument(
+            "--top-k",
+            dest="top_k",
+            type=int,
+            default=None,
+            help="wrap the program in a TOP k node and show where it is pushed",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -27,6 +27,37 @@ queries skip compilation and optimization entirely::
     engine = connect().load_triples(triples)
     ranked = engine.strategy("toy", query="wooden train").top(10)
 
+**Rank-aware evaluation.**  ``query.top(k)`` on a plan-backed query does not
+execute the plan and sort everything: the plan is wrapped in a
+:class:`~repro.pra.plan.PraTop` node, the optimizer pushes that node towards
+the leaves, and evaluation selects the ``k`` best rows with a partial-sort
+kernel (``np.argpartition``).  Pushdown applies where probability
+monotonicity makes it exact — through positive ``WEIGHT`` nodes, across
+nested ``TOP`` nodes, and into the branches of a SUBSUMED (max-merge)
+``UNITE`` with duplicate-free sides — and provably stops everywhere else:
+``TOP`` never crosses ``BAYES``, ``SUBTRACT``, ``SELECT``, ``PROJECT``,
+``JOIN`` or a union under the INDEPENDENT/DISJOINT merges, because each has
+a counterexample where pruning early changes the answer (see
+:mod:`repro.pra.optimizer`).  The keyword-search scorer is rank-aware too:
+with ``top_k`` set it uses the same partial selection, plus threshold-style
+early termination for models that can bound per-term contributions (BM25
+with non-negative IDF, boolean).  All of this is exact — results, scores and
+tie-breaking are identical to full evaluation.
+
+**Determinism.**  Ranked results break probability ties by the value
+columns, so equal inputs always produce equal output order, in one thread or
+many.
+
+**Concurrency guarantees.**  One ``Engine`` may be shared by many threads:
+the plan cache and the materialization cache are lock-guarded (counters
+never lose updates, inserts are atomic), evaluation itself is read-only, and
+``query.execute_many(batches, max_workers=N)`` /
+``engine.execute_many(query, batches, max_workers=N)`` fan evaluation out on
+a ``ThreadPoolExecutor`` after compiling once — results always return in
+batch order, so concurrent execution is observationally identical to serial.
+Data loading (``load_triples``, ``create_table``) is *not* designed to run
+concurrently with queries; quiesce queries before reloading.
+
 This facade is the repository's public API.  The underlying layers
 (:mod:`repro.spinql`, :mod:`repro.pra`, :mod:`repro.ir`,
 :mod:`repro.strategy`, :mod:`repro.triples`) remain importable and supported
@@ -275,9 +306,28 @@ class Engine:
             self, graph, query, result_block=result_block, parameters=parameters
         )
 
-    def explain(self, source: str, **bindings: Any) -> str:
-        """Shorthand for ``engine.spinql(source, **bindings).explain()``."""
-        return self.spinql(source, **bindings).explain()
+    def explain(self, source: str, *, top_k: int | None = None, **bindings: Any) -> str:
+        """Shorthand for ``engine.spinql(source, **bindings).explain()``.
+
+        With ``top_k``, the report shows the plan under a ``TOP k`` root and
+        where the optimizer pushed it.
+        """
+        return self.spinql(source, **bindings).explain(top_k=top_k)
+
+    def execute_many(
+        self,
+        query: Query,
+        param_batches: Iterable[Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[Any]:
+        """Execute ``query`` once per parameter set, optionally on a thread pool.
+
+        Compilation and optimization run once; with ``max_workers`` greater
+        than one the evaluations run concurrently.  Results always come back
+        in batch order, identical to serial execution.
+        """
+        return query.execute_many(param_batches, max_workers=max_workers)
 
     # -- shared pipeline ---------------------------------------------------------------
 

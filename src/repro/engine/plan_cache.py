@@ -11,10 +11,18 @@ Entries record the base tables their plan scans.  Replacing a table (e.g.
 reloading the triple store) invalidates exactly the dependent entries, since
 plans built through the fluent builder resolve column names against the table
 schema at build time and would silently go stale otherwise.
+
+The cache is thread-safe: every operation — lookup, insert, invalidation,
+the LRU bookkeeping and the statistics counters — runs under one re-entrant
+lock, so concurrent :meth:`~repro.engine.query.Query.execute_many` workers
+never lose counter updates or corrupt the LRU order.  Two threads that miss
+the same key concurrently may both compile and insert (the second insert
+wins); that is safe because entries are deterministic functions of their key.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -47,58 +55,67 @@ class _PlanEntry:
 
 
 class PlanCache:
-    """An LRU-bounded cache of compiled/optimized plans keyed by fingerprint."""
+    """An LRU-bounded, thread-safe cache of compiled/optimized plans."""
 
     def __init__(self, max_entries: int | None = None):
         self._entries: dict[str, _PlanEntry] = {}
         self._order: list[str] = []
         self._max_entries = max_entries
+        self._lock = threading.RLock()
         self.statistics = PlanCacheStatistics()
 
     def get(self, key: str) -> Any | None:
         """Return the cached value for ``key`` or ``None`` on a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.statistics.misses += 1
-            return None
-        self.statistics.hits += 1
-        entry.uses += 1
-        self._order.remove(key)
-        self._order.append(key)
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+            self.statistics.hits += 1
+            entry.uses += 1
+            self._order.remove(key)
+            self._order.append(key)
+            return entry.value
 
     def put(self, key: str, value: Any, *, dependencies: frozenset[str] = frozenset()) -> None:
         """Store ``value`` under ``key``, recording the tables it depends on."""
-        if key not in self._entries:
-            self._order.append(key)
-        self._entries[key] = _PlanEntry(value=value, dependencies=dependencies)
-        if self._max_entries is not None:
-            while len(self._entries) > self._max_entries:
-                oldest = self._order.pop(0)
-                del self._entries[oldest]
-        self.statistics.entries = len(self._entries)
+        with self._lock:
+            if key not in self._entries:
+                self._order.append(key)
+            self._entries[key] = _PlanEntry(value=value, dependencies=dependencies)
+            if self._max_entries is not None:
+                while len(self._entries) > self._max_entries:
+                    oldest = self._order.pop(0)
+                    del self._entries[oldest]
+            self.statistics.entries = len(self._entries)
 
     def invalidate_table(self, table_name: str) -> int:
         """Drop every cached plan that depends on ``table_name``."""
-        stale = [
-            key for key, entry in self._entries.items() if table_name in entry.dependencies
-        ]
-        for key in stale:
-            del self._entries[key]
-            self._order.remove(key)
-        self.statistics.invalidations += len(stale)
-        self.statistics.entries = len(self._entries)
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if table_name in entry.dependencies
+            ]
+            for key in stale:
+                del self._entries[key]
+                self._order.remove(key)
+            self.statistics.invalidations += len(stale)
+            self.statistics.entries = len(self._entries)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every cached plan."""
-        self.statistics.invalidations += len(self._entries)
-        self._entries.clear()
-        self._order.clear()
-        self.statistics.entries = 0
+        with self._lock:
+            self.statistics.invalidations += len(self._entries)
+            self._entries.clear()
+            self._order.clear()
+            self.statistics.entries = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

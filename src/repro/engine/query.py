@@ -20,12 +20,21 @@ All relation-producing queries share one pipeline: build → PRA plan →
 optimize (:func:`repro.pra.optimizer.optimize_pra`, memoized in the engine's
 plan cache) → evaluate.  :meth:`Query.execute_many` amortizes that pipeline
 over a batch of parameter sets: compilation and optimization happen once,
-only evaluation runs per batch element.
+only evaluation runs per batch element — serially by default, or on a
+``ThreadPoolExecutor`` when ``max_workers`` is given (results always come
+back in batch order, so concurrency never changes what a caller observes).
+
+``top(k)`` is *rank-aware* for plan-backed queries: instead of executing the
+full plan and sorting everything, the plan is wrapped in a
+:class:`~repro.pra.plan.PraTop` node, the optimizer pushes it towards the
+leaves where probability monotonicity allows, and evaluation uses a
+partial-sort kernel — the full ranked relation is never materialised.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import EngineError
@@ -38,6 +47,7 @@ from repro.pra.plan import (
     PraProject,
     PraScan,
     PraSelect,
+    PraTop,
 )
 from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
 from repro.relational.column import Column, DataType
@@ -139,17 +149,59 @@ class Query:
         """Run the query and return its result."""
         raise NotImplementedError
 
-    def execute_many(self, param_batches: Iterable[Mapping[str, Any]]) -> list[Any]:
+    def _prepare(self) -> None:
+        """Compile/optimize/warm whatever :meth:`execute` would build lazily.
+
+        Called once before concurrent batch execution so that workers never
+        race to do the same compilation; the default is a no-op.
+        """
+
+    def execute_many(
+        self,
+        param_batches: Iterable[Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[Any]:
         """Execute once per parameter set, amortizing compilation/optimization.
 
         The plan is compiled and optimized at most once (on the first
-        execution); each batch element only pays for evaluation.
+        execution); each batch element only pays for evaluation.  With
+        ``max_workers`` greater than one, batch elements are evaluated on a
+        thread pool; results are always returned in batch order, so the
+        output is identical to serial execution.
         """
-        return [self.execute(**dict(batch)) for batch in param_batches]
+        batches = [dict(batch) for batch in param_batches]
+        if max_workers is None or max_workers <= 1 or len(batches) <= 1:
+            return [self.execute(**batch) for batch in batches]
+        self._prepare()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(lambda batch: self.execute(**batch), batches))
 
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
-        """Execute and return the ``k`` best ``(item, probability)`` pairs."""
+        """Execute and return the ``k`` best ``(item, probability)`` pairs.
+
+        Ranking is deterministic: ties in probability are broken by the value
+        columns, so equal inputs always produce equal output order.
+        """
         return result_pairs(self.execute(**parameters), k)
+
+    def top_many(
+        self,
+        k: int,
+        param_batches: Iterable[Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[list[tuple[Any, float]]]:
+        """:meth:`top` over a batch of parameter sets, optionally concurrent.
+
+        Like :meth:`execute_many`, results come back in batch order.
+        """
+        batches = [dict(batch) for batch in param_batches]
+        if max_workers is None or max_workers <= 1 or len(batches) <= 1:
+            return [self.top(k, **batch) for batch in batches]
+        self._prepare()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(lambda batch: self.top(k, **batch), batches))
 
     def explain(self) -> str:
         """Describe how the query will run (plans, translations, configuration)."""
@@ -175,6 +227,9 @@ class SpinQLQuery(Query):
     def _program(self):
         return self._engine._compile_spinql(self.source, frozenset(self._bindings))
 
+    def _prepare(self) -> None:
+        self._program()
+
     @property
     def plan(self) -> PraPlan:
         """The compiled (unoptimized) PRA plan of the final statement."""
@@ -185,13 +240,21 @@ class SpinQLQuery(Query):
         """The optimized PRA plan the query will actually evaluate."""
         return self._program().optimized
 
-    def execute(self, **parameters: Any) -> ProbabilisticRelation:
-        """Evaluate the program; keyword arguments override the stored bindings.
+    def plans(self, *, top_k: int | None = None) -> tuple[PraPlan, PraPlan]:
+        """The (unoptimized, optimized) plan pair, optionally under a ``TOP k``.
 
-        Only parameters declared at construction can be overridden — an
-        undeclared name has no placeholder in the compiled plan and would be
-        silently ignored, so it raises instead.
+        With ``top_k``, the unoptimized plan is wrapped in a
+        :class:`~repro.pra.plan.PraTop` root and the optimized plan shows
+        where the optimizer pushed that node down.
         """
+        program = self._program()
+        plan, optimized = program.plan, program.optimized
+        if top_k is not None:
+            plan = PraTop(plan, top_k)
+            optimized = self._engine._optimize_plan(PraTop(optimized, top_k))
+        return plan, optimized
+
+    def _check_declared(self, parameters: Mapping[str, Any]) -> None:
         undeclared = set(parameters) - set(self._bindings)
         if undeclared:
             raise EngineError(
@@ -199,24 +262,48 @@ class SpinQLQuery(Query):
                 f"building the query: engine.spinql(source, "
                 f"{', '.join(sorted(undeclared))}=...)"
             )
-        program = self._program()
+
+    def _merged_bindings(self, parameters: Mapping[str, Any]) -> dict[str, ProbabilisticRelation]:
         bindings = dict(self._bindings)
         bindings.update(_coerce_bindings(parameters))
-        return self._engine._evaluate(program.optimized, bindings)
+        return bindings
 
-    def explain_data(self) -> dict[str, str]:
-        """The explain report as structured data (used by the CLI's --json)."""
+    def execute(self, **parameters: Any) -> ProbabilisticRelation:
+        """Evaluate the program; keyword arguments override the stored bindings.
+
+        Only parameters declared at construction can be overridden — an
+        undeclared name has no placeholder in the compiled plan and would be
+        silently ignored, so it raises instead.
+        """
+        self._check_declared(parameters)
         program = self._program()
+        return self._engine._evaluate(program.optimized, self._merged_bindings(parameters))
+
+    def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
+        """Rank-aware top-k: evaluate under a pushed-down ``TOP k`` node.
+
+        The optimized plan is wrapped in :class:`~repro.pra.plan.PraTop` and
+        re-optimized (memoized in the plan cache), so the evaluator prunes
+        with partial sorts instead of materialising the full ranked relation.
+        """
+        self._check_declared(parameters)
+        _, optimized = self.plans(top_k=k)
+        result = self._engine._evaluate(optimized, self._merged_bindings(parameters))
+        return result_pairs(result, k)
+
+    def explain_data(self, *, top_k: int | None = None) -> dict[str, str]:
+        """The explain report as structured data (used by the CLI's --json)."""
+        plan, optimized = self.plans(top_k=top_k)
         return {
             "spinql": self.source.strip(),
             "parameters": sorted(self._bindings),
-            "pra_plan": program.plan.describe(),
-            "optimized_plan": program.optimized.describe(),
-            "sql": to_sql(program.optimized),
+            "pra_plan": plan.describe(),
+            "optimized_plan": optimized.describe(),
+            "sql": to_sql(optimized),
         }
 
-    def explain(self) -> str:
-        data = self.explain_data()
+    def explain(self, *, top_k: int | None = None) -> str:
+        data = self.explain_data(top_k=top_k)
         sections = ["SpinQL program:", data["spinql"], ""]
         if data["parameters"]:
             sections += ["Parameters: " + ", ".join(data["parameters"]), ""]
@@ -334,6 +421,15 @@ class TableQuery(Query):
         """Rank the (id, text) rows of this query against a keyword query."""
         return RankedQuery(self, query=query, model=model, top_k=top_k)
 
+    def top_k(self, k: int) -> "TableQuery":
+        """Limit the query to its ``k`` most probable rows (a ``TOP k`` node).
+
+        The optimizer pushes the node towards the leaves where probability
+        monotonicity allows; :meth:`explain` on the returned query shows
+        where it lands.
+        """
+        return self._derive(PraTop(self._plan, k), self._columns)
+
     # -- execution --------------------------------------------------------------------
 
     @property
@@ -343,6 +439,9 @@ class TableQuery(Query):
     @property
     def columns(self) -> list[str]:
         return list(self._columns)
+
+    def _prepare(self) -> None:
+        self._engine._optimize_plan(self._plan)
 
     def execute(self, **parameters: Any) -> ProbabilisticRelation:
         undeclared = set(parameters) - plan_parameters(self._plan)
@@ -354,6 +453,10 @@ class TableQuery(Query):
         bindings = dict(self._bindings)
         bindings.update(_coerce_bindings(parameters))
         return self._engine._execute_plan(self._plan, bindings)
+
+    def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
+        """Rank-aware top-k: execute under a pushed-down ``TOP k`` node."""
+        return result_pairs(self.top_k(k).execute(**parameters), k)
 
     def explain(self) -> str:
         sections = [f"Builder query over columns {self._columns}:", ""]
@@ -377,6 +480,9 @@ class RankedQuery(Query):
         self._query = query
         self._model = model
         self._top_k = top_k
+
+    def _prepare(self) -> None:
+        self._docs._prepare()
 
     def execute(self, *, query: str | None = None, **parameters: Any) -> ProbabilisticRelation:
         effective = query if query is not None else self._query
@@ -437,6 +543,9 @@ class SearchQuery(Query):
             id_column=self._id_column,
             text_column=self._text_column,
         )
+
+    def _prepare(self) -> None:
+        self._search_engine().warm_up()
 
     def execute(self, *, query: str | None = None, top_k: int | None = None):
         effective = query if query is not None else self._query

@@ -81,6 +81,16 @@ class RankingModel:
     term to one document; :meth:`rank` accumulates contributions over the
     postings of each query term (the relational formulation's
     ``GROUP BY docID / SUM``) and sorts.
+
+    When ``top_k`` is requested, :meth:`rank` is *rank-aware*: the final
+    selection uses a partial sort (``np.argpartition``) instead of ordering
+    every matching document, and — for models that can bound their per-term
+    contributions via :meth:`term_upper_bound` — a threshold-style early
+    termination in the accumulation loop stops admitting *new* candidate
+    documents once the remaining terms can no longer lift an unseen document
+    into the top ``k``.  Both optimisations are exact: the returned documents,
+    scores and tie-breaking are bit-identical to the full evaluation, which
+    the property-based equivalence suite asserts.
     """
 
     name = "abstract"
@@ -95,19 +105,59 @@ class RankingModel:
         """Rank all documents matching at least one query term."""
         if statistics.num_docs == 0 or not query_terms:
             return RankedList([], np.empty(0, dtype=np.float64))
+
+        # Per-term contribution bounds enable threshold-style pruning.  The
+        # suffix sums give, for each position, the best total score a document
+        # first seen at that term could still reach.
+        suffix_bounds: np.ndarray | None = None
+        if top_k is not None and top_k > 0 and len(query_terms) > 1:
+            bounds = [self.term_upper_bound(statistics, term) for term in query_terms]
+            if all(bound is not None for bound in bounds):
+                suffix_bounds = np.cumsum(np.asarray(bounds, dtype=np.float64)[::-1])[::-1]
+
         accumulator = np.zeros(statistics.num_docs, dtype=np.float64)
         matched = np.zeros(statistics.num_docs, dtype=bool)
-        for term in query_terms:
+        matched_count = 0
+        for position, term in enumerate(query_terms):
             doc_indices, frequencies = statistics.postings_for(term)
             if len(doc_indices) == 0:
                 continue
+            if (
+                suffix_bounds is not None
+                and position > 0
+                and top_k is not None
+                and matched_count >= top_k
+            ):
+                # kth-largest running score is a lower bound on the final
+                # kth-largest (remaining contributions are non-negative by the
+                # term_upper_bound contract); a document first seen from here
+                # on scores at most suffix_bounds[position]
+                current = accumulator[matched]
+                threshold = np.partition(current, len(current) - top_k)[len(current) - top_k]
+                if suffix_bounds[position] < threshold:
+                    keep = matched[doc_indices]
+                    doc_indices = doc_indices[keep]
+                    frequencies = frequencies[keep]
+                    if len(doc_indices) == 0:
+                        continue
             contributions = self.term_score(statistics, term, doc_indices, frequencies)
             accumulator[doc_indices] += contributions
             matched[doc_indices] = True
+            if suffix_bounds is not None:
+                matched_count = int(np.count_nonzero(matched))
         matching_indices = np.nonzero(matched)[0]
         if len(matching_indices) == 0:
             return RankedList([], np.empty(0, dtype=np.float64))
         scores = accumulator[matching_indices]
+        if top_k is not None and 0 < top_k < len(matching_indices):
+            # partial selection: keep every document tied with the kth-largest
+            # score, then sort only those — the stable sort over the (index-
+            # ordered) candidates reproduces the full sort's tie-breaking
+            boundary = len(scores) - top_k
+            kth_largest = scores[np.argpartition(scores, boundary)[boundary]]
+            keep = scores >= kth_largest
+            matching_indices = matching_indices[keep]
+            scores = scores[keep]
         order = np.argsort(-scores, kind="stable")
         ranked_indices = matching_indices[order]
         ranked_scores = scores[order]
@@ -126,6 +176,21 @@ class RankingModel:
     ) -> np.ndarray:
         """Return the per-document contribution of ``term`` (vectorised)."""
         raise NotImplementedError
+
+    def term_upper_bound(
+        self, statistics: CollectionStatistics, term: str
+    ) -> float | None:
+        """An upper bound on any document's contribution from ``term``.
+
+        Returning a float ``ub`` asserts that every per-document contribution
+        of this term lies in ``[0, ub]`` — both the bound and the
+        non-negativity matter, since the early-termination threshold treats
+        running scores as lower bounds on final scores.  Models whose
+        contributions can be negative (or unbounded without per-term maxima)
+        must return ``None``, which disables pruning but keeps the partial
+        top-k selection.
+        """
+        return None
 
     def describe(self) -> dict[str, Any]:
         """Return the model name and parameters (used in benchmark reports)."""

@@ -55,5 +55,20 @@ class BM25Model(RankingModel):
         saturated_tf = np.divide(tf, normaliser, out=np.zeros_like(tf), where=normaliser > 0)
         return saturated_tf * idf
 
+    def term_upper_bound(self, statistics: CollectionStatistics, term: str) -> float | None:
+        """The saturated term frequency never exceeds 1, so ``idf`` bounds the score.
+
+        Robertson IDF goes negative for terms in more than half the collection;
+        a negative contribution breaks the non-negativity contract of the
+        early-termination threshold, so such terms disable pruning (unless the
+        model clamps IDF at zero).
+        """
+        idf = statistics.robertson_idf(term)
+        if self.non_negative_idf:
+            return max(idf, 0.0)
+        if idf < 0:
+            return None
+        return idf
+
     def describe(self) -> dict[str, Any]:
         return {"model": self.name, "k1": self.k1, "b": self.b}

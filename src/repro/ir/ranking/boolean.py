@@ -30,5 +30,9 @@ class BooleanModel(RankingModel):
     ) -> np.ndarray:
         return np.ones(len(doc_indices), dtype=np.float64)
 
+    def term_upper_bound(self, statistics: CollectionStatistics, term: str) -> float:
+        """Every contribution is exactly 1, so pruning is always available."""
+        return 1.0
+
     def describe(self) -> dict[str, Any]:
         return {"model": self.name}

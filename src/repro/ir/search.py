@@ -145,7 +145,14 @@ class KeywordSearchEngine:
         return self.analyzer.analyze_query(query)
 
     def search(self, query: str, *, top_k: int | None = None) -> SearchResult:
-        """Run a keyword query and return the ranked result."""
+        """Run a keyword query and return the ranked result.
+
+        With ``top_k`` the scorer is rank-aware: it selects the ``k`` best
+        documents with a partial sort instead of ordering every match, and
+        models with bounded non-negative term contributions prune hopeless
+        candidates early (threshold-style).  The returned documents, scores
+        and tie-breaking are identical to ranking everything and slicing.
+        """
         started = time.perf_counter()
         cached = self._statistics is not None
         statistics = self.statistics

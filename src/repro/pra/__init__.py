@@ -34,6 +34,7 @@ from repro.pra.plan import (
     PraScan,
     PraSelect,
     PraSubtract,
+    PraTop,
     PraUnite,
     PraValues,
     PraWeight,
@@ -53,6 +54,7 @@ __all__ = [
     "PraScan",
     "PraSelect",
     "PraSubtract",
+    "PraTop",
     "PraUnite",
     "PraValues",
     "PraWeight",

@@ -26,6 +26,7 @@ from repro.pra.plan import (
     PraScan,
     PraSelect,
     PraSubtract,
+    PraTop,
     PraUnite,
     PraValues,
     PraWeight,
@@ -98,6 +99,9 @@ class PRAEvaluator:
         if isinstance(plan, PraWeight):
             child = self.evaluate(plan.child, bindings=bindings)
             return pra_operators.weight(child, plan.factor)
+        if isinstance(plan, PraTop):
+            child = self.evaluate(plan.child, bindings=bindings)
+            return pra_operators.top(child, plan.k)
         raise PRAError(f"unknown PRA plan node {type(plan).__name__}")
 
     # -- helpers --------------------------------------------------------------------

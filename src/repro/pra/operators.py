@@ -262,3 +262,16 @@ def weight(input_relation: ProbabilisticRelation, factor: float) -> Probabilisti
             f"weight factor must lie in [0, 1] to keep probabilities valid, got {factor}"
         )
     return input_relation.scaled(factor)
+
+
+def top(input_relation: ProbabilisticRelation, k: int) -> ProbabilisticRelation:
+    """Rank-aware top-k: the ``k`` most probable tuples, deterministically ordered.
+
+    Exactly equivalent to a full deterministic sort (probability descending,
+    ties broken by value columns ascending) followed by a ``k``-row slice,
+    but evaluated with the partial-sort kernel of
+    :meth:`~repro.pra.relation.ProbabilisticRelation.top`.
+    """
+    if k < 0:
+        raise PRAError(f"top-k requires a non-negative k, got {k}")
+    return input_relation.top(k)

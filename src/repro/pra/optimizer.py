@@ -25,18 +25,49 @@ comparisons, boolean connectives, references, literals.  Predicates
 containing scalar UDF calls may raise value-dependently and are left where
 the query author put them.
 
+Rank-aware rewrites push :class:`~repro.pra.plan.PraTop` towards the leaves
+so ``top(k)`` never has to materialise and fully sort large intermediates:
+
+* **top absorption** — ``TOP k1 (TOP k2 (x))`` becomes ``TOP min(k1,k2) (x)``;
+* **top past weight** — ``TOP k (WEIGHT f (x))`` becomes
+  ``WEIGHT f (TOP k (x))`` for ``f > 0``: scaling by a strictly positive
+  constant preserves the (probability, value-key) order exactly, ties
+  included.  ``f = 0`` collapses every probability to zero, so the original
+  plan's top-k (chosen *before* scaling) differs from the pushed one — the
+  rule does not fire;
+* **top into union** — ``TOP k (UNITE SUBSUMED (a, b))`` prunes both sides to
+  ``TOP k`` first.  This is sound only under the SUBSUMED (max) merge, and
+  only when both sides are provably duplicate-free (their root merges
+  duplicates: a projection, a union, …).  Under INDEPENDENT or DISJOINT
+  merges the combined probability exceeds either input, so a tuple ranked
+  below k on *both* sides can still reach the global top-k (e.g. ``k=1``,
+  ``a = {u:0.6, t:0.5}``, ``b = {v:0.6, t:0.5}`` — the independent union
+  ranks ``t`` first at ``0.75``); with duplicate rows inside one side, k rows
+  of one high-probability tuple can crowd every other group out of the
+  pruned side.  Both cases provably stop the pushdown.
+
+``TOP`` never crosses BAYES (normalisation depends on whole-group totals),
+SUBTRACT (the right side rescales left probabilities non-uniformly), SELECT
+(the filter must see its rows before any pruning), PROJECT (duplicate
+merging can lift a low-ranked tuple above pruned ones) or JOIN (match
+probabilities combine across sides).
+
 Rules are applied bottom-up to a fixpoint, mirroring the relational
 optimizer's driver loop.
 """
 
 from __future__ import annotations
 
+from repro.pra.assumptions import Assumption
 from repro.pra.expressions import PositionalRef
 from repro.pra.plan import (
+    PraBayes,
     PraJoin,
     PraPlan,
+    PraProject,
     PraSelect,
     PraSubtract,
+    PraTop,
     PraUnite,
     PraWeight,
 )
@@ -65,6 +96,9 @@ def _rewrite(plan: PraPlan) -> PraPlan:
     plan = _push_select_past_weight(plan)
     plan = _push_select_into_unite(plan)
     plan = _fuse_selections(plan)
+    plan = _absorb_tops(plan)
+    plan = _push_top_past_weight(plan)
+    plan = _push_top_into_unite(plan)
     return plan
 
 
@@ -74,6 +108,8 @@ def _rewrite_children(plan: PraPlan) -> PraPlan:
         return PraSelect(_rewrite(plan.child), plan.predicate)
     if isinstance(plan, PraWeight):
         return PraWeight(_rewrite(plan.child), plan.factor)
+    if isinstance(plan, PraTop):
+        return PraTop(_rewrite(plan.child), plan.k)
     if isinstance(plan, PraUnite):
         return PraUnite(_rewrite(plan.left), _rewrite(plan.right), plan.assumption)
     if isinstance(plan, PraSubtract):
@@ -85,8 +121,6 @@ def _rewrite_children(plan: PraPlan) -> PraPlan:
     # PraProject / PraBayes keep positional references that are only valid
     # against their direct child's column layout, so their subtree is rewritten
     # but the node itself is never reordered.
-    from repro.pra.plan import PraBayes, PraProject
-
     if isinstance(plan, PraProject):
         return PraProject(
             _rewrite(plan.child), plan.positions, plan.assumption, plan.output_names
@@ -159,3 +193,82 @@ def _push_select_into_unite(plan: PraPlan) -> PraPlan:
             unite.assumption,
         )
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Rank-aware rewrites: TOP pushdown
+# ---------------------------------------------------------------------------
+
+
+def _absorb_tops(plan: PraPlan) -> PraPlan:
+    if isinstance(plan, PraTop) and isinstance(plan.child, PraTop):
+        inner = plan.child
+        return PraTop(inner.child, min(plan.k, inner.k))
+    return plan
+
+
+def _push_top_past_weight(plan: PraPlan) -> PraPlan:
+    # scaling by f > 0 is strictly monotone and leaves values untouched, so
+    # the (probability, value-key) order — ties included — is preserved
+    # exactly; f = 0 maps every probability to zero and would change which
+    # tuples the top-k keeps
+    if isinstance(plan, PraTop) and isinstance(plan.child, PraWeight):
+        weight = plan.child
+        if weight.factor > 0:
+            return PraWeight(PraTop(weight.child, plan.k), weight.factor)
+    return plan
+
+
+def _produces_distinct(plan: PraPlan) -> bool:
+    """True if ``plan`` provably never emits two rows with equal value columns.
+
+    Projection and union merge duplicates by construction; selection, weight,
+    Bayes and top preserve distinctness; a join of two distinct inputs pairs
+    distinct combined rows.  Scans, literals and parameters make no promise.
+    """
+    if isinstance(plan, (PraProject, PraUnite)):
+        return True
+    if isinstance(plan, (PraSelect, PraWeight, PraBayes, PraTop)):
+        return _produces_distinct(plan.children()[0])
+    if isinstance(plan, PraSubtract):
+        return _produces_distinct(plan.left)
+    if isinstance(plan, PraJoin):
+        return _produces_distinct(plan.left) and _produces_distinct(plan.right)
+    return False
+
+
+def _already_pruned(side: PraPlan, k: int) -> bool:
+    """True if ``side`` already limits itself to at most ``k`` rows.
+
+    The top-past-weight rule moves an inserted TOP below the side's weights,
+    so look through the weight chain — otherwise the unite rule would re-wrap
+    the side every pass and oscillate instead of reaching a fixpoint.
+    """
+    node = side
+    while isinstance(node, PraWeight):
+        node = node.child
+    return isinstance(node, PraTop) and node.k <= k
+
+
+def _push_top_into_unite(plan: PraPlan) -> PraPlan:
+    # sound only under the SUBSUMED (max) merge — the merged probability is
+    # then attained by one of the inputs — and only for duplicate-free sides;
+    # see the module docstring for the counterexamples that stop the rewrite
+    # under INDEPENDENT/DISJOINT merges or multiset sides
+    if not (isinstance(plan, PraTop) and isinstance(plan.child, PraUnite)):
+        return plan
+    unite = plan.child
+    if unite.assumption is not Assumption.SUBSUMED:
+        return plan
+    if not (_produces_distinct(unite.left) and _produces_distinct(unite.right)):
+        return plan
+
+    def prune(side: PraPlan) -> PraPlan:
+        if _already_pruned(side, plan.k):
+            return side
+        return PraTop(side, plan.k)
+
+    left, right = prune(unite.left), prune(unite.right)
+    if left is unite.left and right is unite.right:
+        return plan
+    return PraTop(PraUnite(left, right, unite.assumption), plan.k)

@@ -243,3 +243,31 @@ class PraWeight(PraPlan):
 
     def _describe_self(self) -> str:
         return f"WEIGHT [{self.factor}]"
+
+
+class PraTop(PraPlan):
+    """``TOP [k] (input)``: the ``k`` most probable tuples, deterministically ordered.
+
+    The output is ordered by probability descending with ties broken by the
+    value columns ascending, so ``TOP [k]`` is exactly equivalent to a full
+    deterministic sort followed by a ``k``-row slice — which is what the
+    property-based equivalence suite asserts.  The evaluator uses a
+    partial-sort kernel (``np.argpartition``) instead of materialising that
+    full sort, and the optimizer pushes the node towards the leaves wherever
+    probability monotonicity allows.
+    """
+
+    def __init__(self, child: PraPlan, k: int):
+        if k < 0:
+            raise PRAError(f"TOP requires a non-negative k, got {k}")
+        self.child = child
+        self.k = int(k)
+
+    def children(self) -> list[PraPlan]:
+        return [self.child]
+
+    def fingerprint(self) -> str:
+        return f"pratop({self.k})[{self.child.fingerprint()}]"
+
+    def _describe_self(self) -> str:
+        return f"TOP [{self.k}]"

@@ -130,12 +130,45 @@ class ProbabilisticRelation:
             raise ProbabilityError("scale factor must be non-negative")
         return self.with_probabilities(np.clip(self.probabilities() * factor, 0.0, 1.0))
 
-    def sorted_by_probability(self, *, descending: bool = True) -> "ProbabilisticRelation":
-        """Return a copy sorted by probability."""
-        return ProbabilisticRelation(
-            self._relation.sort_by([(PROBABILITY_COLUMN, not descending)])
-        )
+    def sorted_by_probability(
+        self, *, descending: bool = True, tie_break: bool = True
+    ) -> "ProbabilisticRelation":
+        """Return a copy sorted by probability, deterministically.
+
+        Equal probabilities are tie-broken by the value columns (ascending),
+        so two evaluations of equivalent plans rank equal-probability tuples
+        identically regardless of intermediate row order.  Relations whose
+        value columns cannot be ordered fall back to a stable
+        probability-only sort (ties keep input order).
+        """
+        keys: list[tuple[str, bool]] = [(PROBABILITY_COLUMN, not descending)]
+        if tie_break:
+            keys += [(name, True) for name in self.value_columns]
+        try:
+            ordered = self._relation.sort_by(keys)
+        except TypeError:
+            ordered = self._relation.sort_by([(PROBABILITY_COLUMN, not descending)])
+        return ProbabilisticRelation(ordered, validate=False)
 
     def top(self, k: int) -> "ProbabilisticRelation":
-        """Return the ``k`` most probable tuples."""
-        return ProbabilisticRelation(self.sorted_by_probability().relation.head(k))
+        """Return the ``k`` most probable tuples without a full sort.
+
+        The result is exactly ``sorted_by_probability().relation.head(k)``
+        (probability descending, ties broken by value columns ascending), but
+        computed with a partial-sort kernel: ``np.argpartition`` selects the
+        candidate rows whose probability reaches the k-th largest value —
+        including every tuple tied at the boundary, so the deterministic
+        tie-break stays exact — and only that candidate set is sorted.
+        """
+        if k <= 0:
+            return ProbabilisticRelation(self._relation.head(0), validate=False)
+        if k >= self.num_rows:
+            return self.sorted_by_probability()
+        probabilities = self.probabilities()
+        boundary = len(probabilities) - k
+        kth_largest = probabilities[np.argpartition(probabilities, boundary)[boundary]]
+        candidates = np.nonzero(probabilities >= kth_largest)[0]
+        subset = ProbabilisticRelation(self._relation.take(candidates), validate=False)
+        return ProbabilisticRelation(
+            subset.sorted_by_probability().relation.head(k), validate=False
+        )

@@ -17,6 +17,7 @@ queries are "hot".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.relational.algebra import LogicalPlan
@@ -59,12 +60,16 @@ class MaterializationCache:
     base-table names the plan depends on so that updating a base table
     invalidates exactly the affected entries.  An optional ``max_entries``
     bound evicts the least-recently-used entry when exceeded.
+
+    All operations are lock-guarded, matching the plan cache's thread-safety
+    contract, so concurrent query evaluation can share one cache.
     """
 
     def __init__(self, max_entries: int | None = None):
         self._entries: dict[str, _CacheEntry] = {}
         self._order: list[str] = []
         self._max_entries = max_entries
+        self._lock = threading.RLock()
         self.statistics = CacheStatistics()
 
     # -- lookup / insert ----------------------------------------------------------
@@ -72,14 +77,15 @@ class MaterializationCache:
     def get(self, plan: LogicalPlan) -> Relation | None:
         """Return the cached result for ``plan`` or ``None`` on a miss."""
         fingerprint = plan.fingerprint()
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.statistics.misses += 1
-            return None
-        self.statistics.hits += 1
-        entry.uses += 1
-        self._touch(fingerprint)
-        return entry.relation
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+            self.statistics.hits += 1
+            entry.uses += 1
+            self._touch(fingerprint)
+            return entry.relation
 
     def put(
         self,
@@ -97,17 +103,19 @@ class MaterializationCache:
         fingerprint = plan.fingerprint()
         if dependencies is None:
             dependencies = frozenset(_scan_dependencies(plan))
-        if fingerprint not in self._entries:
-            self._order.append(fingerprint)
-        self._entries[fingerprint] = _CacheEntry(
-            relation=relation, fingerprint=fingerprint, dependencies=dependencies
-        )
-        self._refresh_size_counters()
-        self._evict_if_needed()
+        with self._lock:
+            if fingerprint not in self._entries:
+                self._order.append(fingerprint)
+            self._entries[fingerprint] = _CacheEntry(
+                relation=relation, fingerprint=fingerprint, dependencies=dependencies
+            )
+            self._refresh_size_counters()
+            self._evict_if_needed()
 
     def contains(self, plan: LogicalPlan) -> bool:
         """Return True if a result for ``plan`` is materialised (no statistics update)."""
-        return plan.fingerprint() in self._entries
+        with self._lock:
+            return plan.fingerprint() in self._entries
 
     # -- invalidation --------------------------------------------------------------
 
@@ -116,32 +124,36 @@ class MaterializationCache:
 
         Returns the number of entries removed.
         """
-        stale = [
-            fingerprint
-            for fingerprint, entry in self._entries.items()
-            if table_name in entry.dependencies
-        ]
-        for fingerprint in stale:
-            del self._entries[fingerprint]
-            self._order.remove(fingerprint)
-        self.statistics.invalidations += len(stale)
-        self._refresh_size_counters()
-        return len(stale)
+        with self._lock:
+            stale = [
+                fingerprint
+                for fingerprint, entry in self._entries.items()
+                if table_name in entry.dependencies
+            ]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
+                self._order.remove(fingerprint)
+            self.statistics.invalidations += len(stale)
+            self._refresh_size_counters()
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every cached entry."""
-        self.statistics.invalidations += len(self._entries)
-        self._entries.clear()
-        self._order.clear()
-        self._refresh_size_counters()
+        with self._lock:
+            self.statistics.invalidations += len(self._entries)
+            self._entries.clear()
+            self._order.clear()
+            self._refresh_size_counters()
 
     # -- introspection ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def fingerprints(self) -> list[str]:
-        return list(self._order)
+        with self._lock:
+            return list(self._order)
 
     # -- internals --------------------------------------------------------------------
 

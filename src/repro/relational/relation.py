@@ -228,11 +228,15 @@ class Relation:
             column = self.column(name)
             values = column.values[order]
             if column.dtype is DataType.STRING:
-                positions = np.argsort(np.asarray(values, dtype=str), kind="stable")
-            else:
+                values = np.asarray(values, dtype=str)
+            if ascending:
                 positions = np.argsort(values, kind="stable")
-            if not ascending:
-                positions = positions[::-1]
+            else:
+                # reversing an ascending argsort would also reverse equal-key
+                # runs and break stability; sorting on negated ranks keeps
+                # ties in their prior order for any orderable dtype
+                _, codes = np.unique(values, return_inverse=True)
+                positions = np.argsort(-codes, kind="stable")
             order = order[positions]
         return self.take(order)
 

@@ -24,6 +24,7 @@ from repro.pra.plan import (
     PraScan,
     PraSelect,
     PraSubtract,
+    PraTop,
     PraUnite,
     PraValues,
     PraWeight,
@@ -37,7 +38,19 @@ _TRIPLE_COLUMNS = ["subject", "property", "object"]
 
 def to_sql(plan: PraPlan, *, view_name: str | None = None) -> str:
     """Render ``plan`` as SQL text; optionally wrap it in a CREATE VIEW statement."""
-    body = _flatten_paper_shape(plan)
+    body = None
+    if isinstance(plan, PraTop):
+        # a top-k root over the paper's flat shape renders as ORDER BY/LIMIT;
+        # the value columns appear as tie-breakers, matching the evaluator's
+        # deterministic ordering
+        body = _flatten_paper_shape(plan.child)
+        if body is not None:
+            order = "p DESC"
+            if isinstance(plan.child, PraProject) and plan.child.output_names:
+                order += "".join(f", {name}" for name in plan.child.output_names)
+            body = f"{body}\nORDER BY {order}\nLIMIT {plan.k}"
+    if body is None:
+        body = _flatten_paper_shape(plan)
     if body is None:
         body = _render_nested(plan)
     if view_name is not None:
@@ -198,6 +211,12 @@ def _render_nested(plan: PraPlan, depth: int = 0) -> str:
     if isinstance(plan, PraWeight):
         child = _render_nested(plan.child, depth + 1)
         return f"{indent}SELECT *, p * {plan.factor} AS p FROM (\n{child}\n{indent}) AS t"
+    if isinstance(plan, PraTop):
+        child = _render_nested(plan.child, depth + 1)
+        return (
+            f"{indent}SELECT * FROM (\n{child}\n{indent}) AS t\n"
+            f"{indent}ORDER BY p DESC LIMIT {plan.k} -- ties break on the value columns"
+        )
     raise PRAError(f"cannot translate PRA node {type(plan).__name__} to SQL")
 
 

@@ -89,6 +89,61 @@ class TestSpinQLCommands:
         assert {"spinql", "pra_plan", "optimized_plan", "sql"} <= set(payload)
 
 
+class TestTopK:
+    """``--top-k`` is accepted by every subcommand."""
+
+    def test_toy_top_k_bounds_results(self, capsys):
+        code, out = run_cli(
+            capsys, "toy", "--products", "40", "--top-k", "2", "--json"
+        )
+        assert code == 0
+        assert len(json.loads(out)["results"]) <= 2
+
+    def test_auction_top_k_bounds_results(self, capsys):
+        code, out = run_cli(
+            capsys, "auction", "--lots", "60", "--top-k", "2", "--json"
+        )
+        assert code == 0
+        assert len(json.loads(out)["results"]) <= 2
+
+    def test_experts_top_k_bounds_results(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "experts",
+            "--people",
+            "10",
+            "--documents",
+            "40",
+            "--top-k",
+            "3",
+            "--json",
+        )
+        assert code == 0
+        assert len(json.loads(out)["results"]) <= 3
+
+    def test_spinql_top_k_wraps_plan(self, capsys):
+        code, out = run_cli(capsys, "spinql", SPINQL, "--top-k", "5", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert "TOP [5]" in payload["pra_plan"]
+        assert "TOP [5]" in payload["optimized_plan"]
+        assert "LIMIT 5" in payload["sql"]
+
+    def test_explain_top_k_shows_top_in_both_plans(self, capsys):
+        code, out = run_cli(capsys, "explain", SPINQL, "--top-k", "3")
+        assert code == 0
+        raw, optimized = out.split("Optimized PRA plan:")
+        assert "TOP [3]" in raw
+        assert "TOP [3]" in optimized
+
+    def test_explain_top_k_json(self, capsys):
+        code, out = run_cli(capsys, "explain", SPINQL, "--top-k", "3", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert "TOP [3]" in payload["pra_plan"]
+        assert "TOP [3]" in payload["optimized_plan"]
+
+
 class TestErrors:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,185 @@
+"""Concurrency: thread-safe caches, concurrent batch execution, determinism.
+
+One :class:`~repro.engine.Engine` is hammered from many threads with a mix of
+cached (repeated parameterized) and uncached (distinct-source) queries.  The
+contract under test:
+
+* every thread observes exactly the same results as serial execution;
+* the plan-cache counters stay consistent — every lookup is counted exactly
+  once (no lost ``+= 1`` updates), the entry count matches the distinct
+  programs compiled, and the LRU order never corrupts;
+* ``execute_many``/``top_many`` with ``max_workers`` return results in batch
+  order, identical to their serial runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import Engine
+
+TRIPLES = [
+    ("lot1", "type", "lot"),
+    ("lot2", "type", "lot"),
+    ("lot3", "type", "lot"),
+    ("lot1", "hasAuction", "auction1"),
+    ("lot2", "hasAuction", "auction2"),
+    ("lot3", "hasAuction", "auction1"),
+    ("lot1", "material", "oak", 0.9),
+    ("lot2", "material", "oak", 0.4),
+    ("lot3", "material", "bronze", 0.8),
+]
+
+TRAVERSE = "auctions = TRAVERSE ['hasAuction'] (seeds);"
+
+#: distinct sources so cold compiles and warm replays interleave
+SOURCES = [
+    'a = SELECT [$2="type"] (triples);',
+    'b = SELECT [$2="material"] (triples);',
+    'c = SELECT [$2="material" and $3="oak"] (triples);',
+    'd = PROJECT [$1 AS node] (SELECT [$2="hasAuction"] (triples));',
+]
+
+SEED_SETS = [["lot1"], ["lot2"], ["lot3"], ["lot1", "lot2"], ["lot2", "lot3"]]
+
+
+@pytest.fixture
+def engine():
+    return Engine.from_triples(TRIPLES)
+
+
+def _result_key(result):
+    return sorted(map(tuple, result.rows()))
+
+
+class TestPlanCacheStress:
+    THREADS = 8
+    ITERATIONS = 25
+
+    def _workload(self, engine, worker: int):
+        """One thread's query mix; returns comparable result snapshots."""
+        snapshots = []
+        for iteration in range(self.ITERATIONS):
+            source = SOURCES[(worker + iteration) % len(SOURCES)]
+            snapshots.append(_result_key(engine.spinql(source).execute()))
+            seeds = SEED_SETS[(worker * 3 + iteration) % len(SEED_SETS)]
+            snapshots.append(
+                _result_key(engine.spinql(TRAVERSE, seeds=seeds).execute(seeds=seeds))
+            )
+        return snapshots
+
+    def test_hammered_engine_matches_serial_and_keeps_counters(self, engine):
+        serial_engine = Engine.from_triples(TRIPLES)
+        expected = [
+            self._workload(serial_engine, worker) for worker in range(self.THREADS)
+        ]
+
+        barrier = threading.Barrier(self.THREADS)
+        results: list = [None] * self.THREADS
+        errors: list = []
+
+        def run(worker: int):
+            try:
+                barrier.wait()
+                results[worker] = self._workload(engine, worker)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(worker,)) for worker in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert results == expected
+
+        stats = engine.plan_cache.statistics
+        # one plan-cache lookup per spinql execution: no lost counter updates
+        executions = self.THREADS * self.ITERATIONS * 2
+        assert stats.lookups == executions
+        distinct_programs = len(SOURCES) + 1  # + the parameterized traversal
+        # racing threads may each compile a program they both missed, but
+        # never more than once per thread, and every miss is counted
+        assert distinct_programs <= stats.misses <= distinct_programs * self.THREADS
+        assert stats.hits == executions - stats.misses
+        assert stats.entries == distinct_programs
+        assert len(engine.plan_cache) == distinct_programs
+
+    def test_concurrent_invalidation_keeps_cache_usable(self, engine):
+        stop = threading.Event()
+        errors: list = []
+
+        def query_loop():
+            try:
+                while not stop.is_set():
+                    engine.spinql(TRAVERSE, seeds=["lot1"]).execute()
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        def invalidate_loop():
+            try:
+                for _ in range(200):
+                    engine.plan_cache.invalidate_table("triples")
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        workers = [threading.Thread(target=query_loop) for _ in range(3)]
+        invalidator = threading.Thread(target=invalidate_loop)
+        for thread in workers:
+            thread.start()
+        invalidator.start()
+        invalidator.join()
+        stop.set()
+        for thread in workers:
+            thread.join()
+
+        assert not errors
+        stats = engine.plan_cache.statistics
+        assert stats.lookups == stats.hits + stats.misses
+        assert engine.spinql(TRAVERSE, seeds=["lot1"]).execute().num_rows == 1
+
+
+class TestConcurrentBatches:
+    def test_execute_many_concurrent_equals_serial(self, engine):
+        query = engine.spinql(TRAVERSE, seeds=[])
+        batches = [{"seeds": seeds} for seeds in SEED_SETS * 4]
+        serial = query.execute_many(batches)
+        concurrent = query.execute_many(batches, max_workers=4)
+        assert [_result_key(result) for result in concurrent] == [
+            _result_key(result) for result in serial
+        ]
+
+    def test_engine_execute_many_delegates(self, engine):
+        query = engine.spinql(TRAVERSE, seeds=[])
+        batches = [{"seeds": seeds} for seeds in SEED_SETS]
+        results = engine.execute_many(query, batches, max_workers=2)
+        assert [_result_key(result) for result in results] == [
+            _result_key(query.execute(seeds=batch["seeds"])) for batch in batches
+        ]
+
+    def test_top_many_concurrent_equals_serial(self, engine):
+        query = engine.traverse("hasAuction")
+        batches = [{"seeds": seeds} for seeds in SEED_SETS * 2]
+        serial = query.top_many(2, batches)
+        concurrent = query.top_many(2, batches, max_workers=4)
+        assert concurrent == serial
+        # deterministic batch ordering: element i always answers batch i
+        for pairs, batch in zip(concurrent, batches):
+            expected = query.top(2, seeds=batch["seeds"])
+            assert pairs == expected
+
+    def test_concurrent_execution_compiles_once(self, engine):
+        query = engine.spinql(TRAVERSE, seeds=[])
+        stats = engine.plan_cache.statistics
+        misses_before = stats.misses
+        query.execute_many(
+            [{"seeds": seeds} for seeds in SEED_SETS * 3], max_workers=4
+        )
+        # _prepare() compiled serially before the pool spun up
+        assert stats.misses == misses_before + 1

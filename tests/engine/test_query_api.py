@@ -25,6 +25,15 @@ def engine():
     return connect().load_triples(TRIPLES)
 
 
+def result_pairs_reference(result, k):
+    """Full-sort-then-slice reference, independent of the rank-aware path."""
+    ranked = ProbabilisticRelation(
+        result.sorted_by_probability().relation.head(k), validate=False
+    )
+    nodes = ranked.relation.column(ranked.value_columns[0]).to_list()
+    return [(node, float(p)) for node, p in zip(nodes, ranked.probabilities())]
+
+
 class TestLaziness:
     def test_spinql_does_not_execute_on_construction(self, engine):
         query = engine.spinql("bad = SELECT [$1=\"x\"] (missing_table);")
@@ -168,6 +177,47 @@ class TestExplain:
         ).explain()
         assert ":seeds" in report
         assert "Param(seeds)" in report
+
+    def test_explain_top_k_shows_pushed_down_top(self, engine):
+        # the weight commutes with TOP, so the optimized plan must show the
+        # TOP node pushed below the WEIGHT while the raw plan keeps it on top
+        report = engine.spinql(
+            'out = WEIGHT [0.5] (PROJECT [$1 AS node] (triples));'
+        ).explain(top_k=4)
+        raw, optimized = report.split("Optimized PRA plan:")
+        raw_plan = raw.split("PRA plan:")[1]
+        assert raw_plan.strip().startswith("TOP [4]")
+        optimized_lines = [line for line in optimized.splitlines() if line.strip()]
+        assert optimized_lines[0].startswith("WEIGHT")
+        assert any(line.strip().startswith("TOP [4]") for line in optimized_lines[1:])
+
+    def test_engine_explain_accepts_top_k(self, engine):
+        report = engine.explain(
+            'out = PROJECT [$1 AS node] (triples);', top_k=2
+        )
+        assert "TOP [2]" in report
+
+    def test_builder_top_k_explain_shows_top_node(self, engine):
+        report = engine.table("triples").select("subject").top_k(3).explain()
+        assert "TOP [3]" in report
+
+
+class TestRankAwareTop:
+    def test_builder_top_matches_full_execute(self, engine):
+        query = engine.table("triples").where(property="category").select("subject", "object")
+        full = result_pairs_reference(query.execute(), 2)
+        assert query.top(2) == full
+
+    def test_spinql_top_matches_full_execute(self, engine):
+        query = engine.spinql('out = PROJECT [$1 AS node] (triples);')
+        full = result_pairs_reference(query.execute(), 3)
+        assert query.top(3) == full
+
+    def test_tie_break_is_deterministic_regression(self, engine):
+        # equal probabilities: results must come back in value order, not in
+        # whatever order evaluation produced the rows
+        pairs = engine.table("triples").select("subject").top(3)
+        assert [node for node, _ in pairs] == sorted(node for node, _ in pairs)
 
 
 class TestBindings:

@@ -148,6 +148,57 @@ class TestBooleanModel:
         assert scores[1] == scores[4] == 1.0
 
 
+class TestRankAwareTopK:
+    """top_k rank() — partial selection and threshold pruning — is exact."""
+
+    MODELS = [
+        BM25Model(),
+        BM25Model(non_negative_idf=True),
+        BooleanModel(),
+        TfIdfModel(),
+        LanguageModel(),
+    ]
+    QUERIES = [
+        ["wooden"],
+        ["wooden", "toy"],
+        ["wooden", "train", "toy", "cake"],
+        ["trains", "railways", "wooden", "wooden"],
+    ]
+
+    def test_top_k_matches_full_rank_slice_bitwise(self, stats):
+        for model in self.MODELS:
+            for terms in self.QUERIES:
+                full = model.rank(stats, terms)
+                for k in (1, 2, 3, 10):
+                    pruned = model.rank(stats, terms, top_k=k)
+                    assert pruned.doc_ids == full.doc_ids[:k], (model.name, terms, k)
+                    # exactness contract: identical floats, not approximately
+                    assert list(pruned.scores) == list(full.scores[:k])
+
+    def test_boolean_upper_bound_enables_pruning(self, stats):
+        assert BooleanModel().term_upper_bound(stats, "wooden") == 1.0
+
+    def test_bm25_upper_bound_is_idf_or_disabled(self, stats):
+        model = BM25Model()
+        # 'wooden' is rare: positive idf bounds the contribution
+        assert model.term_upper_bound(stats, "wooden") == pytest.approx(
+            stats.robertson_idf("wooden")
+        )
+        # a term in most documents has negative Robertson idf: contributions
+        # can be negative, so pruning must be disabled for it
+        common = BM25Model()
+        from repro.ir.statistics import build_statistics as _build
+
+        dense = _build([(i, "wooden thing") for i in range(1, 6)])
+        assert dense.robertson_idf("wooden") < 0
+        assert common.term_upper_bound(dense, "wooden") is None
+        assert BM25Model(non_negative_idf=True).term_upper_bound(dense, "wooden") == 0.0
+
+    def test_top_k_zero_returns_empty(self, stats):
+        ranked = BM25Model().rank(stats, ["wooden", "toy"], top_k=0)
+        assert len(ranked) == 0
+
+
 class TestRankedList:
     def test_sorted_descending(self, stats):
         ranked = BM25Model().rank(stats, ["wooden", "toy"])

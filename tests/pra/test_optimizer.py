@@ -7,11 +7,13 @@ from repro.pra.evaluator import PRAEvaluator
 from repro.pra.expressions import PositionalRef
 from repro.pra.optimizer import optimize_pra
 from repro.pra.plan import (
+    PraBayes,
     PraJoin,
     PraProject,
     PraScan,
     PraSelect,
     PraSubtract,
+    PraTop,
     PraUnite,
     PraWeight,
 )
@@ -179,3 +181,124 @@ class TestSemanticsPreserved:
         optimized = optimize_pra(plan)
         assert isinstance(optimized, PraSelect)
         assert isinstance(optimized.child, PraUnite)
+
+
+def _project_nodes(child):
+    """Project onto the subject column — a provably duplicate-free side."""
+    return PraProject(child, [1], Assumption.INDEPENDENT, output_names=["node"])
+
+
+class TestTopPushdown:
+    def test_nested_tops_absorb(self, database):
+        plan = PraTop(PraTop(PraScan("triples"), 2), 4)
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraTop)
+        assert optimized.k == 2
+        assert isinstance(optimized.child, PraScan)
+
+    def test_top_pushed_past_positive_weight(self, database):
+        plan = PraTop(PraWeight(PraScan("triples"), 0.5), 2)
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraWeight)
+        assert isinstance(optimized.child, PraTop)
+        assert optimized.child.k == 2
+
+    def test_top_not_pushed_past_zero_weight(self, database):
+        # f = 0 collapses all probabilities; the original top-k was chosen
+        # before the collapse, the pushed one after — they differ
+        plan = PraTop(PraWeight(PraScan("triples"), 0.0), 2)
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraTop)
+        assert isinstance(optimized.child, PraWeight)
+
+    def test_top_pushed_into_subsumed_unite_with_distinct_sides(self, database):
+        plan = PraTop(
+            PraUnite(
+                _project_nodes(PraScan("triples")),
+                _project_nodes(PraScan("triples")),
+                Assumption.SUBSUMED,
+            ),
+            2,
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraTop)
+        unite = optimized.child
+        assert isinstance(unite, PraUnite)
+        assert isinstance(unite.left, PraTop) and unite.left.k == 2
+        assert isinstance(unite.right, PraTop) and unite.right.k == 2
+
+    @pytest.mark.parametrize(
+        "assumption", [Assumption.INDEPENDENT, Assumption.DISJOINT]
+    )
+    def test_top_not_pushed_into_combining_unites(self, database, assumption):
+        # under independent/disjoint merges the combined probability exceeds
+        # either input: a tuple below k on both sides can reach the global
+        # top-k, so pruning the sides would change the answer
+        plan = PraTop(
+            PraUnite(
+                _project_nodes(PraScan("triples")),
+                _project_nodes(PraScan("triples")),
+                assumption,
+            ),
+            2,
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraTop)
+        assert isinstance(optimized.child, PraUnite)
+        assert not isinstance(optimized.child.left, PraTop)
+        assert not isinstance(optimized.child.right, PraTop)
+
+    def test_top_not_pushed_into_unite_with_multiset_sides(self, database):
+        # a scan can emit duplicate value-tuples; k duplicates of one strong
+        # tuple would crowd every other group out of the pruned side
+        plan = PraTop(
+            PraUnite(PraScan("triples"), PraScan("triples"), Assumption.SUBSUMED), 2
+        )
+        optimized = assert_equivalent(plan, database)
+        assert isinstance(optimized, PraTop)
+        assert isinstance(optimized.child, PraUnite)
+        assert not isinstance(optimized.child.left, PraTop)
+
+    def test_top_stops_above_bayes_subtract_select_project_join(self, database):
+        nodes = _project_nodes(PraScan("triples"))
+        blocked = [
+            PraBayes(PraScan("triples"), [1]),
+            PraSubtract(nodes, _project_nodes(PraScan("triples"))),
+            PraSelect(PraScan("triples"), predicate(2, "material")),
+            nodes,
+            PraJoin(nodes, _project_nodes(PraScan("triples")), [(1, 1)]),
+        ]
+        for child in blocked:
+            optimized = assert_equivalent(PraTop(child, 2), database)
+            assert isinstance(optimized, PraTop)
+            assert type(optimized.child) is type(child)
+
+    def test_independent_unite_counterexample_semantics(self):
+        # k=1, a = {u:0.6, t:0.5}, b = {v:0.6, t:0.5}: the independent union
+        # ranks t first (0.75) although t is in neither side's top-1 — the
+        # exact case the pushdown guard exists for
+        from repro.pra.relation import ProbabilisticRelation
+        from repro.relational.column import DataType
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Field, Schema
+        from repro.pra.plan import PraValues
+        from repro.relational.database import Database
+
+        schema = Schema([Field("node", DataType.STRING), Field("p", DataType.FLOAT)])
+
+        def values(rows):
+            return PraValues(ProbabilisticRelation(Relation.from_rows(schema, rows)))
+
+        plan = PraTop(
+            PraUnite(
+                values([("u", 0.6), ("t", 0.5)]),
+                values([("v", 0.6), ("t", 0.5)]),
+                Assumption.INDEPENDENT,
+            ),
+            1,
+        )
+        evaluator = PRAEvaluator(Database())
+        for candidate in (plan, optimize_pra(plan)):
+            result = evaluator.evaluate(candidate)
+            assert result.value_rows() == [("t",)]
+            assert result.probabilities()[0] == pytest.approx(0.75)
