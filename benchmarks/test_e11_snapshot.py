@@ -1,0 +1,157 @@
+"""E11 — cold start from a columnar snapshot vs. rebuilding from CSV/text.
+
+After PR 1–3 made query execution fast, process start — re-parsing triples
+and re-deriving statistics in Python loops — dominates end-to-end latency.
+This benchmark quantifies what :mod:`repro.storage` buys on the auction
+workload:
+
+* ``Engine.open(snapshot)`` vs. the full rebuild (parse triples text,
+  materialise storage, register the docs table) — the acceptance bar is an
+  order of magnitude;
+* time-to-first-query: the snapshot ships warm collection statistics, the
+  rebuild pays the analysis pass;
+* and, in every mode, functional equivalence: strategy and search results
+  from the opened snapshot must equal the rebuilt engine's bit for bit.
+
+The equivalence summary is written as a JSON artifact (snapshot round-trip
+report) to ``$E11_ARTIFACT_DIR`` when set, so CI can archive it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.harness import measure_latency
+from repro.bench.reporting import ResultTable
+from repro.engine import Engine
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.triples.loader import load_triples
+from repro.workloads import generate_auction_triples
+
+LOTS = 1200
+SEED = 37
+
+
+def _write_triples_text(workload, path: Path) -> Path:
+    """The CSV/text form a fresh process would have to re-parse."""
+    lines = []
+    for triple in workload.triples:
+        line = f"{triple.subject}\t{triple.property}\t{triple.object}"
+        if triple.probability != 1.0:
+            line += f"\t{triple.probability}"
+        lines.append(line)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def _docs_relation(descriptions: dict) -> Relation:
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    return Relation(
+        schema,
+        [
+            Column(list(descriptions.keys()), DataType.STRING),
+            Column(list(descriptions.values()), DataType.STRING),
+        ],
+    )
+
+
+def _rebuild(triples_file: Path, descriptions: dict) -> Engine:
+    """Cold start the old way: parse text, load storage, register docs."""
+    engine = Engine.from_triples(load_triples(triples_file, separator="\t"))
+    engine.create_table("docs", _docs_relation(descriptions), replace=True)
+    return engine
+
+
+def _artifact(payload: dict) -> None:
+    directory = os.environ.get("E11_ARTIFACT_DIR")
+    if not directory:
+        return
+    Path(directory).mkdir(parents=True, exist_ok=True)
+    out = Path(directory) / "e11_snapshot_roundtrip.json"
+    out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def test_e11_snapshot_cold_start_vs_rebuild(benchmark, tmp_path):
+    workload = generate_auction_triples(LOTS, seed=SEED)
+    triples_file = _write_triples_text(workload, tmp_path / "triples.tsv")
+    query = " ".join(workload.lot_descriptions["lot1"].split()[:3])
+
+    # one warm engine writes the snapshot: tables + warm search statistics
+    source = _rebuild(triples_file, workload.lot_descriptions)
+    expected_search = source.search("docs", query).top(10)
+    expected_strategy = source.strategy("auction", query=query).top(10)
+    snapshot = tmp_path / "snapshot"
+    source.save(snapshot)
+
+    rebuild = measure_latency(
+        lambda: _rebuild(triples_file, workload.lot_descriptions), repetitions=3
+    )
+    open_only = measure_latency(lambda: Engine.open(snapshot), repetitions=10, warmup=1)
+
+    def rebuild_first_query():
+        engine = _rebuild(triples_file, workload.lot_descriptions)
+        return engine.search("docs", query).top(10)
+
+    def snapshot_first_query():
+        engine = Engine.open(snapshot)
+        return engine.search("docs", query).top(10)
+
+    rebuild_query = measure_latency(rebuild_first_query, repetitions=3)
+    snapshot_query = measure_latency(snapshot_first_query, repetitions=5, warmup=1)
+
+    # functional equivalence, including tie order
+    opened = Engine.open(snapshot)
+    search_equal = opened.search("docs", query).top(10) == expected_search
+    strategy_equal = opened.strategy("auction", query=query).top(10) == expected_strategy
+
+    speedup_open = rebuild.mean_ms / max(open_only.mean_ms, 1e-9)
+    speedup_query = rebuild_query.mean_ms / max(snapshot_query.mean_ms, 1e-9)
+    table = ResultTable(
+        f"E11 — cold start: snapshot open vs rebuild from text ({LOTS} lots, "
+        f"{len(workload.triples)} triples)",
+        ["path", "mean (ms)", "speedup vs rebuild"],
+    )
+    table.add_row("rebuild from text (parse + load)", rebuild.mean_ms, 1.0)
+    table.add_row("Engine.open(snapshot)", open_only.mean_ms, speedup_open)
+    table.add_row("rebuild + first search", rebuild_query.mean_ms, 1.0)
+    table.add_row("open + first search (warm stats)", snapshot_query.mean_ms, speedup_query)
+    table.print()
+
+    _artifact(
+        {
+            "benchmark": "E11",
+            "lots": LOTS,
+            "triples": len(workload.triples),
+            "rebuild_mean_ms": round(rebuild.mean_ms, 3),
+            "open_mean_ms": round(open_only.mean_ms, 3),
+            "open_speedup": round(speedup_open, 1),
+            "rebuild_first_query_ms": round(rebuild_query.mean_ms, 3),
+            "snapshot_first_query_ms": round(snapshot_query.mean_ms, 3),
+            "search_results_equal": search_equal,
+            "strategy_results_equal": strategy_equal,
+        }
+    )
+
+    assert search_equal and strategy_equal
+    # the acceptance bar: opening a snapshot beats re-parsing by >= 10x
+    assert open_only.mean_ms * 10.0 <= rebuild.mean_ms, (
+        f"open {open_only.mean_ms:.1f} ms vs rebuild {rebuild.mean_ms:.1f} ms"
+    )
+    benchmark(lambda: Engine.open(snapshot))
+
+
+def test_e11_lazy_hydration_defers_data_access(tmp_path):
+    """Opening touches manifests only; the first query pays for what it scans."""
+    workload = generate_auction_triples(300, seed=SEED)
+    engine = Engine.from_triples(workload.triples)
+    snapshot = tmp_path / "snapshot"
+    engine.save(snapshot)
+
+    opened = Engine.open(snapshot)
+    assert not opened.database.catalog.is_hydrated("triples")
+    opened.store.match(property_name="hasAuction")
+    assert opened.database.catalog.is_hydrated("triples")

@@ -43,7 +43,9 @@ def test_e1_term_lookup_join(benchmark, built_index, text_collection):
         ["query term", "df (docs)", "postings (rows)"],
     )
     for term in frequent:
-        table.add_row(term, built_index.document_frequency(term), len(built_index.posting_list(term)))
+        table.add_row(
+            term, built_index.document_frequency(term), len(built_index.posting_list(term))
+        )
     table.print()
 
 

@@ -98,9 +98,17 @@ def test_e4_overhead_table(benchmark, product_store):
         ["path", "mean (ms)", "relative to plain"],
     )
     table.add_row("plain relational (no probabilities)", plain.mean_ms, 1.0)
-    table.add_row("PRA evaluation (p propagated)", pra.mean_ms, pra.mean_ms / max(plain.mean_ms, 1e-9))
-    table.add_row("SpinQL parse+compile+evaluate", spinql.mean_ms, spinql.mean_ms / max(plain.mean_ms, 1e-9))
-    table.add_row("SpinQL parse+compile only", compile_only.mean_ms, compile_only.mean_ms / max(plain.mean_ms, 1e-9))
+    table.add_row(
+        "PRA evaluation (p propagated)", pra.mean_ms, pra.mean_ms / max(plain.mean_ms, 1e-9)
+    )
+    table.add_row(
+        "SpinQL parse+compile+evaluate", spinql.mean_ms, spinql.mean_ms / max(plain.mean_ms, 1e-9)
+    )
+    table.add_row(
+        "SpinQL parse+compile only",
+        compile_only.mean_ms,
+        compile_only.mean_ms / max(plain.mean_ms, 1e-9),
+    )
     table.print()
 
     benchmark(evaluator.evaluate, compiled.final_plan)

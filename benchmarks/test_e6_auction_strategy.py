@@ -12,7 +12,6 @@ through the number of matching postings; the hot path is orders of magnitude
 cheaper than the cold path that builds the two on-demand indexes.
 """
 
-import pytest
 
 from repro.bench.harness import measure_latency
 from repro.bench.reporting import ResultTable
@@ -132,7 +131,9 @@ def test_e6_scaling_with_lots(benchmark):
     benchmark(executor.run, strategy, queries.queries[1])
 
 
-def test_e6_score_propagation_through_graph(auction_executor, warm_auction_strategy, auction_workload_bench):
+def test_e6_score_propagation_through_graph(
+    auction_executor, warm_auction_strategy, auction_workload_bench
+):
     """Lots reached only via their auction inherit probabilities from it (Section 3)."""
     auction = auction_workload_bench.auction_ids[0]
     own_terms = set(auction_workload_bench.auction_descriptions[auction].split())

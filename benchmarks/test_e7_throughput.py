@@ -36,7 +36,9 @@ def test_e7_query_stream_replay(benchmark, auction_engine, warm_auction_strategy
     table.add_row("mean latency (ms)", stats.mean_ms, PAPER_LATENCY_MS)
     table.add_row("p95 latency (ms)", stats.p95_ms, "-")
     table.add_row("sustainable requests/day", f"{per_day:,.0f}", f"{PAPER_REQUESTS_PER_DAY:,}")
-    table.add_row("sustainable requests/minute", f"{per_minute:,.0f}", f"peak {PAPER_PEAK_PER_MINUTE}")
+    table.add_row(
+        "sustainable requests/minute", f"{per_minute:,.0f}", f"peak {PAPER_PEAK_PER_MINUTE}"
+    )
     table.print()
 
     # the reproduction must at least sustain the paper's daily load at this scale

@@ -29,8 +29,12 @@ def test_e9_statistics_views_first_vs_repeat(benchmark):
         ["measurement", "mean (ms)", "cache entries", "hits", "misses"],
     )
     stats = db.cache.statistics
-    table.add_row("first materialisation (cold)", first.mean_ms, stats.entries, stats.hits, stats.misses)
-    table.add_row("repeated materialisation (hot)", repeat.mean_ms, stats.entries, stats.hits, stats.misses)
+    table.add_row(
+        "first materialisation (cold)", first.mean_ms, stats.entries, stats.hits, stats.misses
+    )
+    table.add_row(
+        "repeated materialisation (hot)", repeat.mean_ms, stats.entries, stats.hits, stats.misses
+    )
     table.print()
 
     assert repeat.mean_ms < first.mean_ms
@@ -56,7 +60,9 @@ def test_e9_query_latency_hot_vs_cold_engine(benchmark):
     hot_query.execute(query=queries.queries[0])  # warm the statistics
 
     cold = measure_latency(cold_query, repetitions=2)
-    hot = measure_latency(lambda: hot_query.execute(query=queries.queries[1]), repetitions=6, warmup=1)
+    hot = measure_latency(
+        lambda: hot_query.execute(query=queries.queries[1]), repetitions=6, warmup=1
+    )
 
     table = ResultTable(
         "E9 — per-query cost with and without materialised statistics (1000 docs)",

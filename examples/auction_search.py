@@ -42,7 +42,7 @@ def main() -> None:
     first_query = queries.queries[0]
     cold_run = strategy.execute(query=first_query)
     print(f"Cold query ({first_query!r}): {cold_run.elapsed_seconds * 1000:.1f} ms "
-          f"(builds two on-demand inverted indexes)")
+          "(builds two on-demand inverted indexes)")
 
     runs = strategy.execute_many([{"query": query} for query in queries.queries[1:]])
     samples = [run.elapsed_seconds * 1000.0 for run in runs]
@@ -53,9 +53,9 @@ def main() -> None:
     print(f"  median {stats.median_ms:8.1f} ms")
     print(f"  p95    {stats.p95_ms:8.1f} ms")
     print(
-        f"  sustainable throughput at this latency: "
+        "  sustainable throughput at this latency: "
         f"{throughput_per_day(stats.mean_ms):,.0f} requests/day "
-        f"(paper: 150,000/day at ~150 ms on one VM)"
+        "(paper: 150,000/day at ~150 ms on one VM)"
     )
 
     print("\nSample result for the last query:")

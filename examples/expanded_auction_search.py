@@ -61,7 +61,9 @@ def main() -> None:
     expanded_stats = LatencyStats([run.elapsed_seconds * 1000 for run in expanded_runs])
     print(f"  plain    mean {plain_stats.mean_ms:7.1f} ms")
     print(f"  expanded mean {expanded_stats.mean_ms:7.1f} ms")
-    overhead = (expanded_stats.mean_ms / plain_stats.mean_ms - 1.0) * 100 if plain_stats.mean_ms else 0
+    overhead = (
+        (expanded_stats.mean_ms / plain_stats.mean_ms - 1.0) * 100 if plain_stats.mean_ms else 0
+    )
     print(f"  expansion overhead: {overhead:+.1f}%  (the paper reports the production")
     print("  strategy with 5 branches + expansion still answers in ~150 ms)")
 

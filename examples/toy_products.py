@@ -50,7 +50,8 @@ def main() -> None:
     for node, probability in strategy_top[:5]:
         print(f"    {node:<12} p = {probability:.3f}")
     print(f"    elapsed: {run.elapsed_seconds * 1000:.1f} ms")
-    print(f"    per-block: " + ", ".join(f"{k}={v*1000:.1f}ms" for k, v in run.block_timings.items()))
+    timings = ", ".join(f"{k}={v * 1000:.1f}ms" for k, v in run.block_timings.items())
+    print("    per-block: " + timings)
     print()
 
     # -- path 2: SpinQL -------------------------------------------------------------

@@ -37,12 +37,15 @@ The package is organised along the paper's sections:
   (Section 2.3);
 * :mod:`repro.strategy` — block-based search strategies (Section 2.4), with
   the toy (Figure 2) and auction (Figure 3) strategies pre-built;
+* :mod:`repro.storage` — persistent columnar snapshots: versioned,
+  memmap-backed serialization of the whole engine state
+  (``Engine.save``/``Engine.open``), new in 1.2;
 * :mod:`repro.workloads` — synthetic data generators standing in for the
   paper's proprietary collections;
 * :mod:`repro.bench` — the benchmark harness.
 
-Deprecation policy
-------------------
+Deprecation and stability policy
+--------------------------------
 
 :class:`Engine` / :func:`connect` are the supported entry points from
 version 1.1 on.  The hand-wired layer entry points re-exported below
@@ -52,6 +55,20 @@ the facade itself is built from — but new cross-layer features (batching,
 caching, routing) land on the facade only.  Shims are kept for at least two
 minor versions after an entry point is superseded, and removals are
 announced in ``CHANGES.md``.
+
+The storage API (``save``/``open`` on :class:`Engine`,
+:class:`~repro.relational.database.Database`,
+:class:`~repro.triples.triple_store.TripleStore`,
+:class:`~repro.ir.inverted_index.InvertedIndex` and
+:class:`~repro.ir.statistics.CollectionStatistics`, plus the functions in
+:mod:`repro.storage`) is **stable** from 1.2: the Python signatures follow
+the deprecation policy above.  The *on-disk format* is versioned
+separately via ``repro.storage.FORMAT_VERSION``; snapshots are only
+guaranteed readable by the library version that wrote them, and a mismatch
+raises :class:`~repro.errors.SnapshotVersionError` with a "rebuild or
+upgrade" message rather than guessing at layouts.  Treat snapshots as a
+fast boot medium, not an archival format — the CSV/text sources stay
+canonical.
 """
 
 from repro.errors import EngineError, ReproError
@@ -69,9 +86,14 @@ from repro.relational import Database, Relation
 from repro.pra import ProbabilisticRelation
 from repro.triples import TripleStore
 from repro.ir import KeywordSearchEngine
-from repro.strategy import StrategyExecutor, StrategyGraph, build_auction_strategy, build_toy_strategy
+from repro.strategy import (
+    StrategyExecutor,
+    StrategyGraph,
+    build_auction_strategy,
+    build_toy_strategy,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # the public facade

@@ -11,13 +11,18 @@ Every subcommand drives the :class:`~repro.engine.Engine` facade:
   its PRA plan and SQL translation;
 * ``python -m repro explain "<program>"`` — the full
   :meth:`~repro.engine.query.Query.explain` report (raw plan, optimized
-  plan, SQL).
+  plan, SQL);
+* ``python -m repro snapshot --out DIR`` — build a scenario (or load a
+  triples file) and save a columnar engine snapshot (see
+  :mod:`repro.storage`).
 
-Every subcommand accepts ``--json`` for machine-readable output and
-``--top-k``: on the scenario subcommands it bounds the ranked answer (a
-synonym of ``--top``); on ``spinql``/``explain`` it wraps the program in a
-``TOP k`` node so the reports show where the optimizer pushes it.  The
-scenario subcommands print the strategy diagram with ``--show-strategy``.
+Every subcommand accepts ``--json`` for machine-readable output,
+``--from-snapshot DIR`` to boot the engine from a saved snapshot instead of
+regenerating data, and ``--top-k``: on the scenario subcommands it bounds
+the ranked answer (a synonym of ``--top``); on ``spinql``/``explain`` it
+wraps the program in a ``TOP k`` node so the reports show where the
+optimizer pushes it.  The scenario subcommands print the strategy diagram
+with ``--show-strategy``.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from collections.abc import Sequence
 from typing import Any
 
 from repro.engine import Engine
+from repro.errors import EngineError, ReproError
 from repro.workloads import (
     generate_auction_triples,
     generate_expert_triples,
@@ -36,7 +42,9 @@ from repro.workloads import (
 )
 
 
-def _emit_run(command: str, run, args: argparse.Namespace, extra: dict[str, Any] | None = None) -> None:
+def _emit_run(
+    command: str, run, args: argparse.Namespace, extra: dict[str, Any] | None = None
+) -> None:
     """Print a strategy run as text or JSON, honouring ``--json`` and ``--top``."""
     results = run.top(args.top)
     if args.json:
@@ -72,7 +80,28 @@ def _run_scenario(
     return 0
 
 
+def _snapshot_engine(args: argparse.Namespace) -> Engine | None:
+    """Open the ``--from-snapshot`` engine, or ``None`` when the flag is absent."""
+    if not getattr(args, "from_snapshot", None):
+        return None
+    return Engine.open(args.from_snapshot)
+
+
+def _require_query(args: argparse.Namespace) -> str:
+    if not args.query:
+        raise EngineError(
+            "--from-snapshot boots from saved data, so the generated workload's "
+            "default query is not available; pass an explicit --query"
+        )
+    return args.query
+
+
 def _cmd_toy(args: argparse.Namespace) -> int:
+    engine = _snapshot_engine(args)
+    if engine is not None:
+        return _run_scenario(
+            args, "toy", engine, "toy", _require_query(args), category=args.category
+        )
     workload = generate_product_triples(args.products, seed=args.seed)
     engine = Engine.from_triples(workload.triples)
     query = args.query
@@ -86,9 +115,13 @@ def _cmd_toy(args: argparse.Namespace) -> int:
 
 
 def _cmd_auction(args: argparse.Namespace) -> int:
-    workload = generate_auction_triples(args.lots, seed=args.seed)
-    engine = Engine.from_triples(workload.triples)
-    query = args.query or " ".join(workload.lot_descriptions["lot1"].split()[:3])
+    engine = _snapshot_engine(args)
+    if engine is None:
+        workload = generate_auction_triples(args.lots, seed=args.seed)
+        engine = Engine.from_triples(workload.triples)
+        query = args.query or " ".join(workload.lot_descriptions["lot1"].split()[:3])
+    else:
+        query = _require_query(args)
     return _run_scenario(
         args,
         "auction",
@@ -101,9 +134,12 @@ def _cmd_auction(args: argparse.Namespace) -> int:
 
 
 def _cmd_experts(args: argparse.Namespace) -> int:
+    engine = _snapshot_engine(args)
+    extra: dict[str, Any] | None = None
+    if engine is not None:
+        return _run_scenario(args, "experts", engine, "experts", _require_query(args))
     workload = generate_expert_triples(args.people, args.documents, seed=args.seed)
     engine = Engine.from_triples(workload.triples)
-    extra: dict[str, Any] | None = None
     if args.query:
         query = args.query
     else:
@@ -119,7 +155,8 @@ def _cmd_experts(args: argparse.Namespace) -> int:
 def _cmd_spinql(args: argparse.Namespace) -> int:
     from repro.spinql import to_sql
 
-    query = Engine().spinql(args.program)
+    engine = _snapshot_engine(args) or Engine()
+    query = engine.spinql(args.program)
     plan, optimized = query.plans(top_k=args.top_k)
     sql = to_sql(optimized, view_name=args.view_name)
     if args.json:
@@ -143,7 +180,8 @@ def _cmd_spinql(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    query = Engine().spinql(args.program)
+    engine = _snapshot_engine(args) or Engine()
+    query = engine.spinql(args.program)
     if args.json:
         print(
             json.dumps(
@@ -155,9 +193,59 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.from_triples and args.from_snapshot:
+        raise EngineError(
+            "--from-triples and --from-snapshot are both data sources for the "
+            "snapshot; pass exactly one"
+        )
+    engine = _snapshot_engine(args)
+    scenario = args.scenario
+    if engine is None:
+        if args.from_triples:
+            from repro.triples.loader import load_triples
+
+            try:
+                triples = load_triples(args.from_triples)
+            except OSError as error:
+                raise EngineError(
+                    f"cannot read triples file {args.from_triples}: {error}"
+                ) from error
+            engine = Engine.from_triples(triples)
+        elif scenario == "toy":
+            workload = generate_product_triples(args.products, seed=args.seed)
+            engine = Engine.from_triples(workload.triples)
+        elif scenario == "auction":
+            workload = generate_auction_triples(args.lots, seed=args.seed)
+            engine = Engine.from_triples(workload.triples)
+        else:
+            workload = generate_expert_triples(args.people, args.documents, seed=args.seed)
+            engine = Engine.from_triples(workload.triples)
+    path = engine.save(args.out)
+    payload = {
+        "command": "snapshot",
+        "path": str(path),
+        "triples": engine.store.num_triples,
+        "tables": engine.database.table_names(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"snapshot written to {path} ({payload['triples']} triples, "
+              f"{len(payload['tables'])} tables)")
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser, *, top: bool = True) -> None:
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--from-snapshot",
+        dest="from_snapshot",
+        metavar="DIR",
+        default=None,
+        help="boot the engine from a snapshot directory (Engine.save / `repro snapshot`)",
     )
     if top:
         parser.add_argument(
@@ -227,14 +315,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(explain, top=False)
     explain.set_defaults(handler=_cmd_explain)
 
+    snapshot = subparsers.add_parser(
+        "snapshot", help="save a columnar engine snapshot (see repro.storage)"
+    )
+    snapshot.add_argument("--out", required=True, help="directory to write the snapshot to")
+    snapshot.add_argument(
+        "--scenario", choices=("toy", "auction", "experts"), default="auction"
+    )
+    snapshot.add_argument("--from-triples", default=None, metavar="FILE",
+                          help="snapshot a triples text file instead of a generated scenario")
+    snapshot.add_argument("--products", type=int, default=400)
+    snapshot.add_argument("--lots", type=int, default=2000)
+    snapshot.add_argument("--people", type=int, default=60)
+    snapshot.add_argument("--documents", type=int, default=500)
+    snapshot.add_argument("--seed", type=int, default=21)
+    _add_common(snapshot, top=False)
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (missing snapshot directories, format-version mismatches,
+    malformed programs) are reported on stderr with exit code 1 instead of a
+    traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

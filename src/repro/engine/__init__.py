@@ -68,6 +68,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.errors import EngineError, ReproError
@@ -218,6 +219,36 @@ class Engine:
         self._invalidate_search_statistics()
         for block in self._rank_blocks.values():
             block.clear_statistics()
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Snapshot the whole session: tables, triples, config, warm caches.
+
+        The snapshot is a versioned directory (see :mod:`repro.storage`);
+        :meth:`open` restores it with lazy, memmap-backed hydration, so a
+        worker process boots from it in milliseconds instead of re-parsing
+        CSV/text.
+        """
+        from repro.storage.engine_io import save_engine
+
+        return save_engine(self, path)
+
+    @classmethod
+    def open(cls, path: str | Path, *, mmap: bool = True, **engine_kwargs: Any) -> "Engine":
+        """Open a snapshot written by :meth:`save`.
+
+        Tables, the triple list and saved collection statistics hydrate
+        lazily; compiled SpinQL sources recorded in the snapshot are
+        recompiled to warm the plan cache.  Raises
+        :class:`~repro.errors.EngineError` (naming the offending path) for
+        missing/corrupt snapshots and
+        :class:`~repro.errors.SnapshotVersionError` with a "rebuild or
+        upgrade" message on a format-version mismatch.
+        """
+        from repro.storage.engine_io import open_engine
+
+        return open_engine(path, mmap=mmap, **engine_kwargs)
 
     # -- front ends -------------------------------------------------------------------
 

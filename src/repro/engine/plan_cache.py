@@ -112,6 +112,11 @@ class PlanCache:
             self._order.clear()
             self.statistics.entries = 0
 
+    def keys(self) -> list[str]:
+        """A snapshot of the cached keys, least-recently used first."""
+        with self._lock:
+            return list(self._order)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

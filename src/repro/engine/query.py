@@ -50,7 +50,7 @@ from repro.pra.plan import (
     PraTop,
 )
 from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
-from repro.relational.column import Column, DataType
+from repro.relational.column import DataType
 from repro.relational.expressions import BinaryOp, Expression, Literal
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
@@ -259,7 +259,7 @@ class SpinQLQuery(Query):
         if undeclared:
             raise EngineError(
                 f"undeclared parameters {sorted(undeclared)}; declare them when "
-                f"building the query: engine.spinql(source, "
+                "building the query: engine.spinql(source, "
                 f"{', '.join(sorted(undeclared))}=...)"
             )
 

@@ -115,3 +115,22 @@ class WorkloadError(ReproError):
 
 class EngineError(ReproError):
     """The engine facade was used incorrectly (bad binding, malformed chain)."""
+
+
+class StorageError(ReproError):
+    """A snapshot could not be written or read (missing files, bad manifest)."""
+
+    def __init__(self, message: str, path: "str | None" = None):
+        if path is not None:
+            message = f"{message} (path: {path})"
+        super().__init__(message)
+        self.path = path
+
+
+class SnapshotVersionError(StorageError):
+    """A snapshot was written by an incompatible format version.
+
+    Raised with a "rebuild or upgrade" hint: the data is not corrupt, it just
+    needs to be re-saved by the current library version (or read by the one
+    that wrote it).
+    """

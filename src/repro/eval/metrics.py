@@ -20,7 +20,9 @@ def _relevant_set(relevant: Set[Any] | Mapping[Any, float]) -> set[Any]:
     return set(relevant)
 
 
-def precision_at_k(ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float], k: int) -> float:
+def precision_at_k(
+    ranked: Sequence[Any], relevant: Set[Any] | Mapping[Any, float], k: int
+) -> float:
     """Fraction of the top-``k`` results that are relevant."""
     if k <= 0:
         return 0.0

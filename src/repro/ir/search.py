@@ -21,7 +21,7 @@ toy scenario), the engine
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -94,6 +94,7 @@ class KeywordSearchEngine:
         self.expander = expander
         self.statistics_prefix = statistics_prefix or f"{docs_source}_"
         self._statistics: CollectionStatistics | None = None
+        self._statistics_loader: Callable[[], CollectionStatistics] | None = None
 
     # -- statistics management --------------------------------------------------------
 
@@ -109,15 +110,37 @@ class KeywordSearchEngine:
         """True once the collection statistics have been materialised."""
         return self._statistics is not None
 
+    @property
+    def statistics_available(self) -> bool:
+        """True when statistics exist or a snapshot loader is pending.
+
+        Unlike :attr:`is_warm` this counts an adopted-but-unconsumed snapshot
+        loader, so re-saving an opened engine keeps its warm statistics.
+        """
+        return self._statistics is not None or self._statistics_loader is not None
+
     def invalidate(self) -> None:
         """Discard the statistics (e.g. after the docs source changed)."""
         self._statistics = None
+        self._statistics_loader = None
 
     def warm_up(self) -> CollectionStatistics:
         """Force statistics materialisation and return them (the "hot" state)."""
         return self.statistics
 
+    def adopt_statistics_loader(self, loader: Callable[[], CollectionStatistics]) -> None:
+        """Serve the next statistics request from ``loader`` (snapshot warm-up).
+
+        The loader replaces one rebuild only; :meth:`invalidate` discards it,
+        so a changed docs source still triggers a true rebuild.
+        """
+        self._statistics = None
+        self._statistics_loader = loader
+
     def _build_statistics(self) -> CollectionStatistics:
+        if self._statistics_loader is not None:
+            loader, self._statistics_loader = self._statistics_loader, None
+            return loader()
         docs = self.database.query(self.docs_source)
         if docs.num_rows == 0:
             raise IndexingError(

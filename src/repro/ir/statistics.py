@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -126,6 +127,21 @@ class CollectionStatistics:
             return 0
         _, frequencies = self.postings[term_id]
         return int(frequencies.sum())
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Serialize the statistics (postings as concatenated doc/tf arrays)."""
+        from repro.storage.index_io import save_statistics
+
+        return save_statistics(self, path)
+
+    @classmethod
+    def open(cls, path: str | Path, *, mmap: bool = True) -> "CollectionStatistics":
+        """Open a statistics snapshot; posting arrays come back as memmap slices."""
+        from repro.storage.index_io import open_statistics
+
+        return open_statistics(path, mmap=mmap)
 
     # -- relation views ----------------------------------------------------------
 

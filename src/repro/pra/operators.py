@@ -131,7 +131,10 @@ def join(
     left_relation = left.values_relation()
     right_relation = right.values_relation()
     left_indices, right_indices = hash_join_indices(
-        left_relation, right_relation, [pair[0] for pair in conditions], [pair[1] for pair in conditions]
+        left_relation,
+        right_relation,
+        [pair[0] for pair in conditions],
+        [pair[1] for pair in conditions],
     )
     combined_schema = left_relation.schema.concat(right_relation.schema)
     left_rows = left_relation.take(left_indices)
@@ -171,14 +174,19 @@ def unite(
 
     merged: "OrderedDict[tuple[Any, ...], float]" = OrderedDict()
     for row, probability in zip(left_values, left_probabilities):
-        merged[row] = assumption.combine_or(merged.get(row, 0.0), float(probability)) if row in merged else float(probability)
+        if row in merged:
+            merged[row] = assumption.combine_or(merged[row], float(probability))
+        else:
+            merged[row] = float(probability)
     for row, probability in zip(right_values, right_probabilities):
         if row in merged:
             merged[row] = assumption.combine_or(merged[row], float(probability))
         else:
             merged[row] = float(probability)
 
-    fields = list(left.values_relation().schema.fields) + [Field(PROBABILITY_COLUMN, DataType.FLOAT)]
+    fields = list(left.values_relation().schema.fields) + [
+        Field(PROBABILITY_COLUMN, DataType.FLOAT)
+    ]
     rows = [tuple(row) + (probability,) for row, probability in merged.items()]
     return ProbabilisticRelation(Relation.from_rows(Schema(fields), rows), validate=False)
 

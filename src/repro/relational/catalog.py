@@ -1,6 +1,17 @@
-"""The catalog: named base tables and views of a database."""
+"""The catalog: named base tables and views of a database.
+
+Base tables come in two flavours: *materialised* relations registered with
+:meth:`Catalog.create_table`, and *lazy* tables registered with
+:meth:`Catalog.create_lazy_table`, whose loader runs on the first scan and
+whose result is then cached as an ordinary table.  Lazy tables are how
+database snapshots hydrate: opening a snapshot registers one loader per
+table and touches no data until a query needs it.
+"""
 
 from __future__ import annotations
+
+import threading
+from collections.abc import Callable
 
 from repro.errors import CatalogError
 from repro.relational.algebra import LogicalPlan
@@ -12,7 +23,11 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, Relation] = {}
+        self._lazy: dict[str, Callable[[], Relation]] = {}
         self._views: dict[str, LogicalPlan] = {}
+        # guards lazy hydration: concurrent first scans of the same table
+        # (execute_many workers) must run the loader exactly once
+        self._hydration_lock = threading.Lock()
 
     # -- tables -----------------------------------------------------------------
 
@@ -21,23 +36,53 @@ class Catalog:
         if not replace and self.exists(name):
             raise CatalogError(f"table or view {name!r} already exists")
         self._views.pop(name, None)
+        self._lazy.pop(name, None)
         self._tables[name] = relation
+
+    def create_lazy_table(
+        self, name: str, loader: Callable[[], Relation], *, replace: bool = False
+    ) -> None:
+        """Register a table whose contents are produced by ``loader`` on first scan."""
+        if not replace and self.exists(name):
+            raise CatalogError(f"table or view {name!r} already exists")
+        self._views.pop(name, None)
+        self._tables.pop(name, None)
+        self._lazy[name] = loader
 
     def drop_table(self, name: str) -> None:
         """Remove the base table called ``name``."""
+        if name in self._lazy:
+            del self._lazy[name]
+            return
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name]
 
     def has_table(self, name: str) -> bool:
+        return name in self._tables or name in self._lazy
+
+    def is_hydrated(self, name: str) -> bool:
+        """True when ``name`` is a table whose contents are in memory already."""
         return name in self._tables
 
     def table(self, name: str) -> Relation:
-        """Return the base table called ``name``."""
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise CatalogError(f"unknown table {name!r}; known: {sorted(self._tables)}") from None
+        """Return the base table called ``name``, hydrating a lazy table if needed."""
+        relation = self._tables.get(name)
+        if relation is not None:
+            return relation
+        with self._hydration_lock:
+            relation = self._tables.get(name)
+            if relation is not None:
+                return relation
+            loader = self._lazy.get(name)
+            if loader is not None:
+                relation = loader()
+                self._tables[name] = relation
+                del self._lazy[name]
+                return relation
+        raise CatalogError(
+            f"unknown table {name!r}; known: {sorted(self.table_names_set())}"
+        )
 
     # -- views -----------------------------------------------------------------
 
@@ -65,21 +110,25 @@ class Catalog:
     # -- generic lookup -----------------------------------------------------------
 
     def exists(self, name: str) -> bool:
-        return name in self._tables or name in self._views
+        return name in self._tables or name in self._lazy or name in self._views
 
     def resolve(self, name: str) -> Relation | LogicalPlan:
         """Return the relation (for tables) or plan (for views) bound to ``name``."""
-        if name in self._tables:
-            return self._tables[name]
+        if self.has_table(name):
+            return self.table(name)
         if name in self._views:
             return self._views[name]
         raise CatalogError(
             f"unknown table or view {name!r}; "
-            f"tables: {sorted(self._tables)}, views: {sorted(self._views)}"
+            f"tables: {sorted(self.table_names_set())}, views: {sorted(self._views)}"
         )
 
+    def table_names_set(self) -> set[str]:
+        """The names of every base table, hydrated or lazy."""
+        return set(self._tables) | set(self._lazy)
+
     def table_names(self) -> list[str]:
-        return sorted(self._tables)
+        return sorted(self.table_names_set())
 
     def view_names(self) -> list[str]:
         return sorted(self._views)

@@ -130,6 +130,21 @@ class Column:
         return cls(np.empty(0, dtype=dtype.numpy_dtype), dtype)
 
     @classmethod
+    def from_dictionary(cls, codes: np.ndarray, dictionary: np.ndarray) -> "Column":
+        """Build a string column from dictionary codes, seeding the factorize cache.
+
+        ``dictionary`` must hold the distinct values in sorted order and
+        ``codes`` must index into it (the :meth:`factorize` contract) — this
+        is how snapshot-backed columns come back from disk without paying the
+        ``np.unique`` pass again.  ``codes`` may be a read-only memmap.
+        """
+        values = dictionary[codes] if len(codes) else np.empty(0, dtype=object)
+        column = cls(values, DataType.STRING)
+        column._codes = codes
+        column._dictionary = dictionary
+        return column
+
+    @classmethod
     def constant(cls, value: Any, length: int, dtype: DataType | None = None) -> "Column":
         """Return a column repeating ``value`` ``length`` times."""
         if dtype is None:
@@ -254,7 +269,8 @@ class Column:
         if dtype is DataType.STRING:
             return Column([str(value) for value in self.to_list()], dtype)
         if self._dtype is DataType.STRING:
-            converter = {DataType.INT: int, DataType.FLOAT: float, DataType.BOOL: _parse_bool}[dtype]
+            converters = {DataType.INT: int, DataType.FLOAT: float, DataType.BOOL: _parse_bool}
+            converter = converters[dtype]
             return Column([converter(value) for value in self._values], dtype)
         return Column(self._values.astype(dtype.numpy_dtype), dtype)
 

@@ -56,7 +56,9 @@ def _parse_column(raw_values: list[str], dtype: DataType) -> Column:
         return Column([int(value) for value in raw_values], dtype)
     if dtype is DataType.FLOAT:
         return Column([float(value) for value in raw_values], dtype)
-    return Column([value.strip().lower() in ("true", "t", "1", "yes") for value in raw_values], dtype)
+    return Column(
+        [value.strip().lower() in ("true", "t", "1", "yes") for value in raw_values], dtype
+    )
 
 
 def write_csv(

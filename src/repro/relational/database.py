@@ -9,6 +9,7 @@ on-demand materialization cache of Section 2.2.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
 from typing import Any
 
 from repro.relational.algebra import LogicalPlan, Scan
@@ -140,6 +141,27 @@ class Database:
     def query(self, name: str) -> Relation:
         """Execute ``SELECT * FROM name`` (table or view)."""
         return self.execute(Scan(name))
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Snapshot every base table into the directory ``path`` (see :mod:`repro.storage`)."""
+        from repro.storage.snapshot import save_database
+
+        return save_database(self, path)
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, mmap: bool = True, lazy: bool = True, **kwargs: Any
+    ) -> "Database":
+        """Open a database snapshot written by :meth:`save`.
+
+        Tables hydrate lazily on first scan (memmap-backed, zero-copy for
+        numeric columns); ``kwargs`` are forwarded to the constructor.
+        """
+        from repro.storage.snapshot import open_database
+
+        return open_database(path, database=cls(**kwargs), mmap=mmap, lazy=lazy)
 
     # -- maintenance --------------------------------------------------------------------
 

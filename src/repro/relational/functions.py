@@ -209,7 +209,9 @@ def default_registry() -> FunctionRegistry:
     registry.register_scalar("ucase", lambda value: str(value).upper(), DataType.STRING, arity=1)
     registry.register_scalar("length", lambda value: len(str(value)), DataType.INT, arity=1)
     registry.register_scalar("log", _safe_log, DataType.FLOAT, arity=1)
-    registry.register_scalar("sqrt", lambda value: math.sqrt(max(value, 0.0)), DataType.FLOAT, arity=1)
+    registry.register_scalar(
+        "sqrt", lambda value: math.sqrt(max(value, 0.0)), DataType.FLOAT, arity=1
+    )
     registry.register_scalar("abs", lambda value: abs(value), DataType.FLOAT, arity=1)
     registry.register_scalar("stem", _stem, DataType.STRING, arity=2)
     registry.register_scalar(

@@ -49,7 +49,6 @@ from repro.relational.algebra import (
     Values,
 )
 from repro.relational.column import Column, DataType, combine_codes
-from repro.relational.expressions import Expression
 from repro.relational.functions import FunctionRegistry
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema

@@ -47,7 +47,10 @@ def _render(plan: LogicalPlan) -> str:
     if isinstance(plan, Values):
         return _render_values(plan)
     if isinstance(plan, Select):
-        return f"SELECT * FROM (\n{_indent(_render(plan.child))}\n) AS t WHERE {plan.predicate.to_sql()}"
+        return (
+            f"SELECT * FROM (\n{_indent(_render(plan.child))}\n) "
+            f"AS t WHERE {plan.predicate.to_sql()}"
+        )
     if isinstance(plan, Project):
         columns = ", ".join(f"{expr.to_sql()} AS {name}" for name, expr in plan.columns)
         return f"SELECT {columns} FROM (\n{_indent(_render(plan.child))}\n) AS t"

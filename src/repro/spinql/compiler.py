@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.errors import SpinQLCompileError
 from repro.pra.assumptions import Assumption
@@ -35,7 +34,7 @@ from repro.pra.plan import (
     PraWeight,
 )
 from repro.pra.relation import ProbabilisticRelation
-from repro.relational.expressions import BinaryOp, Expression, Literal, UnaryOp
+from repro.relational.expressions import BinaryOp, Expression, Literal
 from repro.spinql.ast import (
     Assignment,
     BooleanExpr,
@@ -157,7 +156,9 @@ class SpinQLCompiler:
             )
         return self.compile_expression(call.operands[0], compiled)
 
-    def _two_operands(self, call: OperatorCall, compiled: CompiledScript) -> tuple[PraPlan, PraPlan]:
+    def _two_operands(
+        self, call: OperatorCall, compiled: CompiledScript
+    ) -> tuple[PraPlan, PraPlan]:
         if len(call.operands) != 2:
             raise SpinQLCompileError(
                 f"{call.operator.upper()} takes exactly two operands, got {len(call.operands)}"

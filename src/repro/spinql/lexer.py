@@ -197,7 +197,9 @@ def tokenize(source: str) -> list[Token]:
         if char.isdigit() or (char == "." and index + 1 < length and source[index + 1].isdigit()):
             value = ""
             seen_dot = False
-            while index < length and (source[index].isdigit() or (source[index] == "." and not seen_dot)):
+            while index < length and (
+                source[index].isdigit() or (source[index] == "." and not seen_dot)
+            ):
                 if source[index] == ".":
                     seen_dot = True
                 value += source[index]

@@ -39,7 +39,9 @@ from repro.spinql.ast import (
 )
 from repro.spinql.lexer import Token, TokenType, tokenize
 
-_OPERATOR_KEYWORDS = {"select", "project", "join", "unite", "subtract", "bayes", "weight", "traverse"}
+_OPERATOR_KEYWORDS = {
+    "select", "project", "join", "unite", "subtract", "bayes", "weight", "traverse"
+}
 _ASSUMPTION_KEYWORDS = {"independent", "disjoint", "subsumed"}
 _COMPARISON_TOKENS = {
     TokenType.EQUALS: "=",
@@ -118,9 +120,10 @@ class _Parser:
 
         if self.current.type is TokenType.KEYWORD and self.current.value in _ASSUMPTION_KEYWORDS:
             assumption = self.advance().value
-        if operator == "traverse" and self.current.type is TokenType.KEYWORD and self.current.value in (
-            "backward",
-            "forward",
+        if (
+            operator == "traverse"
+            and self.current.type is TokenType.KEYWORD
+            and self.current.value in ("backward", "forward")
         ):
             options["direction"] = self.advance().value
 
@@ -207,7 +210,7 @@ class _Parser:
                 items.append(PositionalColumn(int(self.advance().value)))
         return items
 
-    # -- predicates ---------------------------------------------------------------------------------
+    # -- predicates -----------------------------------------------------------------------
 
     def parse_predicate(self) -> SpinQLNode:
         left = self.parse_comparison()

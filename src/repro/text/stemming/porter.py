@@ -102,7 +102,9 @@ class PorterStemmer(Stemmer):
 
     # -- step helpers -----------------------------------------------------------
 
-    def _replace_suffix(self, word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+    def _replace_suffix(
+        self, word: str, suffix: str, replacement: str, min_measure: int
+    ) -> str | None:
         """If ``word`` ends with ``suffix`` and the stem has measure > ``min_measure``,
         return the word with the suffix replaced, otherwise ``None``."""
         if not word.endswith(suffix):

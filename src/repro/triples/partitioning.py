@@ -92,6 +92,19 @@ class StorageStrategy:
         """The base tables this layout created (for size accounting in benchmarks)."""
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict[str, Any]:
+        """JSON-serializable layout state for snapshots (see :mod:`repro.storage`)."""
+        raise NotImplementedError
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Restore the layout state saved by :meth:`snapshot_state`.
+
+        After restoring, :meth:`match` works against a database whose
+        partition tables were loaded from the same snapshot, without
+        re-running :meth:`load`.
+        """
+        raise NotImplementedError
+
 
 class SingleTableStorage(StorageStrategy):
     """All triples in one ``(subject, property, object, p)`` table."""
@@ -124,6 +137,12 @@ class SingleTableStorage(StorageStrategy):
 
     def table_names(self, database: Database) -> list[str]:
         return [self.table_name]
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {"table_name": self.table_name}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.table_name = state["table_name"]
 
 
 def _sanitize(name: str) -> str:
@@ -187,6 +206,13 @@ class PropertyPartitionedStorage(StorageStrategy):
 
     def table_names(self, database: Database) -> list[str]:
         return [self._table_for(name) for name in self._properties]
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {"prefix": self.prefix, "properties": list(self._properties)}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.prefix = state["prefix"]
+        self._properties = list(state["properties"])
 
 
 class TypePartitionedStorage(StorageStrategy):
@@ -255,7 +281,9 @@ class TypePartitionedStorage(StorageStrategy):
             if dtype not in self._partitions:
                 continue
             predicate = _pattern_predicate(
-                subject, property_name, obj if dtype is not DataType.STRING or obj is None else str(obj)
+                subject,
+                property_name,
+                obj if dtype is not DataType.STRING or obj is None else str(obj),
             )
             plan = Scan(self._table_for(dtype))
             if predicate is not None:
@@ -281,9 +309,22 @@ class TypePartitionedStorage(StorageStrategy):
     def table_names(self, database: Database) -> list[str]:
         return [self._table_for(dtype) for dtype in self._partitions]
 
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "prefix": self.prefix,
+            "partitions": [dtype.value for dtype in self._partitions],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.prefix = state["prefix"]
+        self._partitions = [DataType(value) for value in state["partitions"]]
+
 
 def make_storage(name: str, **options) -> StorageStrategy:
-    """Factory used by benchmarks: ``single-table``, ``property-partitioned``, ``type-partitioned``."""
+    """Factory used by benchmarks.
+
+    Available: ``single-table``, ``property-partitioned``, ``type-partitioned``.
+    """
     registry = {
         SingleTableStorage.name: SingleTableStorage,
         PropertyPartitionedStorage.name: PropertyPartitionedStorage,

@@ -13,8 +13,10 @@ The store keeps them in the relational engine through a pluggable
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import threading
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.errors import TripleStoreError
@@ -65,8 +67,41 @@ class TripleStore:
         self.database = database if database is not None else Database()
         self.table_name = table_name
         self.storage = storage if storage is not None else SingleTableStorage(table_name)
-        self._triples: list[Triple] = []
+        self._triples_list: list[Triple] | None = []
+        self._triples_loader: Callable[[], list[Triple]] | None = None
+        self._triples_lock = threading.Lock()
         self._loaded = False
+
+    @property
+    def _triples(self) -> list[Triple]:
+        """The buffered triples, hydrated lazily when backed by a snapshot.
+
+        The loader is cleared only after it succeeds, so a failed first
+        access raises again on retry instead of silently yielding an empty
+        store, and the lock keeps concurrent first accesses from observing
+        the half-hydrated state.
+        """
+        triples = self._triples_list
+        if triples is not None:
+            return triples
+        with self._triples_lock:
+            if self._triples_list is None:
+                loader = self._triples_loader
+                self._triples_list = loader() if loader is not None else []
+                self._triples_loader = None
+            return self._triples_list
+
+    def adopt_snapshot(self, loader: Callable[[], list[Triple]]) -> None:
+        """Mark the store as loaded from a snapshot whose tables are in place.
+
+        ``loader`` reproduces the triple list on first access (properties,
+        ``num_triples``, re-materialisation); pattern matching never needs it
+        because the storage strategy's partition tables already exist in the
+        database.
+        """
+        self._triples_list = None
+        self._triples_loader = loader
+        self._loaded = True
 
     # -- loading ----------------------------------------------------------------------
 
@@ -142,6 +177,26 @@ class TripleStore:
         """Return the objects of all ``(subject, property, ?)`` triples."""
         matched = self.match(subject=subject, property_name=property_name)
         return matched.relation.column("object").to_list()
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Snapshot the triple source plus storage layout (see :mod:`repro.storage`).
+
+        The partition tables themselves belong to :attr:`database`; snapshot
+        that too (or use :meth:`repro.engine.Engine.save`, which does both).
+        """
+        from repro.storage.snapshot import save_triple_store
+
+        self._ensure_loaded()
+        return save_triple_store(self, path)
+
+    @classmethod
+    def open(cls, path: str | Path, database: Database, *, mmap: bool = True) -> "TripleStore":
+        """Rebuild a store over a ``database`` opened from the same snapshot."""
+        from repro.storage.snapshot import restore_triple_store
+
+        return restore_triple_store(path, database, mmap=mmap)
 
     # -- relational integration ----------------------------------------------------------------
 

@@ -109,11 +109,16 @@ def generate_expert_triples(
         # a document mixes general vocabulary with its topic's distinctive terms
         general = vocabulary.sample(rng, document_length // 2)
         pool = topic_terms[topic]
-        topical = [pool[int(position)] for position in rng.integers(0, len(pool), document_length - len(general))]
+        topical = [
+            pool[int(position)]
+            for position in rng.integers(0, len(pool), document_length - len(general))
+        ]
         text = " ".join(general + topical)
         authors = [
             person_ids[int(position)]
-            for position in rng.choice(num_people, size=min(authors_per_document, num_people), replace=False)
+            for position in rng.choice(
+                num_people, size=min(authors_per_document, num_people), replace=False
+            )
         ]
         document_authors[document] = authors
         triples.append(Triple(document, "type", "document"))

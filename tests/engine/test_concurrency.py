@@ -15,7 +15,6 @@ contract under test:
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 

@@ -9,15 +9,11 @@ import pytest
 
 from repro.ir import KeywordSearchEngine
 from repro.ir.query_expansion import SynonymExpander
-from repro.relational.column import DataType
-from repro.relational.schema import Field, Schema
 from repro.spinql import evaluate
 from repro.strategy import StrategyExecutor, build_auction_strategy, build_toy_strategy
 from repro.triples import TripleStore
 from repro.workloads import (
-    generate_auction_triples,
     generate_collection,
-    generate_product_triples,
     generate_queries,
 )
 

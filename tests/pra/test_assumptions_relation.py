@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ProbabilityError
 from repro.pra.assumptions import Assumption
 from repro.pra.relation import ProbabilisticRelation
-from repro.relational.column import Column, DataType
+from repro.relational.column import DataType
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
 

@@ -21,7 +21,6 @@ from repro.pra.relation import ProbabilisticRelation
 from repro.relational.column import DataType
 from repro.relational.database import Database
 from repro.relational.expressions import Literal
-from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
 
 
@@ -97,7 +96,12 @@ class TestOperatorsThroughPlans:
             output_names=["docID", "data"],
         )
         result = evaluator.evaluate(plan)
-        docs = dict(zip(result.relation.column("docID").to_list(), result.relation.column("data").to_list()))
+        docs = dict(
+            zip(
+                result.relation.column("docID").to_list(),
+                result.relation.column("data").to_list(),
+            )
+        )
         assert docs == {
             "product1": "wooden train set",
             "product3": "plastic toy car",

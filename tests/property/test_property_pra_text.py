@@ -125,7 +125,10 @@ DOCUMENT = st.lists(
 
 class TestRankingInvariants:
     @settings(max_examples=50, deadline=None)
-    @given(st.lists(DOCUMENT, min_size=1, max_size=15), st.lists(st.sampled_from(["train", "wooden", "clock"]), min_size=1, max_size=3))
+    @given(
+        st.lists(DOCUMENT, min_size=1, max_size=15),
+        st.lists(st.sampled_from(["train", "wooden", "clock"]), min_size=1, max_size=3),
+    )
     def test_ranking_only_returns_matching_documents_sorted(self, documents, query_terms):
         # the sampled query terms are invariant under stemming, so raw text
         # membership and analyzed-term matching coincide

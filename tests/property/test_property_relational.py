@@ -94,7 +94,10 @@ def test_group_by_counts_sum_to_total(rows):
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(ROW_STRATEGY, min_size=0, max_size=25),
-    st.lists(st.tuples(st.integers(min_value=0, max_value=20), st.text(min_size=1, max_size=3)), max_size=25),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20), st.text(min_size=1, max_size=3)),
+        max_size=25,
+    ),
 )
 def test_join_matches_nested_loop_semantics(rows, right_rows):
     """The hash join must agree with a naive nested-loop join."""

@@ -6,10 +6,8 @@ from repro.errors import ExpressionError, TypeMismatchError
 from repro.relational.column import DataType
 from repro.relational.expressions import (
     BinaryOp,
-    ColumnRef,
     FunctionCall,
     InList,
-    Literal,
     UnaryOp,
     col,
     func,

@@ -89,7 +89,11 @@ class TestSqlGeneration:
 class TestCsvIO:
     def test_roundtrip_via_string_buffers(self):
         schema = Schema(
-            [Field("id", DataType.INT), Field("name", DataType.STRING), Field("score", DataType.FLOAT)]
+            [
+                Field("id", DataType.INT),
+                Field("name", DataType.STRING),
+                Field("score", DataType.FLOAT),
+            ]
         )
         relation = Relation.from_rows(schema, [(1, "a", 0.5), (2, "b", 1.5)])
         buffer = io.StringIO()

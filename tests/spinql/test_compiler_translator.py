@@ -91,7 +91,9 @@ class TestCompiler:
         from repro.spinql.ast import OperatorCall, Reference
 
         compiler = SpinQLCompiler()
-        call = OperatorCall(operator="select", assumption=None, arguments=[], operands=[Reference("t")])
+        call = OperatorCall(
+            operator="select", assumption=None, arguments=[], operands=[Reference("t")]
+        )
         with pytest.raises(SpinQLCompileError):
             compiler._compile_operator(call, compile_script("a = t;"))
 

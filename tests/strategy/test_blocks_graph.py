@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import BlockError, PortError, StrategyError
 from repro.ir.ranking import TfIdfModel
-from repro.strategy.blocks import Port, PortKind, StrategyContext
+from repro.strategy.blocks import PortKind, StrategyContext
 from repro.strategy.graph import StrategyGraph
 from repro.strategy.library import (
     ExtractTextBlock,
@@ -124,8 +124,12 @@ class TestBlockExecution:
         from repro.pra.relation import ProbabilisticRelation
         from repro.relational.column import DataType
 
-        left = ProbabilisticRelation.from_rows(["node"], [DataType.STRING], [("a", 1.0), ("b", 0.5)])
-        right = ProbabilisticRelation.from_rows(["node"], [DataType.STRING], [("b", 1.0), ("c", 0.5)])
+        left = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("a", 1.0), ("b", 0.5)]
+        )
+        right = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("b", 1.0), ("c", 0.5)]
+        )
         mixed = MixBlock([0.7, 0.3]).execute(
             StrategyContext(store=toy_store), {"ranked_0": left, "ranked_1": right}
         )
@@ -138,7 +142,9 @@ class TestBlockExecution:
         from repro.pra.relation import ProbabilisticRelation
         from repro.relational.column import DataType
 
-        left = ProbabilisticRelation.from_rows(["node"], [DataType.STRING], [("a", 0.5), ("b", 1.0)])
+        left = ProbabilisticRelation.from_rows(
+            ["node"], [DataType.STRING], [("a", 0.5), ("b", 1.0)]
+        )
         right = ProbabilisticRelation.from_rows(["node"], [DataType.STRING], [("b", 0.5)])
         result = IntersectBlock().execute(
             StrategyContext(store=toy_store), {"left": left, "right": right}

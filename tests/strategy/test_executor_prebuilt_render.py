@@ -10,7 +10,6 @@ from repro.strategy.library import (
     ExtractTextBlock,
     MixBlock,
     QueryInputBlock,
-    RankByTextBlock,
     SelectByPropertyBlock,
     SelectByTypeBlock,
 )
@@ -107,13 +106,17 @@ class TestAuctionStrategy:
         assert nodes and all(node.startswith("lot") for node in nodes)
 
     def test_own_description_match_ranks_first(self, auction_store):
-        run = StrategyExecutor(auction_store).run(build_auction_strategy(), query="grandfather clock")
+        run = StrategyExecutor(auction_store).run(
+            build_auction_strategy(), query="grandfather clock"
+        )
         assert run.top(1)[0][0] == "lot2"
 
     def test_auction_description_contributes_sibling_lots(self, auction_store):
         # 'vintage furniture' only occurs in auction1's description; both of its
         # lots must be reachable through the right branch
-        run = StrategyExecutor(auction_store).run(build_auction_strategy(), query="vintage furniture")
+        run = StrategyExecutor(auction_store).run(
+            build_auction_strategy(), query="vintage furniture"
+        )
         nodes = {node for node, _ in run.top(10)}
         assert {"lot1", "lot2"} <= nodes
         assert "lot3" not in nodes

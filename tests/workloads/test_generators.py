@@ -60,7 +60,8 @@ class TestTextCollection:
         assert len({doc_id for doc_id, _ in collection.documents}) == 50
 
     def test_deterministic(self):
-        assert generate_collection(20, seed=9).documents == generate_collection(20, seed=9).documents
+        left = generate_collection(20, seed=9).documents
+        assert left == generate_collection(20, seed=9).documents
 
     def test_average_length_close_to_requested(self):
         collection = generate_collection(200, average_length=40, seed=3)
