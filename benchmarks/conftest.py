@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import pytest
 
+import artifacts
+from repro.bench.reporting import ResultTable
 from repro.engine import Engine
 from repro.workloads import (
     generate_auction_triples,
@@ -25,6 +27,28 @@ from repro.workloads import (
     generate_product_triples,
     generate_queries,
 )
+
+
+@pytest.fixture(autouse=True)
+def record_benchmark_artifacts(request, monkeypatch):
+    """Route every printed ResultTable into the shared artifact writer.
+
+    Each benchmark module's tables land in ``BENCH_<id>.json`` (see
+    :mod:`artifacts`), so the perf trajectory is always populated — no
+    per-benchmark opt-in, no env var required.
+    """
+    bench_id = artifacts.benchmark_id(request.node.module.__name__)
+    printed: list[ResultTable] = []
+    original_print = ResultTable.print
+
+    def recording_print(table: ResultTable) -> None:
+        printed.append(table)
+        original_print(table)
+
+    monkeypatch.setattr(ResultTable, "print", recording_print)
+    yield
+    if bench_id and printed:
+        artifacts.append_tables(bench_id, printed)
 
 
 @pytest.fixture(scope="session")

@@ -13,16 +13,15 @@ workload:
 * and, in every mode, functional equivalence: strategy and search results
   from the opened snapshot must equal the rebuilt engine's bit for bit.
 
-The equivalence summary is written as a JSON artifact (snapshot round-trip
-report) to ``$E11_ARTIFACT_DIR`` when set, so CI can archive it.
+The equivalence summary is written through the shared artifact writer
+(``BENCH_E11.json`` under ``$BENCH_ARTIFACT_DIR``), so CI can archive it.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 
+import artifacts
 from repro.bench.harness import measure_latency
 from repro.bench.reporting import ResultTable
 from repro.engine import Engine
@@ -64,15 +63,6 @@ def _rebuild(triples_file: Path, descriptions: dict) -> Engine:
     engine = Engine.from_triples(load_triples(triples_file, separator="\t"))
     engine.create_table("docs", _docs_relation(descriptions), replace=True)
     return engine
-
-
-def _artifact(payload: dict) -> None:
-    directory = os.environ.get("E11_ARTIFACT_DIR")
-    if not directory:
-        return
-    Path(directory).mkdir(parents=True, exist_ok=True)
-    out = Path(directory) / "e11_snapshot_roundtrip.json"
-    out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
 def test_e11_snapshot_cold_start_vs_rebuild(benchmark, tmp_path):
@@ -121,9 +111,9 @@ def test_e11_snapshot_cold_start_vs_rebuild(benchmark, tmp_path):
     table.add_row("open + first search (warm stats)", snapshot_query.mean_ms, speedup_query)
     table.print()
 
-    _artifact(
+    artifacts.write_metrics(
+        "E11",
         {
-            "benchmark": "E11",
             "lots": LOTS,
             "triples": len(workload.triples),
             "rebuild_mean_ms": round(rebuild.mean_ms, 3),

@@ -1,0 +1,176 @@
+"""E12 — scatter-gather top-k over an N-shard snapshot, and pool throughput.
+
+The partition-aware engine's two acceptance claims:
+
+* **Pushdown**: a rank-aware ``TOP k`` (and a top-k keyword search) over a
+  sharded snapshot ships *at most k candidates per shard* to the gather —
+  asserted from the executor's scatter report — while staying bit-identical
+  to the unsharded engine;
+* **Scaling**: with persistent worker processes
+  (:class:`~repro.engine.executors.PoolExecutor`), concurrent query
+  throughput scales over the single-process engine.  Like E10's thread
+  assertion, the scaling assertion is gated on actually having cores: on a
+  1-core CI container the measurement still runs and is reported, but the
+  assertion is skipped.
+
+Results land in ``BENCH_E12.json`` through the shared artifact writer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import artifacts
+from repro.bench.reporting import ResultTable
+from repro.engine import Engine
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.workloads import generate_auction_triples
+
+LOTS = 800
+SHARDS = 4
+SEED = 37
+TOP_K = 10
+STREAM = 24  # queries per throughput run
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def sharded_setup(tmp_path_factory):
+    workload = generate_auction_triples(LOTS, seed=SEED)
+    engine = Engine.from_triples(workload.triples)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    engine.create_table(
+        "docs",
+        Relation(
+            schema,
+            [
+                Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+                Column(list(workload.lot_descriptions.values()), DataType.STRING),
+            ],
+        ),
+    )
+    queries = [
+        " ".join(description.split()[:3])
+        for description in list(workload.lot_descriptions.values())[:STREAM]
+    ]
+    engine.search("docs", queries[0]).execute()  # warm stats → split into shards
+    path = engine.save(tmp_path_factory.mktemp("e12") / "snapshot", shards=SHARDS)
+    return engine, path, queries
+
+
+def test_e12_scatter_gather_topk_candidates(benchmark, sharded_setup):
+    """Per-shard candidate counts never exceed k; results stay bit-identical."""
+    engine, path, queries = sharded_setup
+    opened = Engine.open_sharded(path)
+    try:
+        program = 'out = SELECT [$2="hasAuction"] (triples);'
+        expected_plan = engine.spinql(program).top(TOP_K)
+        assert opened.spinql(program).top(TOP_K) == expected_plan
+        plan_scatter = dict(opened._plan_executor.last_scatter)
+        for counts in plan_scatter["per_shard_rows"]:
+            assert all(count <= TOP_K for count in counts)
+
+        expected_search = engine.search("docs", queries[0]).top(TOP_K)
+        assert opened.search("docs", queries[0]).top(TOP_K) == expected_search
+        search_scatter = dict(opened._plan_executor.last_scatter)
+        assert all(count <= TOP_K for count in search_scatter["per_shard_candidates"])
+
+        table = ResultTable(
+            f"E12 — per-shard candidates for TOP {TOP_K} over {SHARDS} shards",
+            ["query", "per-shard candidates", "total shipped", "bound"],
+        )
+        plan_counts = plan_scatter["per_shard_rows"][0]
+        table.add_row("spinql TOP", str(plan_counts), sum(plan_counts), TOP_K * SHARDS)
+        counts = search_scatter["per_shard_candidates"]
+        table.add_row("search top-k", str(counts), sum(counts), TOP_K * SHARDS)
+        table.print()
+
+        artifacts.write_metrics(
+            "E12",
+            {
+                "shards": SHARDS,
+                "top_k": TOP_K,
+                "plan_per_shard_candidates": plan_counts,
+                "search_per_shard_candidates": counts,
+                "bit_identical": True,
+            },
+        )
+        benchmark(lambda: opened.spinql(program).top(TOP_K))
+    finally:
+        opened.close()
+
+
+def _throughput(engine: Engine, queries, *, concurrency: int) -> float:
+    """Queries/second for a top-k search stream at the given client concurrency."""
+    def one(query: str):
+        return engine.search("docs", query).top(TOP_K)
+
+    started = time.perf_counter()
+    if concurrency <= 1:
+        for query in queries:
+            one(query)
+    else:
+        with ThreadPoolExecutor(max_workers=concurrency) as clients:
+            list(clients.map(one, queries))
+    return len(queries) / (time.perf_counter() - started)
+
+
+def test_e12_pool_throughput_scaling(benchmark, sharded_setup):
+    """Worker-pool throughput vs the single-process engine (core-gated)."""
+    engine, path, queries = sharded_setup
+    pooled = Engine.open_sharded(path, executor="pool")
+    try:
+        # warm both paths (statistics merge, worker spin-up)
+        engine.search("docs", queries[0]).top(TOP_K)
+        pooled.search("docs", queries[0]).top(TOP_K)
+        expected = engine.search("docs", queries[1]).top(TOP_K)
+        assert pooled.search("docs", queries[1]).top(TOP_K) == expected
+
+        single = _throughput(engine, queries, concurrency=1)
+        pool_serial = _throughput(pooled, queries, concurrency=1)
+        pool_concurrent = _throughput(pooled, queries, concurrency=SHARDS)
+        cores = _usable_cores()
+
+        table = ResultTable(
+            f"E12 — search throughput, {SHARDS}-shard pool vs single process "
+            f"({cores} cores)",
+            ["mode", "queries/s", "vs single"],
+        )
+        table.add_row("single process", f"{single:.1f}", 1.0)
+        table.add_row("pool, 1 client", f"{pool_serial:.1f}", pool_serial / single)
+        table.add_row(
+            f"pool, {SHARDS} clients", f"{pool_concurrent:.1f}", pool_concurrent / single
+        )
+        table.print()
+
+        artifacts.write_metrics(
+            "E12",
+            {
+                "cores": cores,
+                "single_process_qps": round(single, 2),
+                "pool_serial_qps": round(pool_serial, 2),
+                "pool_concurrent_qps": round(pool_concurrent, 2),
+            },
+        )
+        benchmark(lambda: pooled.search("docs", queries[0]).top(TOP_K))
+
+        if cores < SHARDS:
+            pytest.skip(
+                f"pool-scaling assertion needs >= {SHARDS} usable cores, got {cores} "
+                f"(measured: single {single:.1f} q/s, pool {pool_concurrent:.1f} q/s)"
+            )
+        assert pool_concurrent > single
+    finally:
+        pooled.close()

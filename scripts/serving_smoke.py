@@ -1,0 +1,121 @@
+"""Serving smoke check: router + workers over a sharded toy snapshot.
+
+Boots the full serving stack — partitioned snapshot, worker pool, router,
+threaded HTTP front end — runs a stream of queries over the socket, and
+asserts the answers are identical to in-process execution.  Exits non-zero
+on any mismatch, so CI can gate on it.
+
+Usage::
+
+    python scripts/serving_smoke.py [--shards 2] [--workers 2] [--lots 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--lots", type=int, default=200)
+    args = parser.parse_args()
+
+    from repro.engine import Engine
+    from repro.relational.column import Column, DataType
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Field, Schema
+    from repro.serving import Router
+    from repro.workloads import generate_auction_triples
+
+    workload = generate_auction_triples(args.lots, seed=37)
+    source = Engine.from_triples(workload.triples)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    source.create_table(
+        "docs",
+        Relation(
+            schema,
+            [
+                Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+                Column(list(workload.lot_descriptions.values()), DataType.STRING),
+            ],
+        ),
+    )
+    queries = [
+        " ".join(description.split()[:3])
+        for description in list(workload.lot_descriptions.values())[:8]
+    ]
+    source.search("docs", queries[0]).execute()
+
+    snapshot = Path(tempfile.mkdtemp(prefix="repro-serving-smoke-")) / "snapshot"
+    source.save(snapshot, shards=args.shards)
+    print(f"sharded snapshot: {snapshot} ({args.shards} shards)")
+
+    engine = Engine.open_sharded(snapshot, executor="pool", workers=args.workers)
+    router = Router(engine, max_concurrent=args.workers)
+    server, _thread = router.start(port=0)
+    port = server.server_address[1]
+    print(f"router: http://127.0.0.1:{port} {engine.executor_info()}")
+
+    failures = 0
+    try:
+        health = json.loads(
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=30).read()
+        )
+        assert health["ok"], health
+
+        for query in queries:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps(
+                    {"kind": "search", "table": "docs", "query": query, "top_k": 5}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            reply = json.loads(urllib.request.urlopen(request, timeout=60).read())
+            expected = [
+                [doc_id, score] for doc_id, score in source.search("docs", query).top(5)
+            ]
+            if not reply.get("ok") or reply["results"] != expected:
+                failures += 1
+                print(f"MISMATCH for {query!r}:\n  served   {reply}\n  expected {expected}")
+            else:
+                print(f"ok: {query!r} -> {reply['results'][0]}")
+
+        program = 'out = SELECT [$2="hasAuction"] (triples);'
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/query",
+            data=json.dumps({"kind": "spinql", "source": program, "top_k": 5}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        reply = json.loads(urllib.request.urlopen(request, timeout=60).read())
+        expected = [[item, p] for item, p in source.spinql(program).top(5)]
+        if not reply.get("ok") or reply["results"] != expected:
+            failures += 1
+            print(f"MISMATCH for spinql:\n  served   {reply}\n  expected {expected}")
+        else:
+            print(f"ok: spinql top-5 -> {reply['results'][0]}")
+
+        stats = router.statistics()
+        print(f"router statistics: {stats}")
+        assert stats["served"] == len(queries) + 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        router.close()
+
+    if failures:
+        print(f"FAILED: {failures} mismatches")
+        return 1
+    print("serving smoke passed: socket answers identical to in-process execution")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,11 @@ The package is organised along the paper's sections:
   the toy (Figure 2) and auction (Figure 3) strategies pre-built;
 * :mod:`repro.storage` — persistent columnar snapshots: versioned,
   memmap-backed serialization of the whole engine state
-  (``Engine.save``/``Engine.open``), new in 1.2;
+  (``Engine.save``/``Engine.open``), new in 1.2; partitioned (sharded)
+  snapshots (``Engine.save(path, shards=N)``) new in 1.3;
+* :mod:`repro.serving` — multi-process serving, new in 1.3: worker pools
+  over sharded snapshots, scatter-gather executors, and an
+  admission-controlled HTTP router (``python -m repro serve``);
 * :mod:`repro.workloads` — synthetic data generators standing in for the
   paper's proprietary collections;
 * :mod:`repro.bench` — the benchmark harness.
@@ -69,6 +73,13 @@ raises :class:`~repro.errors.SnapshotVersionError` with a "rebuild or
 upgrade" message rather than guessing at layouts.  Treat snapshots as a
 fast boot medium, not an archival format — the CSV/text sources stay
 canonical.
+
+Version 1.3 bumps ``FORMAT_VERSION`` to 2 for the partitioned layout
+(shard maps, per-shard row-index relations, statistics split by document
+partition).  Version-1 snapshots are refused with the "rebuild or upgrade"
+message — re-save them from source data (``Engine.save``) or read them
+with a 1.2 library; there is no in-place migration, by policy: snapshots
+are cheap to rebuild and silent partial upgrades are not.
 """
 
 from repro.errors import EngineError, ReproError
@@ -93,7 +104,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # the public facade

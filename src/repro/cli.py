@@ -81,9 +81,18 @@ def _run_scenario(
 
 
 def _snapshot_engine(args: argparse.Namespace) -> Engine | None:
-    """Open the ``--from-snapshot`` engine, or ``None`` when the flag is absent."""
+    """Open the ``--from-snapshot`` engine, or ``None`` when the flag is absent.
+
+    Partitioned snapshots are detected from their shard map and opened
+    behind the in-process scatter-gather executor, so every subcommand
+    works against both layouts.
+    """
+    from repro.storage.shards import is_sharded_snapshot
+
     if not getattr(args, "from_snapshot", None):
         return None
+    if is_sharded_snapshot(args.from_snapshot):
+        return Engine.open_sharded(args.from_snapshot)
     return Engine.open(args.from_snapshot)
 
 
@@ -221,18 +230,102 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         else:
             workload = generate_expert_triples(args.people, args.documents, seed=args.seed)
             engine = Engine.from_triples(workload.triples)
-    path = engine.save(args.out)
+    path = engine.save(args.out, shards=args.shards)
     payload = {
         "command": "snapshot",
         "path": str(path),
         "triples": engine.store.num_triples,
         "tables": engine.database.table_names(),
+        "shards": args.shards,
     }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(f"snapshot written to {path} ({payload['triples']} triples, "
               f"{len(payload['tables'])} tables)")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Re-partition a snapshot (plain or sharded) into an N-shard layout."""
+    from repro.storage.shards import is_sharded_snapshot, read_shard_map
+
+    if not args.from_snapshot:
+        raise EngineError("shard needs --from-snapshot DIR (the snapshot to re-partition)")
+    if is_sharded_snapshot(args.from_snapshot):
+        engine = Engine.open_sharded(args.from_snapshot)
+    else:
+        engine = Engine.open(args.from_snapshot)
+    try:
+        path = engine.save(args.out, shards=args.shards)
+    finally:
+        engine.close()
+    shard_map = read_shard_map(path)
+    payload = {
+        "command": "shard",
+        "path": str(path),
+        "shards": shard_map.num_shards,
+        "tables": {name: shard_map.shard_keys[name] for name in shard_map.table_names},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"sharded snapshot written to {path} ({shard_map.num_shards} shards; "
+              f"shard keys: {payload['tables']})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot a router (and worker pool) over a sharded snapshot and serve HTTP."""
+    import tempfile
+
+    from repro.serving import Router
+    from repro.storage.shards import is_sharded_snapshot
+
+    if not args.from_snapshot:
+        raise EngineError("serve needs --from-snapshot DIR (a snapshot to serve)")
+    path = args.from_snapshot
+    if not is_sharded_snapshot(path):
+        shards = args.shards or 2
+        staging = tempfile.mkdtemp(prefix="repro-serve-shards-")
+        print(f"partitioning {path} into {shards} shards under {staging} ...",
+              file=sys.stderr)
+        source = Engine.open(path)
+        try:
+            path = str(source.save(staging, shards=shards))
+        finally:
+            source.close()
+    elif args.shards:
+        raise EngineError(
+            "--shards re-partitions an unsharded snapshot; this snapshot is already "
+            "sharded (use the `shard` subcommand to change its layout)"
+        )
+    engine = Engine.open_sharded(
+        path,
+        executor="pool" if args.workers != 0 else "sharded",
+        workers=args.workers or None,
+    )
+    router = Router(
+        engine, max_concurrent=args.max_concurrent, max_queue=args.max_queue
+    )
+    server = router.serve(args.host, args.port)
+    info = {
+        "command": "serve",
+        "endpoint": f"http://{args.host}:{server.server_address[1]}",
+        "snapshot": path,
+        "executor": engine.executor_info(),
+    }
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        print(f"serving {path} at {info['endpoint']} ({info['executor']})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        router.close()
     return 0
 
 
@@ -329,8 +422,46 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--people", type=int, default=60)
     snapshot.add_argument("--documents", type=int, default=500)
     snapshot.add_argument("--seed", type=int, default=21)
+    snapshot.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="write a partitioned snapshot with this many shards (see `repro serve`)",
+    )
     _add_common(snapshot, top=False)
     snapshot.set_defaults(handler=_cmd_snapshot)
+
+    shard = subparsers.add_parser(
+        "shard", help="re-partition an existing snapshot into N shards"
+    )
+    shard.add_argument("--out", required=True, help="directory for the sharded snapshot")
+    shard.add_argument("--shards", type=int, required=True, help="number of shards")
+    _add_common(shard, top=False)
+    shard.set_defaults(handler=_cmd_shard)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a (sharded) snapshot over HTTP with a worker pool"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition an unsharded --from-snapshot into this many shards first",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: one per shard; 0 = in-process sharded executor)",
+    )
+    serve.add_argument("--max-concurrent", type=int, default=4,
+                       help="requests executing at once (admission control)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="requests allowed to wait before load is shed (HTTP 503)")
+    _add_common(serve, top=False)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -66,12 +66,24 @@ for advanced use; see the deprecation policy in :mod:`repro`.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.errors import EngineError, ReproError
+from repro.engine.executors import (
+    InProcessShard,
+    LocalExecutor,
+    PlanExecutor,
+    PoolExecutor,
+    SearchSpec,
+    ShardedExecutor,
+    gather_table,
+    gather_triples,
+)
 from repro.engine.plan_cache import PlanCache, PlanCacheStatistics
 from repro.engine.query import (
     Query,
@@ -159,6 +171,14 @@ class Engine:
         self._executor: StrategyExecutor | None = None
         self._search_engines: dict[tuple, Any] = {}
         self._rank_blocks: dict[tuple, Any] = {}
+        self._plan_executor: PlanExecutor = LocalExecutor(self)
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._thread_pool_size = 0
+        self._shard_thread_pool: ThreadPoolExecutor | None = None
+        self._shard_thread_pool_size = 0
+        self._retired_pools: list[ThreadPoolExecutor] = []
+        self._lifecycle_lock = threading.Lock()
+        self._closed = False
 
     # -- construction -----------------------------------------------------------------
 
@@ -220,16 +240,137 @@ class Engine:
         for block in self._rank_blocks.values():
             block.clear_statistics()
 
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every resource this session owns.
+
+        Shuts down the engine's thread pool and its executor (in-process
+        shard engines or worker processes), drops caches, and releases the
+        catalog's table references so memmap-backed snapshot buffers can be
+        unmapped.  A closed engine rejects further queries; closing twice is
+        a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._lifecycle_lock:
+            pools = [self._thread_pool, self._shard_thread_pool, *self._retired_pools]
+            self._thread_pool = None
+            self._shard_thread_pool = None
+            self._retired_pools = []
+            self._thread_pool_size = 0
+            self._shard_thread_pool_size = 0
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        try:
+            self._plan_executor.close()
+        finally:
+            self.plan_cache.clear()
+            self._search_engines.clear()
+            self._rank_blocks.clear()
+            self.database.clear_cache()
+            self.database.catalog.release()
+            self.store._triples_list = []
+            self.store._triples_loader = None
+            self.store._loaded = False
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise EngineError("engine is closed; open a new session to run queries")
+
+    def _batch_pool(self, max_workers: int) -> ThreadPoolExecutor:
+        """The engine-owned thread pool behind ``execute_many``/``top_many``.
+
+        Created lazily and reused across calls, so thread lifecycle is paid
+        once per engine instead of once per call; :meth:`close` shuts it
+        down.  Deliberately *not* shared with the sharded executors' scatter
+        step (:meth:`_shard_pool`): batch tasks scatter from inside their
+        pool threads, and a shared bounded pool would deadlock once every
+        thread held a batch task waiting on inner scatter futures.
+        """
+        with self._lifecycle_lock:
+            self._thread_pool, self._thread_pool_size = self._grown_pool(
+                self._thread_pool, self._thread_pool_size, max_workers, "repro-engine"
+            )
+            return self._thread_pool
+
+    def _shard_pool(self, max_workers: int) -> ThreadPoolExecutor:
+        """The engine-owned pool for fanning one query out across shards."""
+        with self._lifecycle_lock:
+            self._shard_thread_pool, self._shard_thread_pool_size = self._grown_pool(
+                self._shard_thread_pool,
+                self._shard_thread_pool_size,
+                max_workers,
+                "repro-shard",
+            )
+            return self._shard_thread_pool
+
+    def _grown_pool(
+        self,
+        pool: ThreadPoolExecutor | None,
+        size: int,
+        max_workers: int,
+        prefix: str,
+    ) -> tuple[ThreadPoolExecutor, int]:
+        """Grow-only pool management; caller holds the lifecycle lock.
+
+        An outgrown pool is retired, not shut down: a concurrent caller may
+        already hold a reference and be about to submit, and submitting to a
+        shut-down executor raises.  Retired pools are drained in
+        :meth:`close`.
+        """
+        self._require_open()
+        if pool is None or size < max_workers:
+            if pool is not None:
+                self._retired_pools.append(pool)
+            pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix=prefix)
+            size = max_workers
+        return pool, size
+
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
+    def save(
+        self,
+        path: str | Path,
+        *,
+        shards: int | None = None,
+        shard_keys: Mapping[str, str] | None = None,
+    ) -> Path:
         """Snapshot the whole session: tables, triples, config, warm caches.
 
         The snapshot is a versioned directory (see :mod:`repro.storage`);
         :meth:`open` restores it with lazy, memmap-backed hydration, so a
         worker process boots from it in milliseconds instead of re-parsing
         CSV/text.
+
+        With ``shards=N`` the snapshot is written in the *partitioned*
+        layout instead (see :mod:`repro.storage.shards`): every base table
+        is split by hash range on its shard key (first column unless
+        overridden via ``shard_keys``), postings of warm collection
+        statistics are split by the document partition, and each shard is a
+        self-contained snapshot directory under a top-level shard map.
+        Open it with :meth:`open_sharded` (scatter-gather execution),
+        :meth:`open_shard` (one shard as a standalone engine), or serve it
+        with :mod:`repro.serving`.
         """
+        if shards is not None:
+            from repro.storage.shards import save_sharded_engine
+
+            return save_sharded_engine(
+                self, path, shards=shards, shard_keys=dict(shard_keys or {})
+            )
         from repro.storage.engine_io import save_engine
 
         return save_engine(self, path)
@@ -249,6 +390,95 @@ class Engine:
         from repro.storage.engine_io import open_engine
 
         return open_engine(path, mmap=mmap, **engine_kwargs)
+
+    @classmethod
+    def open_shard(
+        cls, path: str | Path, shard: int, *, mmap: bool = True
+    ) -> "Engine":
+        """Open one shard of a partitioned snapshot as a standalone engine.
+
+        The shard is a complete engine over its fragment of the data —
+        useful for worker processes and for inspecting a partition; for
+        global answers use :meth:`open_sharded`.
+        """
+        from repro.storage.shards import open_shard
+
+        return open_shard(path, shard, mmap=mmap)
+
+    @classmethod
+    def open_sharded(
+        cls,
+        path: str | Path,
+        *,
+        executor: str = "sharded",
+        workers: int | None = None,
+        mmap: bool = True,
+        **engine_kwargs: Any,
+    ) -> "Engine":
+        """Open a partitioned snapshot behind a scatter-gather executor.
+
+        ``executor="sharded"`` memmaps every shard in this process;
+        ``executor="pool"`` boots persistent worker processes (``workers``
+        of them, default one per shard), each memmapping its own shard and
+        fed over pipes.  Either way the returned engine answers every query
+        bit-identically to the unsharded engine: row-local plan segments
+        (select/weight chains, rank-aware TOP) and keyword ranking scatter
+        to the shards; everything else runs on the coordinator over
+        gather-reconstructed tables.  Raises
+        :class:`~repro.errors.StorageError` for a missing or corrupt shard
+        map.
+        """
+        from repro.storage.format import read_manifest
+        from repro.storage.shards import read_shard_map, shard_rowids
+        from repro.triples.partitioning import make_storage
+
+        shard_map = read_shard_map(path)
+        manifest = read_manifest(shard_map.shard_directories[0], "engine")
+        engine = cls(
+            triples_table=manifest["triples_table"],
+            language=manifest["language"],
+            **engine_kwargs,
+        )
+        if executor == "pool":
+            from repro.serving.pool import WorkerPool
+
+            pool = WorkerPool(shard_map, workers=workers, mmap=mmap)
+            plan_executor: PlanExecutor = PoolExecutor(engine, shard_map, pool)
+        elif executor == "sharded":
+            backends = [
+                InProcessShard(
+                    cls.open(shard_map.shard_directories[index], mmap=mmap),
+                    shard_rowids(shard_map, index),
+                )
+                for index in range(shard_map.num_shards)
+            ]
+            plan_executor = ShardedExecutor(engine, shard_map, backends)
+        else:
+            raise EngineError(
+                f"unknown executor {executor!r}; use 'sharded' or 'pool'"
+            )
+        engine._plan_executor = plan_executor
+
+        # coordinator tables hydrate on demand by gathering shard fragments
+        # back into exact original row order (the bit-identity fallback path)
+        for name in shard_map.table_names:
+            engine.database.catalog.create_lazy_table(
+                name,
+                lambda name=name: gather_table(plan_executor.backends, name),
+            )
+
+        # the triple store reuses the shard layout's storage strategy; the
+        # triple list itself gathers lazily on first access
+        store_manifest = read_manifest(shard_map.shard_directories[0] / "store", "triple-store")
+        storage = make_storage(store_manifest["storage"]["name"])
+        storage.restore_state(store_manifest["storage"]["state"])
+        engine.store.storage = storage
+        engine.store.table_name = store_manifest["table_name"]
+        engine.store.adopt_snapshot(lambda: gather_triples(plan_executor.backends))
+
+        for entry in manifest["spinql"]:
+            engine._compile_spinql(entry["source"], frozenset(entry["parameters"]))
+        return engine
 
     # -- front ends -------------------------------------------------------------------
 
@@ -399,12 +629,76 @@ class Engine:
     def _evaluate(
         self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
     ) -> ProbabilisticRelation:
-        return self._evaluator.evaluate(plan, bindings=bindings or None)
+        """Run an (already optimized) plan through the engine's executor."""
+        self._require_open()
+        return self._plan_executor.execute_plan(plan, bindings or None)
 
     def _execute_plan(
         self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
     ) -> ProbabilisticRelation:
         return self._evaluate(self._optimize_plan(plan), bindings)
+
+    def executor_info(self) -> dict[str, Any]:
+        """A description of the plan executor (kind, shard/worker counts)."""
+        return self._plan_executor.describe()
+
+    def _search_sharded(
+        self,
+        *,
+        table: str,
+        query: str,
+        model: Any | None,
+        pipeline: str,
+        top_k: int | None,
+        expander: Any | None,
+        id_column: str,
+        text_column: str,
+    ) -> Any | None:
+        """Scatter a keyword query to the shards, or ``None`` on the local path.
+
+        Query analysis and expansion run on the coordinator (they only need
+        the analyzer and the expander); per-shard ranking uses the global
+        statistics reduce, so the merged result is bit-identical to the
+        unsharded search.
+        """
+        import time
+
+        from repro.ir.search import SearchResult
+
+        self._require_open()
+        if not isinstance(self._plan_executor, (ShardedExecutor, PoolExecutor)):
+            return None
+        started = time.perf_counter()
+        searcher = self._search_engine(
+            table,
+            model=model,
+            pipeline=pipeline,
+            expander=expander,
+            id_column=id_column,
+            text_column=text_column,
+        )
+        base_terms, expanded_terms, terms = searcher.query_terms(query)
+        spec = SearchSpec(
+            table=table,
+            terms=list(terms),
+            top_k=top_k,
+            pipeline=pipeline,
+            id_column=id_column,
+            text_column=text_column,
+            model=model,
+        )
+        was_warm = self._plan_executor.has_global_statistics(spec)
+        ranked = self._plan_executor.search(spec)
+        if ranked is None:
+            return None
+        return SearchResult(
+            query=query,
+            query_terms=list(base_terms),
+            ranked=ranked,
+            elapsed_seconds=time.perf_counter() - started,
+            statistics_were_cached=was_warm,
+            expanded_terms=list(expanded_terms),
+        )
 
     def _value_columns_of(self, name: str) -> list[str]:
         try:

@@ -1,0 +1,599 @@
+"""Plan executors: local, sharded scatter-gather, and worker-pool execution.
+
+:meth:`Engine._execute_plan` no longer evaluates plans directly — it hands
+the *optimized* plan to the engine's executor, one of three implementations
+of the same interface:
+
+* :class:`LocalExecutor` — the single-engine path (exactly the old
+  behaviour): evaluate the plan against the engine's own database.
+* :class:`ShardedExecutor` — scatter-gather over per-shard engines opened
+  from a partitioned snapshot *in this process*.
+* :class:`PoolExecutor` — the same scatter-gather over a pool of persistent
+  worker processes, each memmapping its own shard
+  (:mod:`repro.serving.pool`).
+
+**The bit-identity contract.**  Sharded execution must return exactly what
+the unsharded engine returns — scores, rows and tie order.  The merge
+kernels (``group_codes``/``group_segments``) are input-row-order-sensitive
+(stable sorts, first-seen group numbering), so the executors never let a
+duplicate-merging operator see shard-reordered input.  Instead:
+
+* only **row-local** plan segments are scattered — maximal
+  ``SELECT``/``WEIGHT`` chains directly above a scan of a partitioned
+  table, optionally capped by a single ``TOP`` (the shape the PR-3
+  optimizer produces by pushing TOP past weights and fusing selects);
+* every scattered fragment carries a hidden trailing value column holding
+  each row's **original row index** (appended after the real value columns,
+  so 1-based positional references are unchanged);
+* the gather step reassembles fragments **in original row order** (concat +
+  sort by the hidden column, then drop it) — bit-exactly the relation the
+  unsharded plan would have produced at that point — and the remainder of
+  the plan runs on the coordinator.
+
+For a ``TOP k`` segment each shard returns at most ``k`` candidates and the
+gather takes the global top ``k`` with the same deterministic tie order
+(probability descending, value columns ascending, original row index last —
+which is exactly the stable-input-order tie-break of the local path).
+
+Keyword search scatters differently: each shard ranks its own documents
+against **global** collection statistics
+(:class:`~repro.ir.statistics.ShardCollectionStatistics`), so per-document
+scores are bit-identical, and the ranked merge breaks score ties by global
+document index — the same order the unsharded accumulator produces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.ir.ranking import BM25Model, LanguageModel
+from repro.ir.ranking.base import RankedList, RankingModel
+from repro.ir.statistics import CollectionStatistics, GlobalStatistics, ShardCollectionStatistics
+from repro.pra import operators as pra_operators
+from repro.pra.evaluator import PRAEvaluator
+from repro.pra.plan import PraParam, PraPlan, PraScan, PraSelect, PraTop, PraWeight
+from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import Engine
+    from repro.storage.shards import ShardMap, ShardRowids
+
+#: hidden trailing value column carrying original row indices through a scatter
+GATHER_ROW_COLUMN = "__shard_row__"
+
+#: parameter name binding a shard's augmented fragment into a segment plan
+FRAGMENT_PARAM = "__shard_fragment__"
+
+
+# ---------------------------------------------------------------------------
+# search specs (shared by the engine facade, the executors, and the workers)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SearchSpec:
+    """Everything a shard needs to rank one keyword query."""
+
+    table: str
+    terms: list[str]
+    top_k: int | None = None
+    pipeline: str = "direct"
+    id_column: str = "docID"
+    text_column: str = "data"
+    model: RankingModel | None = None
+
+
+def model_from_descriptor(descriptor: dict[str, Any] | None) -> RankingModel | None:
+    """Rebuild a ranking model from its ``describe()`` dict (JSON requests).
+
+    Returns ``None`` (meaning: the default model) when the descriptor is
+    absent is handled by returning a fresh BM25; an unknown model name
+    yields ``None`` so the router can reject the request cleanly.
+    """
+    if descriptor is None:
+        return BM25Model()
+    name = descriptor.get("model")
+    if name == "bm25":
+        return BM25Model(k1=float(descriptor["k1"]), b=float(descriptor["b"]))
+    if name == "lm":
+        return LanguageModel(
+            smoothing=str(descriptor["smoothing"]),
+            mu=float(descriptor["mu"]),
+            lam=float(descriptor["lambda"]),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# scatter planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScatterSegment:
+    """One scatterable subtree: a row-local chain over a partitioned scan."""
+
+    plan: PraPlan  # the original subtree (chain, optionally under one TOP)
+    table: str
+    top_k: int | None = None  # set when the subtree root is a TOP node
+
+    def shard_plan(self) -> PraPlan:
+        """The per-shard plan: the same chain with the scan leaf replaced
+        by the fragment parameter."""
+        return _replace_scan(self.plan, PraParam(FRAGMENT_PARAM))
+
+    def gather(self, results: Sequence[ProbabilisticRelation]) -> ProbabilisticRelation:
+        if self.top_k is not None:
+            return gather_top(results, self.top_k)
+        return gather_concat(results)
+
+
+def _chain_table(plan: PraPlan, partitioned: Callable[[str], bool]) -> str | None:
+    """The partitioned table under a pure SELECT/WEIGHT chain, else ``None``."""
+    node = plan
+    while isinstance(node, (PraSelect, PraWeight)):
+        node = node.child
+    if isinstance(node, PraScan) and partitioned(node.table):
+        return node.table
+    return None
+
+
+def _replace_scan(plan: PraPlan, leaf: PraPlan) -> PraPlan:
+    if isinstance(plan, PraScan):
+        return leaf
+    if isinstance(plan, PraSelect):
+        return PraSelect(_replace_scan(plan.child, leaf), plan.predicate)
+    if isinstance(plan, PraWeight):
+        return PraWeight(_replace_scan(plan.child, leaf), plan.factor)
+    if isinstance(plan, PraTop):
+        return PraTop(_replace_scan(plan.child, leaf), plan.k)
+    raise EngineError(f"cannot scatter plan node {type(plan).__name__}")
+
+
+def match_segment(plan: PraPlan, partitioned: Callable[[str], bool]) -> ScatterSegment | None:
+    """Match the largest scatterable segment rooted at ``plan``."""
+    if isinstance(plan, PraTop):
+        table = _chain_table(plan.child, partitioned)
+        if table is not None:
+            return ScatterSegment(plan, table, top_k=plan.k)
+    table = _chain_table(plan, partitioned)
+    if table is not None:
+        return ScatterSegment(plan, table)
+    return None
+
+
+def extract_segments(
+    plan: PraPlan,
+    partitioned: Callable[[str], bool],
+    segments: list[tuple[str, ScatterSegment]],
+) -> PraPlan:
+    """Replace every scatterable segment with a gather parameter.
+
+    Returns the rewritten coordinator plan; ``segments`` collects
+    ``(parameter name, segment)`` pairs in discovery order.
+    """
+    segment = match_segment(plan, partitioned)
+    if segment is not None:
+        name = f"__gather_{len(segments)}__"
+        segments.append((name, segment))
+        return PraParam(name)
+    children = plan.children()
+    if not children:
+        return plan
+    rebuilt = [extract_segments(child, partitioned, segments) for child in children]
+    if all(new is old for new, old in zip(rebuilt, children)):
+        return plan
+    return _with_children(plan, rebuilt)
+
+
+def _with_children(plan: PraPlan, children: list[PraPlan]) -> PraPlan:
+    from repro.pra.plan import (
+        PraBayes,
+        PraJoin,
+        PraProject,
+        PraSubtract,
+        PraUnite,
+    )
+
+    if isinstance(plan, PraSelect):
+        return PraSelect(children[0], plan.predicate)
+    if isinstance(plan, PraProject):
+        return PraProject(children[0], plan.positions, plan.assumption, plan.output_names)
+    if isinstance(plan, PraJoin):
+        return PraJoin(children[0], children[1], plan.conditions, plan.assumption)
+    if isinstance(plan, PraUnite):
+        return PraUnite(children[0], children[1], plan.assumption)
+    if isinstance(plan, PraSubtract):
+        return PraSubtract(children[0], children[1])
+    if isinstance(plan, PraBayes):
+        return PraBayes(children[0], plan.evidence_positions)
+    if isinstance(plan, PraWeight):
+        return PraWeight(children[0], plan.factor)
+    if isinstance(plan, PraTop):
+        return PraTop(children[0], plan.k)
+    raise EngineError(f"cannot rebuild plan node {type(plan).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# gather kernels
+# ---------------------------------------------------------------------------
+
+
+def augment_fragment(relation: Relation, rowids: np.ndarray) -> ProbabilisticRelation:
+    """Lift a table fragment and append its original-row-index column.
+
+    The index column sits *after* the real value columns and *before* ``p``,
+    so 1-based positional references in predicates are unchanged, and the
+    deterministic tie-break (value columns in order, index last) reproduces
+    the stable input-order tie-break of unsharded evaluation.
+    """
+    lifted = ProbabilisticRelation.lift(relation)
+    augmented = (
+        lifted.values_relation()
+        .with_column(GATHER_ROW_COLUMN, Column(np.asarray(rowids, dtype=np.int64), DataType.INT))
+        .with_column(PROBABILITY_COLUMN, Column(lifted.probabilities(), DataType.FLOAT))
+    )
+    return ProbabilisticRelation(augmented, validate=False)
+
+
+def _concat_results(results: Sequence[ProbabilisticRelation]) -> Relation:
+    relation = results[0].relation
+    for result in results[1:]:
+        relation = relation.concat(result.relation)
+    return relation
+
+
+def _drop_row_column(relation: Relation) -> ProbabilisticRelation:
+    return ProbabilisticRelation(relation.without_column(GATHER_ROW_COLUMN), validate=False)
+
+
+def gather_concat(results: Sequence[ProbabilisticRelation]) -> ProbabilisticRelation:
+    """Reassemble row-local shard results in exact original row order."""
+    relation = _concat_results(results)
+    if relation.num_rows:
+        order = np.argsort(
+            np.asarray(relation.column(GATHER_ROW_COLUMN).values, dtype=np.int64),
+            kind="stable",
+        )
+        relation = relation.take(order)
+    return _drop_row_column(relation)
+
+
+def gather_top(results: Sequence[ProbabilisticRelation], k: int) -> ProbabilisticRelation:
+    """Merge per-shard top-k candidate lists into the global top ``k``.
+
+    Each input holds at most ``k`` rows; the merge reuses the rank-aware
+    top-k kernel, whose tie order (probability descending, value columns
+    ascending — original row index last, thanks to the hidden column) is
+    exactly the local path's stable tie-break.
+    """
+    merged = ProbabilisticRelation(_concat_results(results), validate=False)
+    return _drop_row_column(pra_operators.top(merged, k).relation)
+
+
+def merge_ranked(
+    shard_results: Sequence[tuple[list[Any], np.ndarray, np.ndarray]],
+    top_k: int | None,
+) -> RankedList:
+    """Merge per-shard ranked lists deterministically.
+
+    Each entry is ``(doc_ids, scores, global_doc_indices)``.  The merged
+    order is score descending with ties broken by ascending global document
+    index — identical to the unsharded accumulator's stable sort over
+    index-ordered documents.
+    """
+    doc_ids: list[Any] = []
+    scores_parts: list[np.ndarray] = []
+    index_parts: list[np.ndarray] = []
+    for ids, scores, indices in shard_results:
+        doc_ids.extend(ids)
+        scores_parts.append(np.asarray(scores, dtype=np.float64))
+        index_parts.append(np.asarray(indices, dtype=np.int64))
+    if not doc_ids:
+        return RankedList([], np.empty(0, dtype=np.float64))
+    scores = np.concatenate(scores_parts)
+    indices = np.concatenate(index_parts)
+    order = np.lexsort((indices, -scores))
+    if top_k is not None:
+        order = order[:top_k]
+    return RankedList([doc_ids[i] for i in order], scores[order])
+
+
+def rank_shard(
+    statistics: CollectionStatistics,
+    global_statistics: GlobalStatistics,
+    doc_rowids: np.ndarray,
+    terms: Sequence[str],
+    model: RankingModel,
+    top_k: int | None,
+) -> tuple[list[Any], np.ndarray, np.ndarray]:
+    """Rank one shard's documents against global statistics.
+
+    Returns ``(doc_ids, scores, global_doc_indices)`` for the shard's (at
+    most ``top_k``) best documents; scores are bit-identical to what the
+    unsharded engine computes for the same documents.
+    """
+    shard_view = ShardCollectionStatistics(statistics, global_statistics)
+    ranked = model.rank(shard_view, terms, top_k=top_k)
+    position_of = statistics.doc_positions()  # built once per statistics object
+    global_indices = np.asarray(
+        [doc_rowids[position_of[doc_id]] for doc_id in ranked.doc_ids], dtype=np.int64
+    )
+    return list(ranked.doc_ids), np.asarray(ranked.scores, dtype=np.float64), global_indices
+
+
+def gather_table(backends: Sequence[Any], table: str) -> Relation:
+    """Reconstruct the full unsharded table from shard fragments, bit-exactly.
+
+    Fragments preserve ascending original row order, so concatenating them
+    and sorting by the per-shard original-row-index arrays reproduces the
+    source table's exact rows and order.  This is the coordinator's lazy
+    hydration path for plan shapes that cannot scatter (joins, merges).
+    """
+    parts = [backend.fragment(table) for backend in backends]
+    relation = parts[0][0]
+    for fragment, _rows in parts[1:]:
+        relation = relation.concat(fragment)
+    rows = np.concatenate([np.asarray(rows, dtype=np.int64) for _fragment, rows in parts])
+    if len(rows):
+        relation = relation.take(np.argsort(rows, kind="stable"))
+    return relation
+
+
+def gather_triples(backends: Sequence[Any]) -> list:
+    """Reconstruct the full triple list from shard fragments, in source order."""
+    triples: list = []
+    rows_parts: list[np.ndarray] = []
+    for backend in backends:
+        fragment, rows = backend.triples_fragment()
+        triples.extend(fragment)
+        rows_parts.append(np.asarray(rows, dtype=np.int64))
+    if not triples:
+        return []
+    order = np.argsort(np.concatenate(rows_parts), kind="stable")
+    return [triples[index] for index in order]
+
+
+# ---------------------------------------------------------------------------
+# shard backends
+# ---------------------------------------------------------------------------
+
+
+class InProcessShard:
+    """A shard backend over a shard engine opened in this process."""
+
+    def __init__(self, engine: "Engine", rowids: "ShardRowids"):
+        self.engine = engine
+        self.rowids = rowids
+        self._evaluator = PRAEvaluator(engine.database)
+        self._fragments: dict[str, ProbabilisticRelation] = {}
+
+    def _augmented(self, table: str) -> ProbabilisticRelation:
+        fragment = self._fragments.get(table)
+        if fragment is None:
+            fragment = augment_fragment(self.engine.database.table(table), self.rowids.get(table))
+            self._fragments[table] = fragment
+        return fragment
+
+    def evaluate_segment(self, plan: PraPlan, table: str) -> ProbabilisticRelation:
+        return self._evaluator.evaluate(plan, bindings={FRAGMENT_PARAM: self._augmented(table)})
+
+    def fragment(self, table: str) -> tuple[Relation, np.ndarray]:
+        return self.engine.database.table(table), self.rowids.get(table)
+
+    def triples_fragment(self) -> tuple[list, np.ndarray]:
+        return list(self.engine.store._triples), self.rowids.get_store()
+
+    def _searcher(self, spec: SearchSpec):
+        return self.engine._search_engine(
+            spec.table,
+            model=None,
+            pipeline=spec.pipeline,
+            expander=None,
+            id_column=spec.id_column,
+            text_column=spec.text_column,
+        )
+
+    def statistics_summary(self, spec: SearchSpec) -> GlobalStatistics:
+        return GlobalStatistics.reduce([self._searcher(spec).statistics])
+
+    def search_shard(
+        self, spec: SearchSpec, global_statistics: GlobalStatistics
+    ) -> tuple[list[Any], np.ndarray, np.ndarray]:
+        model = spec.model if spec.model is not None else BM25Model()
+        return rank_shard(
+            self._searcher(spec).statistics,
+            global_statistics,
+            self.rowids.get(spec.table),
+            spec.terms,
+            model,
+            spec.top_k,
+        )
+
+    def close(self) -> None:
+        self._fragments.clear()
+        self.engine.close()
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+class PlanExecutor:
+    """The interface :meth:`Engine._execute_plan` dispatches to."""
+
+    kind = "abstract"
+
+    def execute_plan(
+        self,
+        plan: PraPlan,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+    ) -> ProbabilisticRelation:
+        raise NotImplementedError
+
+    def search(self, spec: SearchSpec) -> RankedList | None:
+        """Sharded ranking for ``spec``, or ``None`` to use the local path."""
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        return {"executor": self.kind}
+
+    def close(self) -> None:
+        """Release executor resources (worker pools, shard engines)."""
+
+
+class LocalExecutor(PlanExecutor):
+    """Single-engine evaluation: the pre-sharding behaviour, unchanged."""
+
+    kind = "local"
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+
+    def execute_plan(
+        self,
+        plan: PraPlan,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+    ) -> ProbabilisticRelation:
+        return self._engine._evaluator.evaluate(plan, bindings=bindings or None)
+
+
+class ScatterGatherExecutor(PlanExecutor):
+    """Shared scatter-gather logic over a set of shard backends."""
+
+    kind = "scatter-gather"
+
+    def __init__(self, engine: "Engine", shard_map: "ShardMap", backends: Sequence[Any]):
+        self._engine = engine
+        self.shard_map = shard_map
+        self.backends = list(backends)
+        self._global_statistics: dict[tuple, GlobalStatistics] = {}
+        self.last_scatter: dict[str, Any] = {}
+
+    # -- plans ------------------------------------------------------------------
+
+    def execute_plan(
+        self,
+        plan: PraPlan,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+    ) -> ProbabilisticRelation:
+        segments: list[tuple[str, ScatterSegment]] = []
+        rewritten = extract_segments(plan, self.shard_map.is_partitioned, segments)
+        self.last_scatter = {
+            "segments": len(segments),
+            "tables": [segment.table for _name, segment in segments],
+        }
+        if not segments:
+            return self._engine._evaluator.evaluate(rewritten, bindings=bindings or None)
+        gathered: dict[str, ProbabilisticRelation] = {}
+        shard_counts: list[list[int]] = []
+        for name, segment in segments:
+            shard_plan = segment.shard_plan()
+
+            def evaluate(backend, plan=shard_plan, table=segment.table):
+                return backend.evaluate_segment(plan, table)
+
+            results = self._map_backends(evaluate)
+            shard_counts.append([result.num_rows for result in results])
+            gathered[name] = segment.gather(results)
+        self.last_scatter["per_shard_rows"] = shard_counts
+        merged = dict(bindings or {})
+        merged.update(gathered)
+        return self._engine._evaluator.evaluate(rewritten, bindings=merged)
+
+    def _map_backends(self, operation: Callable[[Any], Any]) -> list[Any]:
+        if len(self.backends) == 1:
+            return [operation(backend) for backend in self.backends]
+        # the dedicated shard pool, never the batch pool: batch tasks call
+        # into here from inside the batch pool's own threads
+        pool = self._engine._shard_pool(len(self.backends))
+        return list(pool.map(operation, self.backends))
+
+    # -- search -----------------------------------------------------------------
+
+    def _search_supported(self, spec: SearchSpec) -> bool:
+        return self.shard_map.is_partitioned(spec.table)
+
+    @staticmethod
+    def _statistics_key(spec: SearchSpec) -> tuple:
+        return (spec.table, spec.pipeline, spec.id_column, spec.text_column)
+
+    def has_global_statistics(self, spec: SearchSpec) -> bool:
+        """True once the global reduce for this table/config has been merged."""
+        return self._statistics_key(spec) in self._global_statistics
+
+    def _global_for(self, spec: SearchSpec) -> GlobalStatistics:
+        key = self._statistics_key(spec)
+        cached = self._global_statistics.get(key)
+        if cached is None:
+            summaries = self._map_backends(lambda backend: backend.statistics_summary(spec))
+            cached = GlobalStatistics.merge(summaries)
+            self._global_statistics[key] = cached
+        return cached
+
+    def search(self, spec: SearchSpec) -> RankedList | None:
+        if not self._search_supported(spec):
+            return None
+        global_statistics = self._global_for(spec)
+        results = self._map_backends(
+            lambda backend: backend.search_shard(spec, global_statistics)
+        )
+        self.last_scatter = {
+            "search": spec.table,
+            "per_shard_candidates": [len(ids) for ids, _scores, _rows in results],
+        }
+        return merge_ranked(results, spec.top_k)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {"executor": self.kind, "shards": self.shard_map.num_shards}
+
+    def close(self) -> None:
+        errors: list[BaseException] = []
+        for backend in self.backends:
+            try:
+                backend.close()
+            except BaseException as error:  # noqa: BLE001 - collect, then re-raise
+                errors.append(error)
+        self.backends = []
+        if errors:
+            raise errors[0]
+
+
+class ShardedExecutor(ScatterGatherExecutor):
+    """Scatter-gather over per-shard engines living in this process."""
+
+    kind = "sharded"
+
+
+class PoolExecutor(ScatterGatherExecutor):
+    """Scatter-gather over persistent worker processes (one per shard set).
+
+    Backends are :class:`repro.serving.pool.PoolShard` proxies; the pool
+    itself (process lifecycle, pipes, codec) lives in
+    :mod:`repro.serving.pool`.
+    """
+
+    kind = "pool"
+
+    def __init__(self, engine: "Engine", shard_map: "ShardMap", pool: Any):
+        super().__init__(engine, shard_map, pool.shard_backends())
+        self._pool = pool
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["workers"] = self._pool.num_workers
+        return description
+
+    def close(self) -> None:
+        self.backends = []
+        self._pool.close()

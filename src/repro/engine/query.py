@@ -34,7 +34,6 @@ partial-sort kernel — the full ranked relation is never materialised.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import EngineError
@@ -174,8 +173,8 @@ class Query:
         if max_workers is None or max_workers <= 1 or len(batches) <= 1:
             return [self.execute(**batch) for batch in batches]
         self._prepare()
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(lambda batch: self.execute(**batch), batches))
+        pool = self._engine._batch_pool(max_workers)
+        return list(pool.map(lambda batch: self.execute(**batch), batches))
 
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
         """Execute and return the ``k`` best ``(item, probability)`` pairs.
@@ -200,8 +199,8 @@ class Query:
         if max_workers is None or max_workers <= 1 or len(batches) <= 1:
             return [self.top(k, **batch) for batch in batches]
         self._prepare()
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(lambda batch: self.top(k, **batch), batches))
+        pool = self._engine._batch_pool(max_workers)
+        return list(pool.map(lambda batch: self.top(k, **batch), batches))
 
     def explain(self) -> str:
         """Describe how the query will run (plans, translations, configuration)."""
@@ -551,9 +550,22 @@ class SearchQuery(Query):
         effective = query if query is not None else self._query
         if effective is None:
             raise EngineError("search() has no query; pass one to search() or execute()")
-        return self._search_engine().search(
-            effective, top_k=top_k if top_k is not None else self._top_k
+        k = top_k if top_k is not None else self._top_k
+        # on a sharded/pool engine the query scatters: shards rank their own
+        # documents against global statistics, the merge is bit-identical
+        sharded = self._engine._search_sharded(
+            table=self.table,
+            query=effective,
+            model=self._model,
+            pipeline=self._pipeline,
+            top_k=k,
+            expander=self._expander,
+            id_column=self._id_column,
+            text_column=self._text_column,
         )
+        if sharded is not None:
+            return sharded
+        return self._search_engine().search(effective, top_k=k)
 
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
         return self.execute(top_k=k, **parameters).top(k)

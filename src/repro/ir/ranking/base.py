@@ -115,8 +115,11 @@ class RankingModel:
             if all(bound is not None for bound in bounds):
                 suffix_bounds = np.cumsum(np.asarray(bounds, dtype=np.float64)[::-1])[::-1]
 
-        accumulator = np.zeros(statistics.num_docs, dtype=np.float64)
-        matched = np.zeros(statistics.num_docs, dtype=bool)
+        # sized to the *local* posting slots: on a shard-local statistics view
+        # num_docs is the global count (the formulas need it) but the posting
+        # arrays only index this collection's own documents
+        accumulator = np.zeros(statistics.accumulator_size, dtype=np.float64)
+        matched = np.zeros(statistics.accumulator_size, dtype=bool)
         matched_count = 0
         for position, term in enumerate(query_terms):
             doc_indices, frequencies = statistics.postings_for(term)

@@ -167,21 +167,17 @@ class KeywordSearchEngine:
         """Normalise a query string into terms (the paper's ``qterms`` view)."""
         return self.analyzer.analyze_query(query)
 
-    def search(self, query: str, *, top_k: int | None = None) -> SearchResult:
-        """Run a keyword query and return the ranked result.
+    def query_terms(self, query: str) -> tuple[list[str], list[str], list[str]]:
+        """Analyse and (optionally) expand a query string.
 
-        With ``top_k`` the scorer is rank-aware: it selects the ``k`` best
-        documents with a partial sort instead of ordering every match, and
-        models with bounded non-negative term contributions prune hopeless
-        candidates early (threshold-style).  The returned documents, scores
-        and tie-breaking are identical to ranking everything and slicing.
+        Returns ``(base_terms, expanded_terms, terms)`` where ``terms`` is
+        the final ranking input.  Shared by :meth:`search` and the sharded
+        scatter path, which analyses on the coordinator and ranks on the
+        shards.
         """
-        started = time.perf_counter()
-        cached = self._statistics is not None
-        statistics = self.statistics
         base_terms = self.analyze_query(query)
         expanded_terms: list[str] = []
-        terms: Sequence[str] = base_terms
+        terms: list[str] = list(base_terms)
         if self.expander is not None:
             # Expansion dictionaries are written in natural language, so the
             # expander sees both the raw (lower-cased) query tokens and the
@@ -197,6 +193,21 @@ class KeywordSearchEngine:
             terms = list(base_terms) + [
                 term for term in expanded_terms if term not in base_terms
             ]
+        return list(base_terms), expanded_terms, terms
+
+    def search(self, query: str, *, top_k: int | None = None) -> SearchResult:
+        """Run a keyword query and return the ranked result.
+
+        With ``top_k`` the scorer is rank-aware: it selects the ``k`` best
+        documents with a partial sort instead of ordering every match, and
+        models with bounded non-negative term contributions prune hopeless
+        candidates early (threshold-style).  The returned documents, scores
+        and tie-breaking are identical to ranking everything and slicing.
+        """
+        started = time.perf_counter()
+        cached = self._statistics is not None
+        statistics = self.statistics
+        base_terms, expanded_terms, terms = self.query_terms(query)
         ranked = self.model.rank(statistics, terms, top_k=top_k)
         elapsed = time.perf_counter() - started
         return SearchResult(

@@ -73,8 +73,26 @@ class CollectionStatistics:
         return len(self.doc_ids)
 
     @property
+    def accumulator_size(self) -> int:
+        """How many dense document slots the posting arrays index into.
+
+        Equal to :attr:`num_docs` here; the sharded view overrides
+        ``num_docs`` to the *global* count (ranking formulas need it) while
+        keeping this local, so per-shard scoring arrays stay O(shard).
+        """
+        return len(self.doc_ids)
+
+    @property
     def num_terms(self) -> int:
         return len(self.term_ids)
+
+    def doc_positions(self) -> dict[Any, int]:
+        """``docID -> dense index`` for the posting arrays, built once."""
+        cache = getattr(self, "_doc_position_cache", None)
+        if cache is None:
+            cache = {doc_id: position for position, doc_id in enumerate(self.doc_ids)}
+            self._doc_position_cache = cache
+        return cache
 
     @property
     def average_doc_length(self) -> float:
@@ -203,6 +221,200 @@ def _dtype_of(values: Sequence[Any]) -> DataType:
     if not values:
         return DataType.INT
     return DataType.of_value(values[0])
+
+
+# ---------------------------------------------------------------------------
+# Sharded collections: split, global reduce, shard-local scoring views
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalStatistics:
+    """Collection-wide quantities reduced across shard-local statistics.
+
+    Per-shard ranking needs the *global* document count, document/collection
+    frequencies and total term count to produce scores bit-identical to the
+    unsharded engine; everything here is an exact integer reduce (sums of
+    int64 counts), so merge order can never perturb a score.
+    """
+
+    num_docs: int
+    total_terms: int
+    total_doc_length: int
+    document_frequency: dict[str, int]
+    collection_frequency: dict[str, int]
+
+    @classmethod
+    def reduce(cls, shard_statistics: Sequence["CollectionStatistics"]) -> "GlobalStatistics":
+        """Merge shard-local statistics into the global view (df/cf/N sums)."""
+        num_docs = 0
+        total_terms = 0
+        total_doc_length = 0
+        document_frequency: dict[str, int] = {}
+        collection_frequency: dict[str, int] = {}
+        for statistics in shard_statistics:
+            num_docs += statistics.num_docs
+            total_terms += statistics.total_terms
+            total_doc_length += int(statistics.doc_lengths.sum()) if statistics.num_docs else 0
+            for term, term_id in statistics.term_ids.items():
+                document_frequency[term] = (
+                    document_frequency.get(term, 0) + statistics.document_frequency[term_id]
+                )
+                collection_frequency[term] = (
+                    collection_frequency.get(term, 0) + statistics.collection_frequency(term)
+                )
+        return cls(
+            num_docs=num_docs,
+            total_terms=total_terms,
+            total_doc_length=total_doc_length,
+            document_frequency=document_frequency,
+            collection_frequency=collection_frequency,
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["GlobalStatistics"]) -> "GlobalStatistics":
+        """Reduce per-shard summaries (exact integer sums, order-insensitive)."""
+        document_frequency: dict[str, int] = {}
+        collection_frequency: dict[str, int] = {}
+        for part in parts:
+            for term, count in part.document_frequency.items():
+                document_frequency[term] = document_frequency.get(term, 0) + count
+            for term, count in part.collection_frequency.items():
+                collection_frequency[term] = collection_frequency.get(term, 0) + count
+        return cls(
+            num_docs=sum(part.num_docs for part in parts),
+            total_terms=sum(part.total_terms for part in parts),
+            total_doc_length=sum(part.total_doc_length for part in parts),
+            document_frequency=document_frequency,
+            collection_frequency=collection_frequency,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON/pickle-friendly form (sent from router to pool workers)."""
+        return {
+            "num_docs": self.num_docs,
+            "total_terms": self.total_terms,
+            "total_doc_length": self.total_doc_length,
+            "document_frequency": self.document_frequency,
+            "collection_frequency": self.collection_frequency,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GlobalStatistics":
+        return cls(
+            num_docs=int(payload["num_docs"]),
+            total_terms=int(payload["total_terms"]),
+            total_doc_length=int(payload["total_doc_length"]),
+            document_frequency=dict(payload["document_frequency"]),
+            collection_frequency=dict(payload["collection_frequency"]),
+        )
+
+
+class ShardCollectionStatistics(CollectionStatistics):
+    """Shard-local postings scored against global collection statistics.
+
+    ``doc_ids``/``doc_lengths``/``postings`` describe only this shard's
+    documents (indices are shard-local), while every collection-wide
+    quantity a ranking model reads — ``num_docs``, ``average_doc_length``,
+    ``df``, ``collection_frequency``, ``total_terms`` — comes from the
+    :class:`GlobalStatistics` reduce.  A model scoring a shard through this
+    view therefore computes, document by document, exactly the numbers the
+    unsharded engine computes: the per-term inputs (idf, avgdl, background
+    probabilities) are scalar-identical and the per-document arithmetic is
+    element-wise.
+    """
+
+    def __init__(self, local: CollectionStatistics, global_statistics: GlobalStatistics):
+        super().__init__(
+            doc_ids=local.doc_ids,
+            doc_lengths=local.doc_lengths,
+            term_ids=local.term_ids,
+            postings=local.postings,
+            document_frequency=local.document_frequency,
+            total_terms=global_statistics.total_terms,
+        )
+        self.global_statistics = global_statistics
+
+    @property
+    def num_docs(self) -> int:  # type: ignore[override]
+        return self.global_statistics.num_docs
+
+    @property
+    def local_num_docs(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def accumulator_size(self) -> int:  # type: ignore[override]
+        """Scoring arrays stay O(shard): posting indices are shard-local."""
+        return len(self.doc_ids)
+
+    @property
+    def average_doc_length(self) -> float:  # type: ignore[override]
+        if self.global_statistics.num_docs == 0:
+            return 0.0
+        # identical to float(concatenated_lengths.mean()): the lengths are
+        # int64, so every partial sum is exact and the single division matches
+        return float(
+            np.float64(self.global_statistics.total_doc_length)
+            / np.float64(self.global_statistics.num_docs)
+        )
+
+    def df(self, term: str) -> int:
+        return self.global_statistics.document_frequency.get(term, 0)
+
+    def collection_frequency(self, term: str) -> int:
+        return self.global_statistics.collection_frequency.get(term, 0)
+
+
+def split_statistics(
+    statistics: CollectionStatistics, shard_doc_indices: Sequence[np.ndarray]
+) -> list[CollectionStatistics]:
+    """Split statistics into shard-local pieces by document partition.
+
+    ``shard_doc_indices[s]`` holds the (ascending) global document indices
+    assigned to shard ``s`` — the same per-table row partition the sharded
+    snapshot layout uses for the docs table, so shard-local document index
+    ``i`` corresponds to global index ``shard_doc_indices[s][i]``.  Term ids
+    keep their global numbering; per-term postings are sliced to each
+    shard's documents and remapped to shard-local indices.
+    """
+    num_docs = statistics.num_docs
+    assignment = np.full(num_docs, -1, dtype=np.int64)
+    local_index = np.zeros(num_docs, dtype=np.int64)
+    for shard, indices in enumerate(shard_doc_indices):
+        assignment[indices] = shard
+        local_index[indices] = np.arange(len(indices), dtype=np.int64)
+    if num_docs and np.any(assignment < 0):
+        raise IndexingError("shard document partition does not cover every document")
+
+    pieces: list[CollectionStatistics] = []
+    for shard, indices in enumerate(shard_doc_indices):
+        postings: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        term_ids: dict[str, int] = {}
+        document_frequency: dict[int, int] = {}
+        for term, term_id in statistics.term_ids.items():
+            doc_indices, frequencies = statistics.postings[term_id]
+            keep = assignment[doc_indices] == shard
+            if not np.any(keep):
+                continue
+            term_ids[term] = term_id
+            postings[term_id] = (
+                local_index[doc_indices[keep]],
+                np.asarray(frequencies[keep], dtype=np.int64),
+            )
+            document_frequency[term_id] = int(np.count_nonzero(keep))
+        lengths = statistics.doc_lengths[indices] if len(indices) else np.empty(0, np.int64)
+        pieces.append(
+            CollectionStatistics(
+                doc_ids=[statistics.doc_ids[index] for index in indices],
+                doc_lengths=np.asarray(lengths, dtype=np.int64),
+                term_ids=term_ids,
+                postings=postings,
+                document_frequency=document_frequency,
+                total_terms=int(np.asarray(lengths, dtype=np.int64).sum()) if len(indices) else 0,
+            )
+        )
+    return pieces
 
 
 # ---------------------------------------------------------------------------

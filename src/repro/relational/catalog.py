@@ -123,6 +123,17 @@ class Catalog:
             f"tables: {sorted(self.table_names_set())}, views: {sorted(self._views)}"
         )
 
+    def release(self) -> None:
+        """Drop every table, lazy loader and view reference.
+
+        Used by ``Engine.close()``: dropping the references lets memmap-backed
+        snapshot buffers be unmapped once no query result still points at
+        them.  The catalog stays usable (empty) afterwards.
+        """
+        self._tables.clear()
+        self._lazy.clear()
+        self._views.clear()
+
     def table_names_set(self) -> set[str]:
         """The names of every base table, hydrated or lazy."""
         return set(self._tables) | set(self._lazy)

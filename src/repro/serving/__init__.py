@@ -1,0 +1,25 @@
+"""Multi-process serving: worker pools and the request router.
+
+This package turns a partitioned snapshot (:mod:`repro.storage.shards`)
+into a serving deployment:
+
+* :mod:`repro.serving.codec` — a small length-prefixed binary codec for
+  plans and relations, used on every router↔worker pipe;
+* :mod:`repro.serving.worker` — the worker process main loop: memmap the
+  assigned shards, answer segment-evaluation / statistics / search /
+  fragment requests;
+* :mod:`repro.serving.pool` — :class:`WorkerPool`: spawns persistent
+  workers, assigns shards, multiplexes requests (the transport behind
+  :class:`~repro.engine.executors.PoolExecutor`);
+* :mod:`repro.serving.router` — :class:`Router`: owns the engine (sharded
+  or pooled), admission-queues requests, and exposes a minimal threaded
+  HTTP front end (``POST /query``, ``GET /healthz``).
+
+The CLI front end is ``python -m repro serve`` (and ``shard`` to
+re-partition an existing snapshot).
+"""
+
+from repro.serving.pool import WorkerPool
+from repro.serving.router import Router
+
+__all__ = ["Router", "WorkerPool"]

@@ -1,0 +1,179 @@
+"""A small length-prefixed codec for plans and relations.
+
+Every router↔worker message is one self-delimiting binary frame::
+
+    +----------------+----------------------------------------+
+    | 4-byte big-    | payload: pickled message dict, with    |
+    | endian length  | relations packed as raw column buffers |
+    +----------------+----------------------------------------+
+
+Relations never travel as pickled object graphs: :func:`pack_relation`
+lowers them to the same primitive form the snapshot format uses — numeric
+and boolean columns as little-endian buffers, string columns as one UTF-8
+blob plus an ``int64`` offsets buffer — so a gathered fragment costs a few
+``memcpy``-shaped writes instead of a per-value pickle walk, and the wire
+form stays aligned with the on-disk form.  Plans (:class:`~repro.pra.plan.PraPlan`
+trees) are small and pickle cleanly.
+
+Frames are self-delimiting, so the same bytes work over any transport:
+:func:`write_frame`/:func:`read_frame` serve raw byte streams (sockets,
+pipes), while the worker pool sends the encoded frame over a
+``multiprocessing`` connection.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+_LENGTH = struct.Struct(">I")
+
+#: frames larger than this are refused (a corrupt length prefix, not data)
+MAX_FRAME_BYTES = 1 << 31
+
+_PACKED_RELATION = "__packed_relation__"
+_PACKED_PROBABILISTIC = "__packed_probabilistic__"
+_PACKED_ARRAY = "__packed_array__"
+
+_NUMERIC_WIRE_DTYPES = {
+    DataType.INT: "<i8",
+    DataType.FLOAT: "<f8",
+    DataType.BOOL: "|b1",
+}
+
+
+def pack_array(array: np.ndarray) -> dict[str, Any]:
+    """Pack a numeric NumPy array as raw little-endian bytes."""
+    array = np.ascontiguousarray(array)
+    wire = array.astype(array.dtype.newbyteorder("<"), copy=False)
+    return {_PACKED_ARRAY: {"dtype": wire.dtype.str, "data": wire.tobytes()}}
+
+
+def unpack_array(payload: dict[str, Any]) -> np.ndarray:
+    body = payload[_PACKED_ARRAY]
+    return np.frombuffer(body["data"], dtype=np.dtype(body["dtype"])).copy()
+
+
+def _pack_column(column: Column) -> dict[str, Any]:
+    if column.dtype is DataType.STRING:
+        texts = [str(value) for value in column.values]
+        offsets = np.zeros(len(texts) + 1, dtype="<i8")
+        encoded = [text.encode("utf-8") for text in texts]
+        if encoded:
+            offsets[1:] = np.cumsum([len(blob) for blob in encoded])
+        return {
+            "dtype": column.dtype.value,
+            "blob": b"".join(encoded),
+            "offsets": offsets.tobytes(),
+        }
+    wire_dtype = _NUMERIC_WIRE_DTYPES[column.dtype]
+    values = np.ascontiguousarray(column.values).astype(wire_dtype, copy=False)
+    return {"dtype": column.dtype.value, "data": values.tobytes()}
+
+
+def _unpack_column(payload: dict[str, Any]) -> Column:
+    dtype = DataType(payload["dtype"])
+    if dtype is DataType.STRING:
+        offsets = np.frombuffer(payload["offsets"], dtype="<i8")
+        blob = payload["blob"]
+        values = np.empty(len(offsets) - 1, dtype=object)
+        for index in range(len(values)):
+            values[index] = blob[offsets[index] : offsets[index + 1]].decode("utf-8")
+        return Column(values, dtype)
+    values = np.frombuffer(payload["data"], dtype=_NUMERIC_WIRE_DTYPES[dtype])
+    return Column(values.astype(dtype.numpy_dtype, copy=False).copy(), dtype)
+
+
+def pack_relation(relation: Relation) -> dict[str, Any]:
+    """Lower a relation to primitive column buffers (the wire form)."""
+    return {
+        _PACKED_RELATION: {
+            "names": list(relation.schema.names),
+            "columns": [_pack_column(column) for column in relation.columns().values()],
+        }
+    }
+
+
+def unpack_relation(payload: dict[str, Any]) -> Relation:
+    body = payload[_PACKED_RELATION]
+    columns = [_unpack_column(entry) for entry in body["columns"]]
+    fields = [Field(name, column.dtype) for name, column in zip(body["names"], columns)]
+    return Relation(Schema(fields), columns)
+
+
+def _transform(value: Any, pack: bool) -> Any:
+    if pack:
+        if isinstance(value, ProbabilisticRelation):
+            return {_PACKED_PROBABILISTIC: pack_relation(value.relation)}
+        if isinstance(value, Relation):
+            return pack_relation(value)
+        if isinstance(value, np.ndarray):
+            return pack_array(value)
+    elif isinstance(value, dict):
+        if _PACKED_PROBABILISTIC in value:
+            return ProbabilisticRelation(
+                unpack_relation(value[_PACKED_PROBABILISTIC]), validate=False
+            )
+        if _PACKED_RELATION in value:
+            return unpack_relation(value)
+        if _PACKED_ARRAY in value:
+            return unpack_array(value)
+    if isinstance(value, dict):
+        return {key: _transform(item, pack) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        transformed = [_transform(item, pack) for item in value]
+        return type(value)(transformed) if isinstance(value, tuple) else transformed
+    return value
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Encode a message dict as one length-prefixed frame."""
+    payload = pickle.dumps(_transform(message, pack=True), protocol=pickle.HIGHEST_PROTOCOL)
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_message(frame: bytes) -> dict[str, Any]:
+    """Decode a frame produced by :func:`encode_message`."""
+    if len(frame) < _LENGTH.size:
+        raise EngineError(f"truncated frame: {len(frame)} bytes")
+    (length,) = _LENGTH.unpack_from(frame)
+    payload = frame[_LENGTH.size :]
+    if length != len(payload):
+        raise EngineError(
+            f"frame length prefix says {length} bytes, payload has {len(payload)}"
+        )
+    return _transform(pickle.loads(payload), pack=False)
+
+
+def write_frame(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one frame to a byte stream (socket/pipe file object)."""
+    stream.write(encode_message(message))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any]:
+    """Read one frame from a byte stream; raises :class:`EOFError` at end."""
+    header = stream.read(_LENGTH.size)
+    if not header:
+        raise EOFError("stream closed")
+    if len(header) < _LENGTH.size:
+        raise EngineError("truncated frame header")
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise EngineError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise EngineError("stream closed mid-frame")
+        payload += chunk
+    return decode_message(header + payload)

@@ -1,0 +1,191 @@
+"""The worker pool: persistent shard processes behind the pool executor.
+
+:class:`WorkerPool` spawns ``workers`` persistent processes (default: one
+per shard) over a partitioned snapshot, assigns shards round-robin, and
+multiplexes codec-framed requests over one duplex pipe per worker.  Each
+worker memmaps its shards (OS page cache shared across workers on one
+host), so pool start-up is O(process spawn), not O(data).
+
+:meth:`WorkerPool.shard_backends` returns one :class:`PoolShard` proxy per
+shard — the same backend interface :class:`~repro.engine.executors.InProcessShard`
+implements, so :class:`~repro.engine.executors.PoolExecutor` reuses the
+scatter-gather logic unchanged.  A worker that dies mid-request surfaces as
+a clean :class:`~repro.errors.EngineError` naming the shard and worker, not
+a hung pipe or a raw ``EOFError``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.serving.codec import decode_message, encode_message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executors import SearchSpec
+    from repro.ir.statistics import GlobalStatistics
+    from repro.storage.shards import ShardMap
+
+_JOIN_TIMEOUT_SECONDS = 5.0
+
+
+class PoolShard:
+    """Backend proxy for one shard served by a pool worker."""
+
+    def __init__(self, pool: "WorkerPool", worker: int, shard: int):
+        self._pool = pool
+        self.worker = worker
+        self.shard = shard
+
+    def _request(self, message: dict[str, Any]) -> Any:
+        message["shard"] = self.shard
+        return self._pool.request(self.worker, self.shard, message)
+
+    def evaluate_segment(self, plan: Any, table: str) -> Any:
+        return self._request({"op": "segment", "plan": plan, "table": table})
+
+    def statistics_summary(self, spec: "SearchSpec") -> "GlobalStatistics":
+        from repro.ir.statistics import GlobalStatistics
+
+        return GlobalStatistics.from_payload(self._request({"op": "stats", "spec": spec}))
+
+    def search_shard(
+        self, spec: "SearchSpec", global_statistics: "GlobalStatistics"
+    ) -> tuple[list[Any], np.ndarray, np.ndarray]:
+        reply = self._request(
+            {"op": "search", "spec": spec, "global": global_statistics.to_payload()}
+        )
+        return (
+            list(reply["doc_ids"]),
+            np.asarray(reply["scores"], dtype=np.float64),
+            np.asarray(reply["rows"], dtype=np.int64),
+        )
+
+    def fragment(self, table: str) -> tuple[Any, np.ndarray]:
+        reply = self._request({"op": "fragment", "table": table})
+        return reply["relation"], np.asarray(reply["rows"], dtype=np.int64)
+
+    def triples_fragment(self) -> tuple[list, np.ndarray]:
+        reply = self._request({"op": "store"})
+        return list(reply["triples"]), np.asarray(reply["rows"], dtype=np.int64)
+
+    def close(self) -> None:
+        """Workers are shared between shards; the pool owns their lifecycle."""
+
+
+class WorkerPool:
+    """Persistent worker processes serving the shards of one snapshot."""
+
+    def __init__(
+        self,
+        shard_map: "ShardMap",
+        *,
+        workers: int | None = None,
+        mmap: bool = True,
+        start_method: str = "spawn",
+    ):
+        from repro.serving.worker import worker_main
+
+        self.shard_map = shard_map
+        num_shards = shard_map.num_shards
+        self.num_workers = max(1, min(workers if workers is not None else num_shards, num_shards))
+        self._assignment: dict[int, int] = {
+            shard: shard % self.num_workers for shard in range(num_shards)
+        }
+        self._closed = False
+
+        context = multiprocessing.get_context(start_method)
+        self._processes = []
+        self._connections = []
+        self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        for worker in range(self.num_workers):
+            assigned = sorted(
+                shard for shard, owner in self._assignment.items() if owner == worker
+            )
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(
+                target=worker_main,
+                args=(str(shard_map.path), assigned, child),
+                kwargs={"mmap": mmap},
+                daemon=True,
+                name=f"repro-shard-worker-{worker}",
+            )
+            process.start()
+            child.close()
+            self._processes.append(process)
+            self._connections.append(parent)
+
+    # -- request multiplexing ----------------------------------------------------
+
+    def request(self, worker: int, shard: int, message: dict[str, Any]) -> Any:
+        """Send one codec frame to ``worker`` and wait for its reply."""
+        if self._closed:
+            raise EngineError("worker pool is closed")
+        connection = self._connections[worker]
+        try:
+            with self._locks[worker]:
+                connection.send_bytes(encode_message(message))
+                frame = connection.recv_bytes()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+            process = self._processes[worker]
+            exitcode = process.exitcode
+            raise EngineError(
+                f"shard worker {worker} (serving shard {shard}) died "
+                f"(exit code {exitcode}) during {message.get('op')!r}: {error!r}; "
+                "restart the pool to recover"
+            ) from error
+        reply = decode_message(frame)
+        if not reply.get("ok"):
+            raise EngineError(
+                f"shard worker {worker} failed {message.get('op')!r} for shard "
+                f"{shard}: {reply.get('error')}"
+            )
+        return reply.get("value")
+
+    def ping(self) -> list[dict[str, Any]]:
+        """Liveness info from every worker (pid + assigned shards)."""
+        return [
+            self.request(worker, -1, {"op": "ping"}) for worker in range(self.num_workers)
+        ]
+
+    def shard_backends(self) -> list[PoolShard]:
+        """One backend proxy per shard, in shard order."""
+        return [
+            PoolShard(self, self._assignment[shard], shard)
+            for shard in range(self.shard_map.num_shards)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Ask every worker to exit, then reap (terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker, connection in enumerate(self._connections):
+            try:
+                with self._locks[worker]:
+                    connection.send_bytes(encode_message({"op": "close"}))
+                    connection.recv_bytes()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                pass
+            finally:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+            if process.is_alive():  # pragma: no cover - stuck worker safety net
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

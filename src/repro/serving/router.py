@@ -1,0 +1,234 @@
+"""The router: admission control plus a minimal threaded HTTP front end.
+
+A :class:`Router` owns one engine — typically opened with
+``Engine.open_sharded(path, executor="pool")`` so queries scatter across
+the worker pool — and exposes two surfaces:
+
+* :meth:`Router.handle` — the in-process request API: one JSON-shaped dict
+  in, one JSON-shaped dict out.  Requests pass an **admission queue**: at
+  most ``max_concurrent`` requests execute at once and at most
+  ``max_queue`` may wait; beyond that the router sheds load with a
+  ``503``-shaped refusal instead of queueing unboundedly.
+* :meth:`Router.serve` / :meth:`Router.start` — a threaded HTTP server
+  (standard library only): ``POST /query`` with a JSON request body, and
+  ``GET /healthz`` reporting executor/pool state.
+
+Request kinds::
+
+    {"kind": "search", "table": "docs", "query": "wooden train",
+     "top_k": 10, "model": {"model": "bm25", "k1": 1.2, "b": 0.75}}
+    {"kind": "spinql", "source": "out = ...;", "top_k": 10}
+    {"kind": "info"}
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
+"status": <http-ish code>}``; the HTTP layer maps ``status`` onto the
+response code, so overload surfaces as a real ``503``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.executors import model_from_descriptor
+from repro.engine.query import result_pairs
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import Engine
+
+
+class Router:
+    """Admission-controlled request dispatch over one (sharded) engine."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        *,
+        max_concurrent: int = 4,
+        max_queue: int = 64,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.engine = engine
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._execution_slots = threading.BoundedSemaphore(max_concurrent)
+        self._admitted = 0
+        self._admitted_lock = threading.Lock()
+        self._served = 0
+        self._shed = 0
+
+    # -- admission ----------------------------------------------------------------
+
+    def _admit(self) -> bool:
+        with self._admitted_lock:
+            if self._admitted >= self.max_concurrent + self.max_queue:
+                self._shed += 1
+                return False
+            self._admitted += 1
+            return True
+
+    def _release(self) -> None:
+        with self._admitted_lock:
+            self._admitted -= 1
+            self._served += 1
+
+    def statistics(self) -> dict[str, Any]:
+        with self._admitted_lock:
+            return {
+                "in_flight": self._admitted,
+                "served": self._served,
+                "shed": self._shed,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+            }
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one request dict; never raises for request-level errors."""
+        if not self._admit():
+            return {
+                "ok": False,
+                "status": 503,
+                "error": (
+                    f"router overloaded: {self.max_concurrent} in flight plus "
+                    f"{self.max_queue} queued"
+                ),
+            }
+        try:
+            with self._execution_slots:
+                return self._dispatch(request)
+        except ReproError as error:
+            return {"ok": False, "status": 400, "error": str(error)}
+        except Exception as error:  # noqa: BLE001 - the router must not die
+            return {"ok": False, "status": 500, "error": f"{type(error).__name__}: {error}"}
+        finally:
+            self._release()
+
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        kind = request.get("kind")
+        if kind == "search":
+            return self._handle_search(request)
+        if kind == "spinql":
+            return self._handle_spinql(request)
+        if kind == "info":
+            return {
+                "ok": True,
+                "engine": _jsonable(self.engine.connect_info()),
+                "executor": self.engine.executor_info(),
+                "router": self.statistics(),
+            }
+        return {"ok": False, "status": 400, "error": f"unknown request kind {kind!r}"}
+
+    def _handle_search(self, request: dict[str, Any]) -> dict[str, Any]:
+        table = request.get("table", "docs")
+        query = request["query"]
+        top_k = request.get("top_k")
+        descriptor = request.get("model")
+        model = model_from_descriptor(descriptor)
+        if descriptor is not None and model is None:
+            return {
+                "ok": False,
+                "status": 400,
+                "error": f"unknown ranking model {descriptor.get('model')!r}",
+            }
+        result = self.engine.search(table, query, model=model, top_k=top_k).execute()
+        pairs = result.top(top_k) if top_k is not None else result.ranked.as_pairs()
+        return {
+            "ok": True,
+            "query": query,
+            "terms": result.query_terms,
+            "results": [[doc_id, float(score)] for doc_id, score in pairs],
+        }
+
+    def _handle_spinql(self, request: dict[str, Any]) -> dict[str, Any]:
+        source = request["source"]
+        top_k = request.get("top_k")
+        query = self.engine.spinql(source)
+        if top_k is not None:
+            pairs = query.top(top_k)
+        else:
+            pairs = result_pairs(query.execute())
+        return {
+            "ok": True,
+            "results": [[_jsonable(item), float(p)] for item, p in pairs],
+        }
+
+    # -- the HTTP front end -------------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 8080) -> ThreadingHTTPServer:
+        """Build (but do not start) the threaded HTTP server for this router."""
+        router = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: Any) -> None:  # quiet by default
+                pass
+
+            def _reply(self, payload: dict[str, Any]) -> None:
+                status = payload.get("status", 200) if not payload.get("ok") else 200
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server naming
+                if self.path == "/healthz":
+                    self._reply(
+                        {
+                            "ok": True,
+                            "executor": router.engine.executor_info(),
+                            "router": router.statistics(),
+                        }
+                    )
+                    return
+                self._reply({"ok": False, "status": 404, "error": "unknown path"})
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server naming
+                if self.path != "/query":
+                    self._reply({"ok": False, "status": 404, "error": "unknown path"})
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                try:
+                    request = json.loads(self.rfile.read(length) or b"{}")
+                except json.JSONDecodeError as error:
+                    self._reply(
+                        {"ok": False, "status": 400, "error": f"invalid JSON: {error}"}
+                    )
+                    return
+                self._reply(router.handle(request))
+
+        return ThreadingHTTPServer((host, port), Handler)
+
+    def start(
+        self, host: str = "127.0.0.1", port: int = 8080
+    ) -> tuple[ThreadingHTTPServer, threading.Thread]:
+        """Start the HTTP server on a daemon thread; returns (server, thread)."""
+        server = self.serve(host, port)
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-router-http", daemon=True
+        )
+        thread.start()
+        return server, thread
+
+    def close(self) -> None:
+        """Close the engine (and with it any worker pool it owns)."""
+        self.engine.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of engine metadata into JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

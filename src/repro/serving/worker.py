@@ -1,0 +1,128 @@
+"""The shard worker process: memmap assigned shards, answer pool requests.
+
+``worker_main`` is the entry point the :class:`~repro.serving.pool.WorkerPool`
+spawns.  Each worker owns a disjoint set of shards of one partitioned
+snapshot; per shard it opens a standalone engine (``Engine.open_shard`` —
+memmap-backed, so N workers on one host share the OS page cache) wrapped in
+the same :class:`~repro.engine.executors.InProcessShard` backend the
+in-process sharded executor uses.  The request loop speaks the
+length-prefixed codec of :mod:`repro.serving.codec` over a
+``multiprocessing`` connection:
+
+========== ==================================================================
+op         behaviour
+========== ==================================================================
+ping       liveness check; returns the worker's pid and shard set
+segment    evaluate a row-local plan segment against one shard's fragment
+stats      the shard's collection-statistics summary (df/cf/doc-count)
+search     rank one shard against global statistics; returns ids/scores/rows
+fragment   one shard's fragment of a table, plus its original row indices
+store      one shard's slice of the triple list, plus original indices
+close      drain and exit cleanly
+========== ==================================================================
+
+Failures never kill the loop: any exception is reported back as an
+``{"ok": False, "error": ...}`` reply and the worker keeps serving — only a
+closed pipe (the router went away) or ``close`` ends the process.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any
+
+from repro.serving.codec import decode_message, encode_message
+
+
+def _open_backend(snapshot_path: str, shard: int, mmap: bool):
+    from repro.engine import Engine
+    from repro.engine.executors import InProcessShard
+    from repro.storage.shards import read_shard_map, shard_rowids
+
+    shard_map = read_shard_map(snapshot_path)
+    return InProcessShard(
+        Engine.open(shard_map.shard_directories[shard], mmap=mmap),
+        shard_rowids(shard_map, shard),
+    )
+
+
+def worker_main(
+    snapshot_path: str,
+    shards: list[int],
+    connection: Any,
+    *,
+    mmap: bool = True,
+) -> None:
+    """Serve shard requests until the connection closes or ``close`` arrives."""
+    backends: dict[int, Any] = {}
+
+    def backend(shard: int):
+        if shard not in shards:
+            raise ValueError(f"shard {shard} is not assigned to this worker ({shards})")
+        opened = backends.get(shard)
+        if opened is None:
+            opened = _open_backend(snapshot_path, shard, mmap)
+            backends[shard] = opened
+        return opened
+
+    def handle(message: dict[str, Any]) -> Any:
+        op = message["op"]
+        if op == "ping":
+            return {"pid": os.getpid(), "shards": list(shards)}
+        if op == "segment":
+            result = backend(message["shard"]).evaluate_segment(
+                message["plan"], message["table"]
+            )
+            return result  # a ProbabilisticRelation; the codec packs it
+        if op == "stats":
+            return backend(message["shard"]).statistics_summary(message["spec"]).to_payload()
+        if op == "search":
+            from repro.ir.statistics import GlobalStatistics
+
+            doc_ids, scores, rows = backend(message["shard"]).search_shard(
+                message["spec"], GlobalStatistics.from_payload(message["global"])
+            )
+            return {"doc_ids": doc_ids, "scores": scores, "rows": rows}
+        if op == "fragment":
+            relation, rows = backend(message["shard"]).fragment(message["table"])
+            return {"relation": relation, "rows": rows}
+        if op == "store":
+            triples, rows = backend(message["shard"]).triples_fragment()
+            return {"triples": triples, "rows": rows}
+        raise ValueError(f"unknown worker op {op!r}")
+
+    try:
+        while True:
+            try:
+                frame = connection.recv_bytes()
+            except (EOFError, OSError):
+                break
+            message = decode_message(frame)
+            if message.get("op") == "close":
+                connection.send_bytes(encode_message({"ok": True, "value": None}))
+                break
+            try:
+                value = handle(message)
+            except BaseException as error:  # noqa: BLE001 - reported to the router
+                reply = {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(),
+                }
+            else:
+                reply = {"ok": True, "value": value}
+            try:
+                connection.send_bytes(encode_message(reply))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for opened in backends.values():
+            try:
+                opened.close()
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                pass
+        try:
+            connection.close()
+        except OSError:
+            pass

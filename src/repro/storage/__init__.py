@@ -19,7 +19,12 @@ Entry points, lowest layer first:
   plus the storage-strategy layout (partition tables live in the database);
 * :meth:`Engine.save` / :meth:`Engine.open` — all of the above plus
   analyzer/ranking configuration, compiled SpinQL sources (recompiled on
-  open to warm the plan cache) and warm collection statistics.
+  open to warm the plan cache) and warm collection statistics;
+* ``Engine.save(path, shards=N)`` / :meth:`Engine.open_sharded` /
+  :meth:`Engine.open_shard` — the *partitioned* layout
+  (:mod:`repro.storage.shards`): tables split by hash range on a shard key,
+  postings split by the document partition, each shard a self-contained
+  snapshot directory under a top-level shard map.
 """
 
 from repro.storage.columnio import read_column, write_column
@@ -30,6 +35,12 @@ from repro.storage.index_io import (
     open_statistics,
     save_inverted_index,
     save_statistics,
+)
+from repro.storage.shards import (
+    is_sharded_snapshot,
+    open_shard,
+    read_shard_map,
+    save_sharded_engine,
 )
 from repro.storage.snapshot import (
     open_database,
@@ -42,6 +53,10 @@ from repro.storage.snapshot import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "is_sharded_snapshot",
+    "open_shard",
+    "read_shard_map",
+    "save_sharded_engine",
     "open_database",
     "open_engine",
     "open_inverted_index",

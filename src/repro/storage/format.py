@@ -25,8 +25,12 @@ from typing import Any
 
 from repro.errors import SnapshotVersionError, StorageError
 
-#: bumped whenever the binary layout or the manifest schema changes
-FORMAT_VERSION = 1
+#: bumped whenever the binary layout or the manifest schema changes.
+#: version 2: partitioned snapshots (top-level shard maps, per-shard rowid
+#: relations, statistics split by document partition) — see
+#: :mod:`repro.storage.shards`.  Readers refuse version-1 snapshots with the
+#: "rebuild or upgrade" message below; re-save them with the current library.
+FORMAT_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 

@@ -152,3 +152,54 @@ class TestErrors:
     def test_toy_empty_category_fails(self, capsys):
         code = main(["toy", "--products", "20", "--category", "nonexistent"])
         assert code == 1
+
+
+class TestShardingCommands:
+    def _plain_snapshot(self, tmp_path) -> str:
+        out = str(tmp_path / "plain")
+        code = main(
+            ["snapshot", "--out", out, "--scenario", "auction", "--lots", "60", "--json"]
+        )
+        assert code == 0
+        return out
+
+    def test_snapshot_with_shards_writes_partitioned_layout(self, tmp_path, capsys):
+        from repro.storage.shards import is_sharded_snapshot
+
+        out = str(tmp_path / "sharded")
+        args = ["snapshot", "--out", out, "--scenario", "auction", "--lots", "60"]
+        code = main(args + ["--shards", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert is_sharded_snapshot(out)
+
+    def test_shard_repartitions_plain_snapshot(self, tmp_path, capsys):
+        source = self._plain_snapshot(tmp_path)
+        capsys.readouterr()
+        out = str(tmp_path / "resharded")
+        code = main(
+            ["shard", "--from-snapshot", source, "--out", out, "--shards", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 3 and "triples" in payload["tables"]
+        # the plain snapshot still answers the scenario after re-sharding
+        args = ["auction", "--from-snapshot", source, "--query", "clock", "--top", "3"]
+        assert main(args) == 0
+        assert capsys.readouterr().out
+        # open the sharded layout directly through the engine
+        from repro.engine import Engine
+
+        with Engine.open_sharded(out) as engine:
+            assert engine.executor_info()["shards"] == 3
+
+    def test_shard_requires_source(self, capsys):
+        code = main(["shard", "--out", "/tmp/nowhere", "--shards", "2"])
+        assert code == 1
+        assert "from-snapshot" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_snapshot(self, capsys):
+        code = main(["serve", "--port", "0"])
+        assert code == 1
+        assert "from-snapshot" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""The length-prefixed codec: relations, arrays, frames, error paths."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.pra.plan import PraParam, PraSelect
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import Column, DataType
+from repro.relational.expressions import BinaryOp, Literal
+from repro.pra.expressions import PositionalRef
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.serving.codec import (
+    decode_message,
+    encode_message,
+    pack_relation,
+    read_frame,
+    unpack_relation,
+    write_frame,
+)
+
+
+def _relation() -> Relation:
+    schema = Schema(
+        [
+            Field("name", DataType.STRING),
+            Field("count", DataType.INT),
+            Field("score", DataType.FLOAT),
+            Field("flag", DataType.BOOL),
+        ]
+    )
+    return Relation(
+        schema,
+        [
+            Column(["a", "ünïcødé", "", "d"], DataType.STRING),
+            Column(np.array([1, -5, 2**40, 0]), DataType.INT),
+            Column(np.array([0.5, -1.25, 3.5e300, 0.0]), DataType.FLOAT),
+            Column(np.array([True, False, True, False]), DataType.BOOL),
+        ],
+    )
+
+
+class TestRelationPacking:
+    def test_roundtrip_preserves_values_and_types(self):
+        relation = _relation()
+        restored = unpack_relation(pack_relation(relation))
+        assert restored == relation
+        assert restored.schema.names == relation.schema.names
+
+    def test_empty_relation(self):
+        schema = Schema([Field("x", DataType.STRING), Field("y", DataType.INT)])
+        relation = Relation.empty(schema)
+        restored = unpack_relation(pack_relation(relation))
+        assert restored.num_rows == 0
+        assert restored.schema.names == ["x", "y"]
+
+
+class TestMessages:
+    def test_roundtrip_with_nested_relations_and_arrays(self):
+        message = {
+            "op": "reply",
+            "relation": _relation(),
+            "probabilistic": ProbabilisticRelation.lift(
+                _relation().select_columns(["name"])
+            ),
+            "rows": np.array([3, 1, 2], dtype=np.int64),
+            "nested": {"inner": [np.array([1.5, 2.5]), "text", 7]},
+        }
+        decoded = decode_message(encode_message(message))
+        assert decoded["op"] == "reply"
+        assert decoded["relation"] == message["relation"]
+        assert decoded["probabilistic"].value_rows() == message["probabilistic"].value_rows()
+        np.testing.assert_array_equal(decoded["rows"], message["rows"])
+        np.testing.assert_array_equal(decoded["nested"]["inner"][0], [1.5, 2.5])
+
+    def test_roundtrip_plan(self):
+        plan = PraSelect(PraParam("frag"), BinaryOp("=", PositionalRef(2), Literal("x")))
+        decoded = decode_message(encode_message({"op": "segment", "plan": plan}))
+        assert decoded["plan"].fingerprint() == plan.fingerprint()
+
+    def test_length_prefix_mismatch_is_rejected(self):
+        frame = bytearray(encode_message({"op": "ping"}))
+        frame[3] ^= 0xFF  # corrupt the length prefix
+        with pytest.raises(EngineError, match="length prefix"):
+            decode_message(bytes(frame))
+
+    def test_truncated_frame_is_rejected(self):
+        with pytest.raises(EngineError, match="truncated"):
+            decode_message(b"\x00\x01")
+
+
+class TestStreamFraming:
+    def test_frames_are_self_delimiting_on_a_byte_stream(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "a", "n": 1})
+        write_frame(stream, {"op": "b", "relation": _relation()})
+        stream.seek(0)
+        first = read_frame(stream)
+        second = read_frame(stream)
+        assert first == {"op": "a", "n": 1}
+        assert second["op"] == "b" and second["relation"] == _relation()
+        with pytest.raises(EOFError):
+            read_frame(stream)
+
+    def test_mid_frame_truncation_is_reported(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "a", "payload": "x" * 100})
+        data = stream.getvalue()[:-10]
+        with pytest.raises(EngineError, match="mid-frame"):
+            read_frame(io.BytesIO(data))

@@ -1,0 +1,148 @@
+"""Worker pool and router: parity, admission control, crash handling."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import EngineError
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.serving import Router
+from repro.workloads import generate_auction_triples
+
+PROGRAM = 'out = SELECT [$2="hasAuction"] (triples);'
+
+
+@pytest.fixture(scope="module")
+def source_and_snapshot(tmp_path_factory):
+    workload = generate_auction_triples(100, seed=37)
+    engine = Engine.from_triples(workload.triples)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    docs = Relation(
+        schema,
+        [
+            Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+            Column(list(workload.lot_descriptions.values()), DataType.STRING),
+        ],
+    )
+    engine.create_table("docs", docs)
+    query = " ".join(workload.lot_descriptions["lot1"].split()[:3])
+    engine.search("docs", query).execute()
+    path = engine.save(tmp_path_factory.mktemp("serving") / "snap", shards=2)
+    return engine, path, query
+
+
+@pytest.fixture(scope="module")
+def pool_engine(source_and_snapshot):
+    _engine, path, _query = source_and_snapshot
+    opened = Engine.open_sharded(path, executor="pool")
+    yield opened
+    opened.close()
+
+
+class TestPoolExecutor:
+    def test_pool_parity_with_unsharded(self, source_and_snapshot, pool_engine):
+        engine, _path, query = source_and_snapshot
+        assert pool_engine.executor_info()["executor"] == "pool"
+        assert pool_engine.spinql(PROGRAM).top(8) == engine.spinql(PROGRAM).top(8)
+        assert pool_engine.search("docs", query).top(8) == engine.search("docs", query).top(8)
+        expected = engine.spinql(PROGRAM).execute()
+        actual = pool_engine.spinql(PROGRAM).execute()
+        assert actual.value_rows() == expected.value_rows()
+
+    def test_fewer_workers_than_shards(self, source_and_snapshot):
+        engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path, executor="pool", workers=1)
+        try:
+            info = opened.executor_info()
+            assert info["workers"] == 1 and info["shards"] == 2
+            assert opened.spinql(PROGRAM).top(5) == engine.spinql(PROGRAM).top(5)
+        finally:
+            opened.close()
+
+    def test_worker_crash_surfaces_as_engine_error(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path, executor="pool")
+        try:
+            opened.spinql(PROGRAM).top(3)  # workers are live
+            pool = opened._plan_executor._pool
+            for process in pool._processes:
+                process.kill()
+                process.join(timeout=10)
+            with pytest.raises(EngineError, match="died"):
+                opened.spinql(PROGRAM).execute()
+        finally:
+            opened.close()
+
+
+class TestRouter:
+    def test_search_request_matches_in_process_results(self, source_and_snapshot, pool_engine):
+        engine, _path, query = source_and_snapshot
+        router = Router(pool_engine)
+        reply = router.handle(
+            {"kind": "search", "table": "docs", "query": query, "top_k": 5}
+        )
+        assert reply["ok"]
+        expected = [[doc, score] for doc, score in engine.search("docs", query).top(5)]
+        assert reply["results"] == expected
+
+    def test_spinql_request(self, pool_engine):
+        router = Router(pool_engine)
+        reply = router.handle({"kind": "spinql", "source": PROGRAM, "top_k": 3})
+        assert reply["ok"] and len(reply["results"]) == 3
+
+    def test_info_request(self, pool_engine):
+        reply = Router(pool_engine).handle({"kind": "info"})
+        assert reply["ok"] and reply["executor"]["executor"] == "pool"
+
+    def test_unknown_kind_and_engine_errors_are_contained(self, pool_engine):
+        router = Router(pool_engine)
+        assert not router.handle({"kind": "nope"})["ok"]
+        reply = router.handle({"kind": "spinql", "source": "not valid spinql"})
+        assert not reply["ok"] and reply["status"] == 400
+
+    def test_admission_control_sheds_load(self, pool_engine):
+        router = Router(pool_engine, max_concurrent=1, max_queue=1)
+        # fill the admission window by hand, then verify shedding
+        assert router._admit() and router._admit()
+        shed = router.handle({"kind": "info"})
+        assert not shed["ok"] and shed["status"] == 503
+        router._release()
+        router._release()
+        assert router.handle({"kind": "info"})["ok"]
+        assert router.statistics()["shed"] == 1
+
+    def test_http_front_end(self, source_and_snapshot, pool_engine):
+        engine, _path, query = source_and_snapshot
+        router = Router(pool_engine)
+        server, _thread = router.start(port=0)
+        port = server.server_address[1]
+        try:
+            health = json.loads(
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz").read()
+            )
+            assert health["ok"] and health["executor"]["executor"] == "pool"
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps(
+                    {"kind": "search", "table": "docs", "query": query, "top_k": 4}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            reply = json.loads(urllib.request.urlopen(request).read())
+            expected = [[doc, score] for doc, score in engine.search("docs", query).top(4)]
+            assert reply["ok"] and reply["results"] == expected
+            bad = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query", data=b"{broken", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(bad)
+            assert caught.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
