@@ -1,0 +1,124 @@
+"""Analyzer self-check: the static verifier against the real workloads.
+
+Three gates, each of which must hold for the verifier to be trustworthy:
+
+1. **No false alarms** — every SpinQL program the repo actually ships
+   (toy/auction example queries, benchmark-shaped plans) verifies with zero
+   errors against an engine that can evaluate it, and then evaluates.
+2. **No false "ok"s** — deliberately broken variants of those programs
+   (unknown table, out-of-range positional, bad weight) are rejected with
+   errors, and evaluating them raises.
+3. **Executor agreement** — on a sharded snapshot, the shard-safety
+   classification (``repro.analysis.locality.classify``) reports exactly
+   the scatter segments the scatter-gather executor extracts, shard counts
+   1 through 3.
+
+Exits non-zero on the first violated gate, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/analysis_selfcheck.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+GOOD_PROGRAMS = [
+    'docs = SELECT [$2="category"] (triples);',
+    'docs = PROJECT [$1 AS docID, $6 AS data] ( JOIN INDEPENDENT [$1=$1] ('
+    ' SELECT [$2="category" and $3="toy"] (triples),'
+    ' SELECT [$2="description"] (triples) ) );',
+    "weighted = WEIGHT [0.7] (SELECT [$2=\"category\"] (triples));",
+    "united = UNITE INDEPENDENT ("
+    ' SELECT [$2="category"] (triples), SELECT [$2="description"] (triples) );',
+]
+
+BAD_PROGRAMS = [
+    'docs = SELECT [$2="category"] (missing_table);',
+    'docs = SELECT [$9="category"] (triples);',
+    'docs = WEIGHT [1.5] (SELECT [$2="category"] (triples));',
+]
+
+
+def check_programs(engine) -> int:
+    from repro.errors import ReproError
+
+    for source in GOOD_PROGRAMS:
+        query = engine.spinql(source)
+        report = query.check()
+        if not report.ok:
+            print(f"FALSE ALARM on {source!r}:\n{report.render()}", file=sys.stderr)
+            return 1
+        query.execute()  # gate 1: check-ok programs must evaluate
+    for source in BAD_PROGRAMS:
+        query = engine.spinql(source)
+        report = query.check()
+        if report.ok:
+            print(f"FALSE OK on {source!r}", file=sys.stderr)
+            return 1
+        try:
+            query.execute()
+        except ReproError:
+            pass
+        else:
+            print(f"verifier flagged {source!r} but evaluation passed", file=sys.stderr)
+            return 1
+    return 0
+
+
+def check_executor_agreement() -> int:
+    from repro.engine import Engine
+    from repro.workloads.products import generate_product_triples
+
+    workload = generate_product_triples(60, seed=11)
+    source = 'docs = SELECT [$2="category"] (triples);'
+    with tempfile.TemporaryDirectory() as scratch:
+        for shards in (1, 2, 3):
+            path = Path(scratch) / f"snap-{shards}"
+            Engine.from_triples(workload.triples).save(path, shards=shards)
+            engine = Engine.open_sharded(path)
+            try:
+                report = engine.spinql(source).check()
+                if report.locality is None:
+                    print(f"no locality report on a {shards}-shard engine", file=sys.stderr)
+                    return 1
+                engine.spinql(source).execute()
+                executor = engine._plan_executor
+                observed = getattr(executor, "last_scatter", {}).get("segments")
+                expected = len(report.locality.segments)
+                if observed != expected:
+                    print(
+                        f"classification disagrees with the executor at {shards} "
+                        f"shard(s): classify saw {expected} segment(s), the "
+                        f"executor scattered {observed}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not report.locality.scatterable:
+                    print(f"partitioned scan not scatterable at {shards} shard(s)", file=sys.stderr)
+                    return 1
+            finally:
+                engine.close()
+    return 0
+
+
+def main() -> int:
+    from repro.engine import Engine
+    from repro.workloads.products import generate_product_triples
+
+    engine = Engine.from_triples(generate_product_triples(60, seed=11).triples)
+    status = check_programs(engine)
+    if status:
+        return status
+    status = check_executor_agreement()
+    if status:
+        return status
+    print("analysis self-check: ok (programs verified + executor agreement, shards 1-3)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,12 @@ The package is organised along the paper's sections:
   (Section 2.3);
 * :mod:`repro.strategy` — block-based search strategies (Section 2.4), with
   the toy (Figure 2) and auction (Figure 3) strategies pre-built;
+* :mod:`repro.analysis` — static analysis, new in 1.4: a plan verifier
+  (schema/type/assumption inference with typed diagnostics, surfaced as
+  ``Query.check()`` / ``Engine.analyze()`` / the ``check`` CLI subcommand
+  and a serving pre-dispatch gate), the duplicate-freeness lattice, the
+  shard-safety classification the executors consume, and the repo-invariant
+  lint engine behind ``scripts/repro_lint.py``;
 * :mod:`repro.storage` — persistent columnar snapshots: versioned,
   memmap-backed serialization of the whole engine state
   (``Engine.save``/``Engine.open``), new in 1.2; partitioned (sharded)
@@ -80,6 +86,17 @@ partition).  Version-1 snapshots are refused with the "rebuild or upgrade"
 message — re-save them from source data (``Engine.save``) or read them
 with a 1.2 library; there is no in-place migration, by policy: snapshots
 are cheap to rebuild and silent partial upgrades are not.
+
+The diagnostics API (:func:`repro.analysis.verify_plan`,
+:class:`~repro.analysis.AnalysisReport`,
+:class:`~repro.analysis.Diagnostic`, ``Query.check()``,
+``Engine.analyze()``) is **stable** from 1.4 under the same policy.
+Diagnostic *codes* and the report/dict shapes are append-only: codes are
+never renamed or removed, an error never silently becomes a warning, and
+new codes may appear in any minor release.  The human-readable message
+*text* is not part of the stable surface — match on ``Diagnostic.code``
+and ``severity``, not on message strings.  The lint rule names
+(``RL001``–``RL005``) follow the same append-only rule.
 """
 
 from repro.errors import EngineError, ReproError
@@ -104,7 +121,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # the public facade

@@ -1,0 +1,44 @@
+"""Static analysis: the plan verifier and the repo-invariant lint engine.
+
+Two halves:
+
+* :mod:`repro.analysis.verifier` — schema/type/assumption inference over PRA
+  plans, surfaced as :meth:`repro.engine.query.Query.check`,
+  :meth:`repro.engine.Engine.analyze`, the ``check`` CLI subcommand, the
+  analysis section of ``explain``, and the serving router's pre-dispatch
+  gate.  :mod:`repro.analysis.lattice` (duplicate-freeness) and
+  :mod:`repro.analysis.locality` (shard-safety classification) are the
+  shared judgments it is built on — the optimizer and the scatter-gather
+  executors consume the very same functions.
+* :mod:`repro.analysis.lint` — an AST-based lint engine encoding repo
+  invariants (stable sorts, ordered gathers, lock discipline, no wall-clock
+  in benchmarks, length-prefixed wire writes), run by
+  ``scripts/repro_lint.py`` and enforced in CI.
+"""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity, render_path
+from repro.analysis.lattice import produces_distinct
+from repro.analysis.locality import LocalityReport, ScatterSegment, classify
+from repro.analysis.verifier import (
+    CatalogSchemaProvider,
+    NodeFacts,
+    PlanVerifier,
+    SchemaProvider,
+    verify_plan,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CatalogSchemaProvider",
+    "Diagnostic",
+    "LocalityReport",
+    "NodeFacts",
+    "PlanVerifier",
+    "ScatterSegment",
+    "SchemaProvider",
+    "Severity",
+    "classify",
+    "produces_distinct",
+    "render_path",
+    "verify_plan",
+]

@@ -1,0 +1,154 @@
+"""Typed diagnostics for the static plan verifier.
+
+A :class:`Diagnostic` pins one finding to one plan node: a stable machine
+code (``unknown-table``, ``type-mismatch``, ...), a severity, a human
+message, and *provenance* — the child-index path from the plan root plus the
+node's own one-line description, so a diagnostic can be traced into the
+``describe()`` rendering of the same plan.
+
+An :class:`AnalysisReport` is the full result of one verification walk.  It
+is plain data: ``ok`` summarizes it, ``render()`` pretty-prints it for
+humans, ``to_dict()`` serializes it for the CLI/serving JSON surfaces, and
+``raise_if_errors()`` converts error-severity findings into a single
+:class:`~repro.errors.AnalysisError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.locality import LocalityReport
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: does evaluation raise, drift, or just inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def render_path(path: tuple[int, ...]) -> str:
+    """Render a child-index path from the root, e.g. ``plan.0.1``."""
+    if not path:
+        return "plan"
+    return "plan." + ".".join(str(index) for index in path)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the verifier, pinned to one plan node."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: child-index path from the plan root (``()`` is the root itself)
+    path: tuple[int, ...] = ()
+    #: the node's one-line ``describe`` header, e.g. ``JOIN DISJOINT [$1=$1]``
+    node: str = ""
+
+    @property
+    def path_text(self) -> str:
+        return render_path(self.path)
+
+    def render(self) -> str:
+        where = self.path_text
+        if self.node:
+            where = f"{where} ({self.node})"
+        return f"{self.severity}[{self.code}] {where}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": list(self.path),
+            "node": self.node,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The result of statically verifying one plan."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: output value columns of the plan root as ``(name, dtype-name)`` pairs,
+    #: or ``None`` when the schema could not be derived statically
+    output_columns: list[tuple[str, str]] | None = None
+    #: every verified plan is probabilistic (value columns + ``p``)
+    probabilistic: bool = True
+    #: shard-safety classification, set when a shard layout was supplied
+    locality: "LocalityReport | None" = None
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.NOTE]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self) -> str:
+        lines: list[str] = []
+        if self.ok:
+            summary = "ok"
+            if self.warnings:
+                summary += f" ({len(self.warnings)} warning(s))"
+            lines.append(summary)
+        else:
+            lines.append(f"{len(self.errors)} error(s)")
+        if self.output_columns is not None:
+            rendered = ", ".join(f"{name}: {dtype}" for name, dtype in self.output_columns)
+            lines.append(f"output: ({rendered}, p: FLOAT)")
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.render())
+        if self.locality is not None:
+            lines.append(self.locality.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        if self.output_columns is not None:
+            payload["output"] = [
+                {"name": name, "dtype": dtype} for name, dtype in self.output_columns
+            ]
+        if self.locality is not None:
+            payload["scatter"] = self.locality.to_dict()
+        return payload
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`AnalysisError` carrying the error diagnostics, if any."""
+        errors = self.errors
+        if not errors:
+            return
+        rendered = "; ".join(d.render() for d in errors)
+        raise AnalysisError(f"plan failed static verification: {rendered}", errors)

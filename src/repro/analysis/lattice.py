@@ -1,0 +1,54 @@
+"""The duplicate-freeness lattice over PRA plans.
+
+Several soundness arguments in this codebase hinge on one static property:
+*can this plan ever emit two rows with equal value columns?*  The optimizer's
+``TOP``-into-``UNITE`` prune rule requires both union sides to be
+duplicate-free, and the verifier's assumption diagnostics
+(:mod:`repro.analysis.verifier`) flag DISJOINT/SUBSUMED merges whose inputs
+are not.  This module is the single shared source of truth for that
+judgment, moved out of :mod:`repro.pra.optimizer` where it previously lived
+as a private helper.
+
+The lattice is the two-point domain {maybe-duplicates ≤ duplicate-free}
+propagated bottom-up:
+
+* ``PROJECT`` and ``UNITE`` merge equal value tuples by construction —
+  always duplicate-free;
+* ``SELECT``, ``WEIGHT``, ``BAYES`` and ``TOP`` drop or rescale rows but
+  never introduce equal ones — they preserve the child's value;
+* ``SUBTRACT`` keeps a subset of its left side's rows;
+* ``JOIN`` of two duplicate-free inputs pairs distinct combined rows;
+* ``Scan``/``Values``/``Param`` leaves make no promise — bottom.
+"""
+
+from __future__ import annotations
+
+from repro.pra.plan import (
+    PraBayes,
+    PraJoin,
+    PraPlan,
+    PraProject,
+    PraSelect,
+    PraSubtract,
+    PraTop,
+    PraUnite,
+    PraWeight,
+)
+
+
+def produces_distinct(plan: PraPlan) -> bool:
+    """True if ``plan`` provably never emits two rows with equal value columns.
+
+    Projection and union merge duplicates by construction; selection, weight,
+    Bayes and top preserve distinctness; a join of two distinct inputs pairs
+    distinct combined rows.  Scans, literals and parameters make no promise.
+    """
+    if isinstance(plan, (PraProject, PraUnite)):
+        return True
+    if isinstance(plan, (PraSelect, PraWeight, PraBayes, PraTop)):
+        return produces_distinct(plan.children()[0])
+    if isinstance(plan, PraSubtract):
+        return produces_distinct(plan.left)
+    if isinstance(plan, PraJoin):
+        return produces_distinct(plan.left) and produces_distinct(plan.right)
+    return False

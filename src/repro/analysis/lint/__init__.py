@@ -1,0 +1,31 @@
+"""AST-based lint engine for repo invariants; run by ``scripts/repro_lint.py``."""
+
+from repro.analysis.lint.engine import (
+    LintRule,
+    LintViolation,
+    lint_paths,
+    lint_source,
+    suppressed_rules,
+)
+from repro.analysis.lint.rules import (
+    ALL_RULES,
+    LengthPrefixedWriteRule,
+    LockedCacheMutationRule,
+    NoWallClockRule,
+    OrderedGatherRule,
+    StableSortRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LengthPrefixedWriteRule",
+    "LintRule",
+    "LintViolation",
+    "LockedCacheMutationRule",
+    "NoWallClockRule",
+    "OrderedGatherRule",
+    "StableSortRule",
+    "lint_paths",
+    "lint_source",
+    "suppressed_rules",
+]

@@ -1,0 +1,112 @@
+"""A tiny AST-based lint engine for repo invariants.
+
+Rules are deliberately AST-driven, not regex-driven: the invariants they
+encode (keyword arguments, lock-guarded mutations) routinely span multiple
+source lines, where a line-oriented grep both misses violations and reports
+false positives (e.g. a multi-line ``np.argsort(..., kind="stable")`` call).
+
+A rule sees one parsed module at a time and returns
+:class:`LintViolation` records.  Suppression is per line::
+
+    order = np.argsort(keys)  # repro-lint: disable=RL001
+
+``disable=all`` suppresses every rule on that line.  The engine is run by
+``scripts/repro_lint.py`` (wired into CI) and unit-tested in
+``tests/analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: a rule, a location, and what went wrong."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+class LintRule:
+    """Base class for lint rules; subclass and register with :func:`run_rules`."""
+
+    name = "RL000"
+    description = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule is in scope for ``path`` (repo-relative)."""
+        raise NotImplementedError
+
+    def check(self, tree: ast.Module, source: str, path: Path) -> list[LintViolation]:
+        raise NotImplementedError
+
+    def violation(self, path: Path, node: ast.AST, message: str) -> LintViolation:
+        return LintViolation(
+            rule=self.name,
+            path=path.as_posix(),
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+def suppressed_rules(source: str) -> dict[int, set[str]]:
+    """Per-line suppression pragmas: ``{line number: {rule names or 'all'}}``."""
+    pragmas: dict[int, set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            names = {name.strip() for name in match.group(1).split(",") if name.strip()}
+            pragmas[number] = names
+    return pragmas
+
+
+def lint_source(
+    source: str, path: Path, rules: "list[LintRule]"
+) -> list[LintViolation]:
+    """Run every in-scope rule over one module's source text."""
+    applicable = [rule for rule in rules if rule.applies_to(path)]
+    if not applicable:
+        return []
+    tree = ast.parse(source, filename=str(path))
+    pragmas = suppressed_rules(source)
+    violations: list[LintViolation] = []
+    for rule in applicable:
+        for violation in rule.check(tree, source, path):
+            suppressions = pragmas.get(violation.line, set())
+            if rule.name in suppressions or "all" in suppressions:
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_paths(
+    paths: "list[Path]", rules: "list[LintRule]", *, root: Path | None = None
+) -> list[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Paths in the returned violations are relative to ``root`` when given, so
+    rule scopes match regardless of the working directory.
+    """
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    violations: list[LintViolation] = []
+    for file_path in files:
+        relative = file_path.relative_to(root) if root is not None else file_path
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, relative, rules))
+    return violations

@@ -202,6 +202,17 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Statically verify a SpinQL program; exit 1 when it has errors."""
+    engine = _snapshot_engine(args) or Engine()
+    report = engine.spinql(args.program).check(top_k=args.top_k)
+    if args.json:
+        print(json.dumps({"command": "check", **report.to_dict()}, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     if args.from_triples and args.from_snapshot:
         raise EngineError(
@@ -407,6 +418,15 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("program")
     _add_common(explain, top=False)
     explain.set_defaults(handler=_cmd_explain)
+
+    check = subparsers.add_parser(
+        "check",
+        help="statically verify a SpinQL program without executing it "
+        "(exit 1 on errors)",
+    )
+    check.add_argument("program")
+    _add_common(check, top=False)
+    check.set_defaults(handler=_cmd_check)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="save a columnar engine snapshot (see repro.storage)"

@@ -92,6 +92,7 @@ from repro.engine.query import (
     SpinQLQuery,
     StrategyQuery,
     TableQuery,
+    _coerce_bindings,
     as_probabilistic,
     scan_tables,
 )
@@ -178,6 +179,8 @@ class Engine:
         self._shard_thread_pool_size = 0
         self._retired_pools: list[ThreadPoolExecutor] = []
         self._lifecycle_lock = threading.Lock()
+        # guards _search_engines/_rank_blocks; Engine is shareable across threads
+        self._registry_lock = threading.Lock()
         self._closed = False
 
     # -- construction -----------------------------------------------------------------
@@ -228,7 +231,9 @@ class Engine:
         self._invalidate_search_statistics()
 
     def _invalidate_search_statistics(self, table: str | None = None) -> None:
-        for (source, *_rest), searcher in self._search_engines.items():
+        with self._registry_lock:
+            searchers = list(self._search_engines.items())
+        for (source, *_rest), searcher in searchers:
             if table is None or source == table:
                 searcher.invalidate()
 
@@ -237,7 +242,9 @@ class Engine:
         self.plan_cache.clear()
         self.database.clear_cache()
         self._invalidate_search_statistics()
-        for block in self._rank_blocks.values():
+        with self._registry_lock:
+            blocks = list(self._rank_blocks.values())
+        for block in blocks:
             block.clear_statistics()
 
     # -- lifecycle --------------------------------------------------------------------
@@ -272,8 +279,9 @@ class Engine:
             self._plan_executor.close()
         finally:
             self.plan_cache.clear()
-            self._search_engines.clear()
-            self._rank_blocks.clear()
+            with self._registry_lock:
+                self._search_engines.clear()
+                self._rank_blocks.clear()
             self.database.clear_cache()
             self.database.catalog.release()
             self.store._triples_list = []
@@ -430,6 +438,7 @@ class Engine:
         """
         from repro.storage.format import read_manifest
         from repro.storage.shards import read_shard_map, shard_rowids
+        from repro.storage.snapshot import read_table_schemas
         from repro.triples.partitioning import make_storage
 
         shard_map = read_shard_map(path)
@@ -460,11 +469,15 @@ class Engine:
         engine._plan_executor = plan_executor
 
         # coordinator tables hydrate on demand by gathering shard fragments
-        # back into exact original row order (the bit-identity fallback path)
+        # back into exact original row order (the bit-identity fallback path);
+        # fragment schemas equal the unsharded table's, so shard 0's manifest
+        # declares each lazy table's schema for hydration-free verification
+        schemas = read_table_schemas(shard_map.shard_directories[0] / "database")
         for name in shard_map.table_names:
             engine.database.catalog.create_lazy_table(
                 name,
                 lambda name=name: gather_table(plan_executor.backends, name),
+                schema=schemas.get(name),
             )
 
         # the triple store reuses the shard layout's storage strategy; the
@@ -574,6 +587,60 @@ class Engine:
         where the optimizer pushed it.
         """
         return self.spinql(source, **bindings).explain(top_k=top_k)
+
+    def analyze(
+        self,
+        source_or_plan: "str | PraPlan",
+        *,
+        top_k: int | None = None,
+        hydrate: bool = True,
+        **bindings: Any,
+    ):
+        """Statically verify a SpinQL program or PRA plan without executing it.
+
+        Returns an :class:`~repro.analysis.diagnostics.AnalysisReport`: the
+        derived output schema, typed error/warning/note diagnostics with plan
+        provenance, and — on a sharded engine — the shard-safety
+        classification the scatter-gather executor itself uses.  No data is
+        read unless ``hydrate`` forces lazy schemas to resolve (set
+        ``hydrate=False`` to keep the check purely in-memory; unknowable
+        schemas then surface as ``unknown-schema`` warnings instead of false
+        "ok"s).
+        """
+        if isinstance(source_or_plan, PraPlan):
+            return self._verify_plan(
+                self._optimize_plan(source_or_plan),
+                bindings=_coerce_bindings(bindings),
+                hydrate=hydrate,
+            )
+        return self.spinql(source_or_plan, **bindings).check(top_k=top_k, hydrate=hydrate)
+
+    def _verify_plan(
+        self,
+        plan: PraPlan,
+        *,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+        parameters: Iterable[str] = (),
+        hydrate: bool = True,
+    ):
+        """Run the static verifier over ``plan`` against this engine's catalog.
+
+        The shard-safety classification is enabled exactly when this engine
+        executes through a scatter-gather executor, using the executor's own
+        ``shard_map.is_partitioned`` — verifier and executor can never
+        disagree about which plans scatter.
+        """
+        from repro.analysis.verifier import CatalogSchemaProvider, verify_plan
+
+        shard_map = getattr(self._plan_executor, "shard_map", None)
+        return verify_plan(
+            plan,
+            schema_provider=CatalogSchemaProvider(self.database, hydrate=hydrate),
+            functions=self.database.functions,
+            parameters=parameters,
+            bindings=bindings,
+            partitioned=shard_map.is_partitioned if shard_map is not None else None,
+        )
 
     def execute_many(
         self,
@@ -722,7 +789,8 @@ class Engine:
         model_key = repr(model.describe()) if model is not None else "default"
         expander_key = id(expander) if expander is not None else None
         key = (table, pipeline, model_key, expander_key, id_column, text_column)
-        searcher = self._search_engines.get(key)
+        with self._registry_lock:
+            searcher = self._search_engines.get(key)
         if searcher is None:
             searcher = KeywordSearchEngine(
                 self.database,
@@ -734,7 +802,9 @@ class Engine:
                 text_column=text_column,
                 expander=expander,
             )
-            self._search_engines[key] = searcher
+            with self._registry_lock:
+                # a concurrent builder may have won the race; keep its searcher
+                searcher = self._search_engines.setdefault(key, searcher)
         return searcher
 
     def _rank_documents(
@@ -750,10 +820,12 @@ class Engine:
 
         model_key = repr(model.describe()) if model is not None else "default"
         key = (model_key, top_k)
-        block = self._rank_blocks.get(key)
+        with self._registry_lock:
+            block = self._rank_blocks.get(key)
         if block is None:
             block = RankByTextBlock(model, language=self.language, top_k=top_k)
-            self._rank_blocks[key] = block
+            with self._registry_lock:
+                block = self._rank_blocks.setdefault(key, block)
         # the rank block expects (docID, data, p) column names
         relation = docs.relation
         id_name, text_name = docs.value_columns

@@ -56,7 +56,7 @@ from repro.ir.ranking.base import RankedList, RankingModel
 from repro.ir.statistics import CollectionStatistics, GlobalStatistics, ShardCollectionStatistics
 from repro.pra import operators as pra_operators
 from repro.pra.evaluator import PRAEvaluator
-from repro.pra.plan import PraParam, PraPlan, PraScan, PraSelect, PraTop, PraWeight
+from repro.pra.plan import PraPlan
 from repro.pra.relation import PROBABILITY_COLUMN, ProbabilisticRelation
 from repro.relational.column import Column, DataType
 from repro.relational.relation import Relation
@@ -67,9 +67,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: hidden trailing value column carrying original row indices through a scatter
 GATHER_ROW_COLUMN = "__shard_row__"
-
-#: parameter name binding a shard's augmented fragment into a segment plan
-FRAGMENT_PARAM = "__shard_fragment__"
 
 
 # ---------------------------------------------------------------------------
@@ -115,110 +112,19 @@ def model_from_descriptor(descriptor: dict[str, Any] | None) -> RankingModel | N
 # scatter planning
 # ---------------------------------------------------------------------------
 
-
-@dataclass
-class ScatterSegment:
-    """One scatterable subtree: a row-local chain over a partitioned scan."""
-
-    plan: PraPlan  # the original subtree (chain, optionally under one TOP)
-    table: str
-    top_k: int | None = None  # set when the subtree root is a TOP node
-
-    def shard_plan(self) -> PraPlan:
-        """The per-shard plan: the same chain with the scan leaf replaced
-        by the fragment parameter."""
-        return _replace_scan(self.plan, PraParam(FRAGMENT_PARAM))
-
-    def gather(self, results: Sequence[ProbabilisticRelation]) -> ProbabilisticRelation:
-        if self.top_k is not None:
-            return gather_top(results, self.top_k)
-        return gather_concat(results)
-
-
-def _chain_table(plan: PraPlan, partitioned: Callable[[str], bool]) -> str | None:
-    """The partitioned table under a pure SELECT/WEIGHT chain, else ``None``."""
-    node = plan
-    while isinstance(node, (PraSelect, PraWeight)):
-        node = node.child
-    if isinstance(node, PraScan) and partitioned(node.table):
-        return node.table
-    return None
-
-
-def _replace_scan(plan: PraPlan, leaf: PraPlan) -> PraPlan:
-    if isinstance(plan, PraScan):
-        return leaf
-    if isinstance(plan, PraSelect):
-        return PraSelect(_replace_scan(plan.child, leaf), plan.predicate)
-    if isinstance(plan, PraWeight):
-        return PraWeight(_replace_scan(plan.child, leaf), plan.factor)
-    if isinstance(plan, PraTop):
-        return PraTop(_replace_scan(plan.child, leaf), plan.k)
-    raise EngineError(f"cannot scatter plan node {type(plan).__name__}")
-
-
-def match_segment(plan: PraPlan, partitioned: Callable[[str], bool]) -> ScatterSegment | None:
-    """Match the largest scatterable segment rooted at ``plan``."""
-    if isinstance(plan, PraTop):
-        table = _chain_table(plan.child, partitioned)
-        if table is not None:
-            return ScatterSegment(plan, table, top_k=plan.k)
-    table = _chain_table(plan, partitioned)
-    if table is not None:
-        return ScatterSegment(plan, table)
-    return None
-
-
-def extract_segments(
-    plan: PraPlan,
-    partitioned: Callable[[str], bool],
-    segments: list[tuple[str, ScatterSegment]],
-) -> PraPlan:
-    """Replace every scatterable segment with a gather parameter.
-
-    Returns the rewritten coordinator plan; ``segments`` collects
-    ``(parameter name, segment)`` pairs in discovery order.
-    """
-    segment = match_segment(plan, partitioned)
-    if segment is not None:
-        name = f"__gather_{len(segments)}__"
-        segments.append((name, segment))
-        return PraParam(name)
-    children = plan.children()
-    if not children:
-        return plan
-    rebuilt = [extract_segments(child, partitioned, segments) for child in children]
-    if all(new is old for new, old in zip(rebuilt, children)):
-        return plan
-    return _with_children(plan, rebuilt)
-
-
-def _with_children(plan: PraPlan, children: list[PraPlan]) -> PraPlan:
-    from repro.pra.plan import (
-        PraBayes,
-        PraJoin,
-        PraProject,
-        PraSubtract,
-        PraUnite,
-    )
-
-    if isinstance(plan, PraSelect):
-        return PraSelect(children[0], plan.predicate)
-    if isinstance(plan, PraProject):
-        return PraProject(children[0], plan.positions, plan.assumption, plan.output_names)
-    if isinstance(plan, PraJoin):
-        return PraJoin(children[0], children[1], plan.conditions, plan.assumption)
-    if isinstance(plan, PraUnite):
-        return PraUnite(children[0], children[1], plan.assumption)
-    if isinstance(plan, PraSubtract):
-        return PraSubtract(children[0], children[1])
-    if isinstance(plan, PraBayes):
-        return PraBayes(children[0], plan.evidence_positions)
-    if isinstance(plan, PraWeight):
-        return PraWeight(children[0], plan.factor)
-    if isinstance(plan, PraTop):
-        return PraTop(children[0], plan.k)
-    raise EngineError(f"cannot rebuild plan node {type(plan).__name__}")
+# The scatter planner (segment matching, extraction, shard-plan rewriting)
+# moved to the analysis layer so the static verifier classifies plans with
+# the *same* code path the executors dispatch with — see
+# :mod:`repro.analysis.locality`.  Re-exported here for compatibility.
+from repro.analysis.locality import (  # noqa: E402
+    FRAGMENT_PARAM,
+    ScatterSegment,
+    _chain_table,
+    _replace_scan,
+    _with_children,
+    extract_segments,
+    match_segment,
+)
 
 
 # ---------------------------------------------------------------------------

@@ -206,6 +206,18 @@ class Query:
         """Describe how the query will run (plans, translations, configuration)."""
         raise NotImplementedError
 
+    def check(self, **parameters: Any):
+        """Statically verify the query without executing it.
+
+        Returns an :class:`~repro.analysis.diagnostics.AnalysisReport`; only
+        plan-backed queries (SpinQL, the fluent builder, ranked builders)
+        support it — result-opaque queries raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not plan-backed; check() is only "
+            "available for SpinQL and builder queries"
+        )
+
 
 def _explain_plan_sections(engine: "Engine", plan: PraPlan) -> list[str]:
     optimized = engine._optimize_plan(plan)
@@ -290,7 +302,26 @@ class SpinQLQuery(Query):
         result = self._engine._evaluate(optimized, self._merged_bindings(parameters))
         return result_pairs(result, k)
 
-    def explain_data(self, *, top_k: int | None = None) -> dict[str, str]:
+    def check(self, *, top_k: int | None = None, hydrate: bool = True, **parameters: Any):
+        """Statically verify the program without executing it.
+
+        The verifier runs over the *optimized* plan — the one
+        :meth:`execute` / :meth:`top` actually evaluate — against the
+        engine's catalog, so a report with no errors means evaluation will
+        not raise a schema, binding or assumption error.  ``parameters``
+        override stored bindings exactly as in :meth:`execute`;
+        ``hydrate=False`` keeps the check purely in-memory (lazy snapshot
+        tables and views then report ``unknown-schema`` warnings rather than
+        resolving — this is what the serving router's pre-dispatch gate
+        uses).
+        """
+        self._check_declared(parameters)
+        _, optimized = self.plans(top_k=top_k)
+        return self._engine._verify_plan(
+            optimized, bindings=self._merged_bindings(parameters), hydrate=hydrate
+        )
+
+    def explain_data(self, *, top_k: int | None = None) -> dict[str, Any]:
         """The explain report as structured data (used by the CLI's --json)."""
         plan, optimized = self.plans(top_k=top_k)
         return {
@@ -299,6 +330,7 @@ class SpinQLQuery(Query):
             "pra_plan": plan.describe(),
             "optimized_plan": optimized.describe(),
             "sql": to_sql(optimized),
+            "analysis": self.check(top_k=top_k).to_dict(),
         }
 
     def explain(self, *, top_k: int | None = None) -> str:
@@ -309,6 +341,7 @@ class SpinQLQuery(Query):
         sections += ["PRA plan:", data["pra_plan"]]
         sections += ["", "Optimized PRA plan:", data["optimized_plan"]]
         sections += ["", "SQL translation:", data["sql"]]
+        sections += ["", "Static analysis:", self.check(top_k=top_k).render()]
         return "\n".join(sections)
 
 
@@ -457,9 +490,22 @@ class TableQuery(Query):
         """Rank-aware top-k: execute under a pushed-down ``TOP k`` node."""
         return result_pairs(self.top_k(k).execute(**parameters), k)
 
+    def check(self, *, hydrate: bool = True, **parameters: Any):
+        """Statically verify the chain; ``parameters`` bind as in :meth:`execute`.
+
+        Plan parameters left unbound are reported as ``unbound-parameter``
+        errors, matching what :meth:`execute` would raise.
+        """
+        bindings = dict(self._bindings)
+        bindings.update(_coerce_bindings(parameters))
+        return self._engine._verify_plan(
+            self._engine._optimize_plan(self._plan), bindings=bindings, hydrate=hydrate
+        )
+
     def explain(self) -> str:
         sections = [f"Builder query over columns {self._columns}:", ""]
         sections += _explain_plan_sections(self._engine, self._plan)
+        sections += ["", "Static analysis:", self.check().render()]
         return "\n".join(sections)
 
 
@@ -496,6 +542,10 @@ class RankedQuery(Query):
         return self._engine._rank_documents(
             docs, effective, model=self._model, top_k=self._top_k
         )
+
+    def check(self, *, hydrate: bool = True, **parameters: Any):
+        """Statically verify the underlying docs query (ranking is schema-free)."""
+        return self._docs.check(hydrate=hydrate, **parameters)
 
     def explain(self) -> str:
         model = self._model.describe() if self._model is not None else "BM25 (default)"

@@ -82,7 +82,7 @@ class SpinQLError(ReproError):
 class SpinQLSyntaxError(SpinQLError):
     """The SpinQL source text could not be tokenized or parsed."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
         location = ""
         if line is not None:
             location = f" at line {line}"
@@ -117,10 +117,28 @@ class EngineError(ReproError):
     """The engine facade was used incorrectly (bad binding, malformed chain)."""
 
 
+class AnalysisError(ReproError):
+    """A plan failed static verification.
+
+    Raised by :meth:`repro.analysis.AnalysisReport.raise_if_errors` (and by
+    surfaces built on it, such as the serving router's pre-dispatch gate).
+    Carries the error-severity diagnostics so callers can render structured
+    output instead of one flattened message.
+    """
+
+    def __init__(self, message: str, diagnostics: "tuple | list | None" = None) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics or ())
+
+
+class AnalysisWarning(Warning):
+    """Warning category for non-fatal findings of the static plan verifier."""
+
+
 class StorageError(ReproError):
     """A snapshot could not be written or read (missing files, bad manifest)."""
 
-    def __init__(self, message: str, path: "str | None" = None):
+    def __init__(self, message: str, path: "str | None" = None) -> None:
         if path is not None:
             message = f"{message} (path: {path})"
         super().__init__(message)

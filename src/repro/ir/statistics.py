@@ -448,7 +448,7 @@ def build_statistics(
     for term_id, doc_map in term_postings.items():
         doc_indices = np.fromiter(doc_map.keys(), dtype=np.int64, count=len(doc_map))
         frequencies = np.fromiter(doc_map.values(), dtype=np.int64, count=len(doc_map))
-        order = np.argsort(doc_indices)
+        order = np.argsort(doc_indices, kind="stable")
         postings_arrays[term_id] = (doc_indices[order], frequencies[order])
         document_frequency[term_id] = len(doc_map)
 
@@ -650,7 +650,7 @@ class RelationalStatisticsBuilder:
         for term_id, doc_map in term_postings.items():
             doc_indices = np.fromiter(doc_map.keys(), dtype=np.int64, count=len(doc_map))
             frequencies = np.fromiter(doc_map.values(), dtype=np.int64, count=len(doc_map))
-            order = np.argsort(doc_indices)
+            order = np.argsort(doc_indices, kind="stable")
             postings_arrays[term_id] = (doc_indices[order], frequencies[order])
             document_frequency[term_id] = len(doc_map)
 

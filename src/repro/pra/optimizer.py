@@ -222,19 +222,14 @@ def _push_top_past_weight(plan: PraPlan) -> PraPlan:
 def _produces_distinct(plan: PraPlan) -> bool:
     """True if ``plan`` provably never emits two rows with equal value columns.
 
-    Projection and union merge duplicates by construction; selection, weight,
-    Bayes and top preserve distinctness; a join of two distinct inputs pairs
-    distinct combined rows.  Scans, literals and parameters make no promise.
+    The duplicate-freeness lattice is shared with the static verifier; the
+    single implementation lives in :mod:`repro.analysis.lattice` so the
+    optimizer's prune rule and the verifier's assumption diagnostics can
+    never drift apart.
     """
-    if isinstance(plan, (PraProject, PraUnite)):
-        return True
-    if isinstance(plan, (PraSelect, PraWeight, PraBayes, PraTop)):
-        return _produces_distinct(plan.children()[0])
-    if isinstance(plan, PraSubtract):
-        return _produces_distinct(plan.left)
-    if isinstance(plan, PraJoin):
-        return _produces_distinct(plan.left) and _produces_distinct(plan.right)
-    return False
+    from repro.analysis.lattice import produces_distinct
+
+    return produces_distinct(plan)
 
 
 def _already_pruned(side: PraPlan, k: int) -> bool:

@@ -166,7 +166,8 @@ class MaterializationCache:
             return
         while len(self._entries) > self._max_entries:
             oldest = self._order.pop(0)
-            del self._entries[oldest]
+            # only reachable from put()/clear(), which hold self._lock
+            del self._entries[oldest]  # repro-lint: disable=RL003
         self._refresh_size_counters()
 
     def _refresh_size_counters(self) -> None:

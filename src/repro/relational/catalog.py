@@ -16,6 +16,7 @@ from collections.abc import Callable
 from repro.errors import CatalogError
 from repro.relational.algebra import LogicalPlan
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
 
 
 class Catalog:
@@ -24,6 +25,9 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Relation] = {}
         self._lazy: dict[str, Callable[[], Relation]] = {}
+        # schemas declared for lazy tables (snapshot manifests record them),
+        # so static analysis can see column names/dtypes without hydrating
+        self._lazy_schemas: dict[str, Schema] = {}
         self._views: dict[str, LogicalPlan] = {}
         # guards lazy hydration: concurrent first scans of the same table
         # (execute_many workers) must run the loader exactly once
@@ -37,22 +41,38 @@ class Catalog:
             raise CatalogError(f"table or view {name!r} already exists")
         self._views.pop(name, None)
         self._lazy.pop(name, None)
+        self._lazy_schemas.pop(name, None)
         self._tables[name] = relation
 
     def create_lazy_table(
-        self, name: str, loader: Callable[[], Relation], *, replace: bool = False
+        self,
+        name: str,
+        loader: Callable[[], Relation],
+        *,
+        replace: bool = False,
+        schema: Schema | None = None,
     ) -> None:
-        """Register a table whose contents are produced by ``loader`` on first scan."""
+        """Register a table whose contents are produced by ``loader`` on first scan.
+
+        ``schema`` optionally declares the loader's output schema up front
+        (snapshot manifests know it), letting :meth:`declared_schema` answer
+        without running the loader.
+        """
         if not replace and self.exists(name):
             raise CatalogError(f"table or view {name!r} already exists")
         self._views.pop(name, None)
         self._tables.pop(name, None)
         self._lazy[name] = loader
+        if schema is not None:
+            self._lazy_schemas[name] = schema
+        else:
+            self._lazy_schemas.pop(name, None)
 
     def drop_table(self, name: str) -> None:
         """Remove the base table called ``name``."""
         if name in self._lazy:
             del self._lazy[name]
+            self._lazy_schemas.pop(name, None)
             return
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
@@ -64,6 +84,19 @@ class Catalog:
     def is_hydrated(self, name: str) -> bool:
         """True when ``name`` is a table whose contents are in memory already."""
         return name in self._tables
+
+    def declared_schema(self, name: str) -> Schema | None:
+        """The schema of table ``name`` without hydrating it, if knowable.
+
+        Hydrated tables answer from the relation; lazy tables answer from the
+        schema declared at registration (``None`` when the loader's output
+        shape was not declared).  Views always answer ``None`` — resolving a
+        view's schema requires building its plan.
+        """
+        relation = self._tables.get(name)
+        if relation is not None:
+            return relation.schema
+        return self._lazy_schemas.get(name)
 
     def table(self, name: str) -> Relation:
         """Return the base table called ``name``, hydrating a lazy table if needed."""
@@ -79,6 +112,7 @@ class Catalog:
                 relation = loader()
                 self._tables[name] = relation
                 del self._lazy[name]
+                self._lazy_schemas.pop(name, None)
                 return relation
         raise CatalogError(
             f"unknown table {name!r}; known: {sorted(self.table_names_set())}"
@@ -132,6 +166,7 @@ class Catalog:
         """
         self._tables.clear()
         self._lazy.clear()
+        self._lazy_schemas.clear()
         self._views.clear()
 
     def table_names_set(self) -> set[str]:

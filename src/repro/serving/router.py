@@ -151,6 +151,19 @@ class Router:
         source = request["source"]
         top_k = request.get("top_k")
         query = self.engine.spinql(source)
+        # pre-dispatch gate: statically verify before the plan ever reaches
+        # the executor.  hydrate=False keeps the gate off the disk — snapshot
+        # tables carry manifest-declared schemas, so the gate still sees full
+        # column/dtype information; anything the catalog genuinely cannot
+        # resolve degrades to a warning, never to a false rejection.
+        report = query.check(top_k=top_k, hydrate=False)
+        if not report.ok:
+            return {
+                "ok": False,
+                "status": 400,
+                "error": "plan failed static verification",
+                "analysis": report.to_dict(),
+            }
         if top_k is not None:
             pairs = query.top(top_k)
         else:

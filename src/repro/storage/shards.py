@@ -60,7 +60,7 @@ def shard_directory_name(index: int) -> str:
 class ShardMap:
     """The parsed top-level manifest of a partitioned snapshot."""
 
-    def __init__(self, path: Path, manifest: dict[str, Any]):
+    def __init__(self, path: Path, manifest: dict[str, Any]) -> None:
         self.path = Path(path)
         self.num_shards = int(manifest["shards"])
         self.partitioner = dict(manifest["partitioner"])
@@ -91,7 +91,7 @@ class ShardMap:
 class ShardRowids:
     """Lazy per-table original-row-index arrays of one shard."""
 
-    def __init__(self, shard_directory: Path, directories: dict[str, str], store_rowids: str):
+    def __init__(self, shard_directory: Path, directories: dict[str, str], store_rowids: str) -> None:
         self._directory = Path(shard_directory)
         self._directories = directories
         self._store_rowids = store_rowids
@@ -127,7 +127,9 @@ def _default_shard_key(relation: Relation) -> str:
     return relation.schema.names[0]
 
 
-def _split_warm_statistics(engine: "Engine", table_indices: dict[str, list[np.ndarray]]):
+def _split_warm_statistics(
+    engine: "Engine", table_indices: dict[str, list[np.ndarray]]
+) -> dict[tuple, list]:
     """Split every saveable warm searcher's statistics by the docs partition.
 
     Returns ``{searcher_key: [per-shard CollectionStatistics]}`` for searchers

@@ -87,6 +87,23 @@ def save_database(database: "Database", path: str | Path) -> Path:
     return directory
 
 
+def read_table_schemas(path: str | Path) -> "dict[str, Schema]":
+    """Table schemas recorded in a database snapshot's manifest.
+
+    Reads only the manifest — no column data is touched.  Used to declare
+    lazy-table schemas so static analysis can check plans against snapshots
+    without hydrating anything.
+    """
+    directory = require_directory(Path(path), what="database snapshot")
+    manifest = read_manifest(directory, "database")
+    return {
+        table["name"]: Schema(
+            [Field(entry["name"], DataType(entry["dtype"])) for entry in table["columns"]]
+        )
+        for table in manifest["tables"]
+    }
+
+
 def open_database(
     path: str | Path,
     *,
@@ -116,7 +133,12 @@ def open_database(
         def loader(payload: dict[str, Any] = table, where: Path = table_dir) -> Relation:
             return _read_relation_payload(payload, where, mmap=mmap)
 
-        database.catalog.create_lazy_table(table["name"], loader)
+        # declare the manifest's schema up front so static analysis can
+        # resolve column names/dtypes without hydrating the table
+        schema = Schema(
+            [Field(entry["name"], DataType(entry["dtype"])) for entry in table["columns"]]
+        )
+        database.catalog.create_lazy_table(table["name"], loader, schema=schema)
     return database
 
 

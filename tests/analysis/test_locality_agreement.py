@@ -1,0 +1,144 @@
+"""Shard-safety classification must agree with the scatter-gather executor.
+
+``AnalysisReport.locality`` is produced by ``repro.analysis.locality.classify``,
+which the scatter-gather executors also call at dispatch time — so for every
+plan and every shard count the static segment list must match what the
+executor actually scattered (``last_scatter``), and the sharded result must
+stay bit-identical to the unsharded engine.  Shard counts 1 through 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine
+from repro.workloads.products import generate_product_triples
+
+SHARD_COUNTS = (1, 2, 3, 4)
+
+PROGRAMS = {
+    "chain": 'docs = SELECT [$2="category"] (triples);',
+    "weighted_chain": 'docs = WEIGHT [0.7] (SELECT [$2="category"] (triples));',
+    "join": 'docs = JOIN INDEPENDENT [$1=$1] ('
+    ' SELECT [$2="category"] (triples), SELECT [$2="description"] (triples) );',
+    "unite": "united = UNITE INDEPENDENT ("
+    ' SELECT [$2="category"] (triples), SELECT [$2="description"] (triples) );',
+}
+
+#: how many scatterable segments each program must classify to
+EXPECTED_SEGMENTS = {"chain": 1, "weighted_chain": 1, "join": 2, "unite": 2}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_product_triples(60, seed=11)
+
+
+@pytest.fixture(scope="module")
+def snapshots(workload, tmp_path_factory):
+    """One sharded snapshot per shard count, written once for the module."""
+    root = tmp_path_factory.mktemp("locality")
+    source_engine = Engine.from_triples(workload.triples)
+    paths = {}
+    try:
+        for shards in SHARD_COUNTS:
+            path = root / f"snap-{shards}"
+            source_engine.save(path, shards=shards)
+            paths[shards] = path
+    finally:
+        source_engine.close()
+    return paths
+
+
+@pytest.fixture(scope="module")
+def baseline(workload):
+    """Unsharded results, the bit-identity reference."""
+    engine = Engine.from_triples(workload.triples)
+    try:
+        yield {
+            name: list(engine.spinql(source).execute().rows())
+            for name, source in PROGRAMS.items()
+        }
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_classification_matches_executor(snapshots, baseline, name, shards):
+    source = PROGRAMS[name]
+    engine = Engine.open_sharded(snapshots[shards])
+    try:
+        report = engine.spinql(source).check()
+        assert report.ok, report.render()
+        assert report.locality is not None
+        assert len(report.locality.segments) == EXPECTED_SEGMENTS[name]
+        assert report.locality.scatterable
+
+        result = engine.spinql(source).execute()
+
+        scatter = engine._plan_executor.last_scatter
+        assert scatter is not None, "executor did not scatter a classified-scatterable plan"
+        # the executor scattered exactly the segments the verifier classified
+        assert scatter["segments"] == len(report.locality.segments)
+        assert scatter["tables"] == [segment.table for segment in report.locality.segments]
+        # and the scattered result is bit-identical to the unsharded engine
+        assert list(result.rows()) == baseline[name]
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_top_capped_segment_carries_k(snapshots, shards):
+    """check(top_k=...) classifies a TOP-capped segment, matching dispatch."""
+    engine = Engine.open_sharded(snapshots[shards])
+    try:
+        query = engine.spinql(PROGRAMS["chain"])
+        report = query.check(top_k=5)
+        assert report.ok, report.render()
+        assert report.locality is not None
+        assert [segment.top_k for segment in report.locality.segments] == [5]
+
+        pairs = query.top(5)
+        assert len(pairs) <= 5
+        scatter = engine._plan_executor.last_scatter
+        assert scatter is not None
+        assert scatter["segments"] == 1
+    finally:
+        engine.close()
+
+
+def test_check_without_hydration_resolves_snapshot_schemas(workload, tmp_path):
+    """The serving gate's hydrate=False check sees manifest-declared schemas."""
+    source_engine = Engine.from_triples(workload.triples)
+    try:
+        path = source_engine.save(tmp_path / "snap")
+    finally:
+        source_engine.close()
+    opened = Engine.open(path)
+    try:
+        report = opened.spinql(PROGRAMS["chain"]).check(hydrate=False)
+        assert report.ok, report.render()
+        assert report.output_columns is not None  # schema known, not skipped
+        assert all(d.code != "unknown-schema" for d in report.diagnostics)
+        # and knowing it cost nothing: the table is still cold
+        assert not opened.database.catalog.is_hydrated("triples")
+
+        broken = opened.spinql('docs = SELECT [$9="x"] (triples);').check(hydrate=False)
+        assert not broken.ok
+        assert any(d.code == "position-out-of-range" for d in broken.errors)
+        assert not opened.database.catalog.is_hydrated("triples")
+    finally:
+        opened.close()
+
+
+def test_unpartitioned_engine_reports_no_locality(workload):
+    """A plain (single-engine) setup has no shard map: locality stays None."""
+    engine = Engine.from_triples(workload.triples)
+    try:
+        report = engine.spinql(PROGRAMS["chain"]).check()
+        assert report.ok
+        assert report.locality is None
+        assert all(d.code != "scatter" for d in report.diagnostics)
+    finally:
+        engine.close()

@@ -1,0 +1,421 @@
+"""Negative-plan corpus: every diagnostic code, with exact provenance.
+
+One test per diagnostic code of the static verifier.  Each asserts the
+exact message, the child-index path, and (where the node rendering is
+load-bearing) the node header — so a regression in either the rule or the
+provenance plumbing fails loudly, not as a fuzzy "some error was emitted".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, verify_plan
+from repro.analysis.verifier import CatalogSchemaProvider, SchemaProvider
+from repro.errors import AnalysisError
+from repro.pra.assumptions import Assumption
+from repro.pra.expressions import PositionalRef
+from repro.pra.plan import (
+    PraBayes,
+    PraJoin,
+    PraParam,
+    PraPlan,
+    PraProject,
+    PraScan,
+    PraSelect,
+    PraSubtract,
+    PraTop,
+    PraUnite,
+    PraValues,
+    PraWeight,
+)
+from repro.pra.relation import ProbabilisticRelation
+from repro.relational.column import DataType
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def leaf(*dtypes: DataType, rows: list[tuple] | None = None) -> PraValues:
+    """A literal leaf with value columns c0.. of the given dtypes, plus p."""
+    fields = [Field(f"c{index}", dtype) for index, dtype in enumerate(dtypes)]
+    fields.append(Field("p", DataType.FLOAT))
+    relation = Relation.from_rows(Schema(fields), rows or [])
+    return PraValues(ProbabilisticRelation(relation, validate=False), label="fixture")
+
+
+def string_leaf(arity: int = 1) -> PraValues:
+    return leaf(*([DataType.STRING] * arity))
+
+
+def only(report, code: str, severity: Severity):
+    """The single diagnostic with ``code``; asserts its severity."""
+    matches = [d for d in report.diagnostics if d.code == code]
+    assert len(matches) == 1, f"expected one {code}, got {report.render()}"
+    assert matches[0].severity is severity
+    return matches[0]
+
+
+class TestScanDiagnostics:
+    def test_unknown_table(self):
+        report = verify_plan(PraSelect(PraScan("nope"), Literal(True)))
+        diagnostic = only(report, "unknown-table", Severity.ERROR)
+        assert diagnostic.message == "table or view 'nope' is not in the catalog"
+        assert diagnostic.path == (0,)
+        assert diagnostic.node == "Scan(nope)"
+        assert not report.ok
+
+    def test_invalid_probability_column(self):
+        database = Database()
+        schema = Schema([Field("p", DataType.FLOAT), Field("x", DataType.STRING)])
+        database.create_table("weird", Relation.from_rows(schema, []))
+        report = verify_plan(
+            PraScan("weird"), schema_provider=CatalogSchemaProvider(database)
+        )
+        diagnostic = only(report, "invalid-probability-column", Severity.ERROR)
+        assert diagnostic.message == (
+            "table 'weird' has a column named 'p' that is not a trailing FLOAT "
+            "column; it cannot be lifted to a probabilistic relation"
+        )
+        assert diagnostic.path == ()
+
+    def test_unknown_schema_warning_not_false_ok(self):
+        class OpaqueProvider(SchemaProvider):
+            def exists(self, name: str) -> bool:
+                return True
+
+            def schema_of(self, name: str):
+                return None
+
+        report = verify_plan(PraScan("lazy"), schema_provider=OpaqueProvider())
+        diagnostic = only(report, "unknown-schema", Severity.WARNING)
+        assert diagnostic.message == (
+            "the schema of 'lazy' is not statically known (lazy table or view, "
+            "hydration disabled); downstream checks are skipped"
+        )
+        assert report.ok  # a warning, not an error: the plan may be fine
+        assert report.output_columns is None  # but the schema is not claimed
+
+
+class TestParameterDiagnostics:
+    def test_unbound_parameter(self):
+        report = verify_plan(PraSelect(PraParam("seeds"), Literal(True)))
+        diagnostic = only(report, "unbound-parameter", Severity.ERROR)
+        assert diagnostic.message == (
+            "unbound plan parameter 'seeds'; declared parameters: []"
+        )
+        assert diagnostic.path == (0,)
+        assert diagnostic.node == "Param(seeds)"
+
+    def test_declared_parameter_is_opaque_not_an_error(self):
+        report = verify_plan(PraParam("seeds"), parameters=["seeds"])
+        assert report.ok
+        assert report.output_columns is None
+
+
+class TestExpressionDiagnostics:
+    def test_unknown_column(self):
+        plan = PraSelect(string_leaf(), BinaryOp("=", ColumnRef("ghost"), Literal("x")))
+        report = verify_plan(plan)
+        diagnostic = only(report, "unknown-column", Severity.ERROR)
+        assert diagnostic.message == (
+            "unknown column 'ghost'; available columns: ['c0', 'p']"
+        )
+        assert diagnostic.path == ()
+
+    def test_position_out_of_range_in_predicate(self):
+        plan = PraSelect(string_leaf(), BinaryOp("=", PositionalRef(5), Literal("x")))
+        report = verify_plan(plan)
+        diagnostic = only(report, "position-out-of-range", Severity.ERROR)
+        assert diagnostic.message == (
+            "positional reference $5 out of range; the relation has 1 value "
+            "columns (['c0'])"
+        )
+
+    def test_type_mismatch_string_comparison(self):
+        plan = PraSelect(
+            leaf(DataType.STRING, DataType.INT),
+            BinaryOp("=", PositionalRef(1), PositionalRef(2)),
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "type-mismatch", Severity.ERROR)
+        assert diagnostic.message == "cannot compare string with int"
+
+    def test_type_mismatch_not_requires_boolean(self):
+        plan = PraSelect(string_leaf(), UnaryOp("not", PositionalRef(1)))
+        report = verify_plan(plan)
+        diagnostic = only(report, "type-mismatch", Severity.ERROR)
+        assert diagnostic.message == "NOT requires a boolean operand, got string"
+
+    def test_predicate_not_boolean(self):
+        plan = PraSelect(string_leaf(), Literal("yes"))
+        report = verify_plan(plan)
+        diagnostic = only(report, "predicate-not-boolean", Severity.ERROR)
+        assert diagnostic.message == (
+            "selection predicate must evaluate to a boolean column, got string"
+        )
+
+    def test_unknown_function(self):
+        plan = PraSelect(
+            string_leaf(),
+            BinaryOp("=", FunctionCall("reverse", [PositionalRef(1)]), Literal("x")),
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "unknown-function", Severity.ERROR)
+        assert diagnostic.message == "unknown scalar function 'reverse'"
+
+    def test_function_arity_mismatch(self):
+        plan = PraSelect(
+            string_leaf(),
+            BinaryOp(
+                "=",
+                FunctionCall("lcase", [PositionalRef(1), PositionalRef(1)]),
+                Literal("x"),
+            ),
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "arity-mismatch", Severity.ERROR)
+        assert diagnostic.message == "function 'lcase' expects 1 arguments, got 2"
+
+    def test_suspicious_in_list(self):
+        plan = PraSelect(string_leaf(), InList(PositionalRef(1), [1, 2]))
+        report = verify_plan(plan)
+        diagnostic = only(report, "suspicious-comparison", Severity.WARNING)
+        assert diagnostic.message == (
+            "IN list of ['int'] values can never contain a string operand"
+        )
+        assert report.ok
+
+
+class TestProjectDiagnostics:
+    def test_output_arity_mismatch(self):
+        plan = PraProject(
+            string_leaf(2), [1, 2], Assumption.INDEPENDENT, output_names=["only_one"]
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "output-arity-mismatch", Severity.ERROR)
+        assert diagnostic.message == (
+            "output_names must match the projected columns: 1 name(s) for 2 "
+            "position(s)"
+        )
+
+    def test_duplicate_output_names(self):
+        plan = PraProject(
+            string_leaf(2), [1, 2], Assumption.INDEPENDENT, output_names=["x", "x"]
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "duplicate-output-column", Severity.ERROR)
+        assert diagnostic.message == "duplicate output column names: ['x']"
+
+    def test_duplicate_positions_flagged_even_with_distinct_names(self):
+        # the kernel selects columns before renaming, so this raises at
+        # evaluation even though the output names differ
+        plan = PraProject(
+            string_leaf(2), [1, 1], Assumption.INDEPENDENT, output_names=["a", "b"]
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "duplicate-output-column", Severity.ERROR)
+        assert diagnostic.message == (
+            "positions [1] project the same column more than once"
+        )
+
+    def test_reserved_column_name(self):
+        plan = PraProject(string_leaf(2), [1], Assumption.INDEPENDENT, output_names=["p"])
+        report = verify_plan(plan)
+        diagnostic = only(report, "reserved-column-name", Severity.ERROR)
+        assert diagnostic.message == (
+            "output column name 'p' is reserved for the probability column; "
+            "projecting onto it silently discards the value column"
+        )
+
+    def test_position_out_of_range(self):
+        plan = PraProject(string_leaf(1), [3], Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "position-out-of-range", Severity.ERROR)
+        assert diagnostic.message == (
+            "positional reference $3 out of range; the relation has 1 value "
+            "columns (['c0'])"
+        )
+
+
+class TestOperatorDiagnostics:
+    def test_weight_out_of_range(self):
+        report = verify_plan(PraWeight(string_leaf(), 1.5))
+        diagnostic = only(report, "weight-out-of-range", Severity.ERROR)
+        assert diagnostic.message == (
+            "weight factor must lie in [0, 1] to keep probabilities valid, got 1.5"
+        )
+
+    def test_disjoint_join(self):
+        plan = PraJoin(string_leaf(), string_leaf(), [(1, 1)], Assumption.DISJOINT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "disjoint-join", Severity.ERROR)
+        assert diagnostic.message == (
+            "a disjoint join always yields probability zero; not supported"
+        )
+
+    def test_join_dtype_mismatch_warns(self):
+        plan = PraJoin(
+            leaf(DataType.STRING), leaf(DataType.INT), [(1, 1)], Assumption.INDEPENDENT
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "suspicious-comparison", Severity.WARNING)
+        assert diagnostic.message == (
+            "join condition $1=$1 (condition 1) compares string with int; "
+            "rows will never match"
+        )
+        assert report.ok  # runtime joins 0 rows without raising
+
+    def test_join_position_out_of_range_names_the_side(self):
+        plan = PraJoin(string_leaf(), string_leaf(), [(1, 4)], Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "position-out-of-range", Severity.ERROR)
+        assert diagnostic.message == (
+            "positional reference $4 out of range on the right side; the "
+            "relation has 1 value columns (['c0'])"
+        )
+
+    def test_bayes_position_out_of_range(self):
+        report = verify_plan(PraBayes(string_leaf(1), [2]))
+        diagnostic = only(report, "position-out-of-range", Severity.ERROR)
+        assert diagnostic.message == (
+            "positional reference $2 out of range; the relation has 1 value "
+            "columns (['c0'])"
+        )
+
+    def test_union_arity_mismatch(self):
+        plan = PraUnite(string_leaf(1), string_leaf(2), Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "arity-mismatch", Severity.ERROR)
+        assert diagnostic.message == (
+            "union requires inputs with the same number of value columns, "
+            "got 1 and 2"
+        )
+
+    def test_union_type_mismatch_error_for_uncoercible_string(self):
+        plan = PraUnite(leaf(DataType.INT), leaf(DataType.STRING), Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "union-type-mismatch", Severity.ERROR)
+        assert diagnostic.message == (
+            "column $1: the right side's string values cannot be coerced to the "
+            "left side's int column"
+        )
+
+    def test_union_type_mismatch_warning_for_lossy_coercion(self):
+        plan = PraUnite(leaf(DataType.INT), leaf(DataType.FLOAT), Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "union-type-mismatch", Severity.WARNING)
+        assert diagnostic.message == (
+            "column $1: the right side's float values are coerced to the left "
+            "side's int column (lossy; merged rows may be surprising)"
+        )
+        assert report.ok
+
+    def test_union_int_to_float_widening_is_silent(self):
+        plan = PraUnite(leaf(DataType.FLOAT), leaf(DataType.INT), Assumption.INDEPENDENT)
+        report = verify_plan(plan)
+        assert report.diagnostics == []
+
+    def test_assumption_unsound_on_disjoint_unite(self):
+        plan = PraUnite(string_leaf(), string_leaf(), Assumption.DISJOINT)
+        report = verify_plan(plan)
+        diagnostic = only(report, "assumption-unsound", Severity.WARNING)
+        assert diagnostic.message == (
+            "UNITE DISJOINT merges probabilities of equal value tuples, but the "
+            "left and right input(s) are not provably duplicate-free; duplicates "
+            "within one input are merged as if they were the same event"
+        )
+
+    def test_assumption_sound_when_sides_are_projections(self):
+        # PROJECT output is duplicate-free (the lattice), so SUBSUMED is sound
+        left = PraProject(string_leaf(2), [1], Assumption.INDEPENDENT)
+        right = PraProject(string_leaf(2), [2], Assumption.INDEPENDENT)
+        report = verify_plan(PraUnite(left, right, Assumption.SUBSUMED))
+        assert [d for d in report.diagnostics if d.code == "assumption-unsound"] == []
+
+    def test_subtract_type_mismatch_warns(self):
+        plan = PraSubtract(leaf(DataType.STRING), leaf(DataType.INT))
+        report = verify_plan(plan)
+        diagnostic = only(report, "subtract-type-mismatch", Severity.WARNING)
+        assert diagnostic.message == (
+            "column $1: subtracting int rows from a string column; no row can "
+            "match, so the subtraction never reduces any probability"
+        )
+
+    def test_unknown_node(self):
+        class Mystery(PraPlan):
+            def children(self) -> list[PraPlan]:
+                return []
+
+            def _describe_self(self) -> str:
+                return "Mystery"
+
+        report = verify_plan(Mystery())
+        diagnostic = only(report, "unknown-node", Severity.ERROR)
+        assert diagnostic.message == "unrecognized plan node Mystery"
+        assert diagnostic.node == "Mystery"
+
+
+class TestNotes:
+    def test_top_pushdown_note_positive_weight(self):
+        report = verify_plan(PraTop(PraWeight(string_leaf(), 0.5), 3))
+        diagnostic = only(report, "top-pushdown", Severity.NOTE)
+        assert diagnostic.message == (
+            "TOP 3 pushes below WEIGHT 0.5 (positive scaling preserves the ranking)"
+        )
+        assert report.ok
+
+    def test_top_pushdown_blocked_by_join(self):
+        plan = PraTop(
+            PraJoin(string_leaf(), string_leaf(), [(1, 1)], Assumption.INDEPENDENT), 2
+        )
+        report = verify_plan(plan)
+        diagnostic = only(report, "top-pushdown", Severity.NOTE)
+        assert diagnostic.message == (
+            "TOP cannot cross JOIN; the subtree below is evaluated in full"
+        )
+
+    def test_scatter_note_with_partition_layout(self):
+        database = Database()
+        schema = Schema([Field("s", DataType.STRING)])
+        database.create_table("triples", Relation.from_rows(schema, []))
+        report = verify_plan(
+            PraScan("triples"),
+            schema_provider=CatalogSchemaProvider(database),
+            partitioned=lambda table: table == "triples",
+        )
+        assert report.locality is not None
+        assert report.locality.scatterable
+        scatter = only(report, "scatter", Severity.NOTE)
+        assert scatter.severity is Severity.NOTE
+
+
+class TestReportSurface:
+    def test_output_schema_and_ok(self):
+        report = verify_plan(string_leaf(2))
+        assert report.ok
+        assert report.output_columns == [("c0", "string"), ("c1", "string")]
+        assert report.to_dict()["ok"] is True
+
+    def test_raise_if_errors_carries_diagnostics(self):
+        report = verify_plan(PraScan("nope"))
+        with pytest.raises(AnalysisError) as excinfo:
+            report.raise_if_errors()
+        assert excinfo.value.diagnostics == tuple(report.errors)
+        assert "unknown-table" in str(excinfo.value)
+
+    def test_diagnostic_render_format(self):
+        report = verify_plan(PraSelect(PraScan("nope"), Literal(True)))
+        rendered = report.errors[0].render()
+        assert rendered == (
+            "error[unknown-table] plan.0 (Scan(nope)): table or view 'nope' is "
+            "not in the catalog"
+        )

@@ -1,0 +1,195 @@
+"""Property-based agreement between the static verifier and the runtime.
+
+Three contracts, over the same random-plan strategy the plan-equivalence
+harness uses (fixed Hypothesis seed, dyadic probabilities):
+
+* **soundness** — a plan the verifier passes never raises at evaluation,
+  and the statically inferred output schema matches the evaluated relation;
+* **completeness on known-bad shapes** — a mutated plan (out-of-range
+  positional, invalid weight) is flagged with the matching diagnostic code
+  *and* raises a typed error at evaluation: no false "ok";
+* **extraction semantics** — the shard-safety classification
+  (``repro.analysis.locality.classify``, the executors' own segment walk)
+  is a pure restructuring: evaluating each extracted segment and binding the
+  results into the coordinator remainder reproduces the direct evaluation
+  bit-for-bit, and segments only ever cover partitioned tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import verify_plan
+from repro.analysis.locality import classify
+from repro.analysis.verifier import CatalogSchemaProvider
+from repro.errors import ReproError
+from repro.pra.assumptions import Assumption
+from repro.pra.evaluator import PRAEvaluator
+from repro.pra.expressions import PositionalRef
+from repro.pra.plan import PraJoin, PraScan, PraSelect, PraTop, PraUnite, PraWeight
+from repro.relational.column import DataType
+from repro.relational.database import Database
+from repro.relational.expressions import BinaryOp, Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from tests.property.test_plan_equivalence import EVALUATOR, SETTINGS, plans
+
+# ---------------------------------------------------------------------------
+# verifier vs. evaluator
+# ---------------------------------------------------------------------------
+
+
+class TestVerifierSoundness:
+    @SETTINGS
+    @given(st.data())
+    def test_check_pass_plans_never_raise_at_eval(self, data):
+        plan, _arity = data.draw(plans())
+        report = verify_plan(plan)
+        assert report.errors == [], report.render()
+        result = EVALUATOR.evaluate(plan)  # must not raise
+        if report.output_columns is not None:
+            inferred = [name for name, _dtype in report.output_columns]
+            assert inferred == list(result.relation.schema.names[:-1])
+
+    @SETTINGS
+    @given(st.data())
+    def test_out_of_range_projection_is_flagged_and_raises(self, data):
+        plan, arity = data.draw(plans())
+        from repro.pra.plan import PraProject
+
+        broken = PraProject(plan, [arity + 1], Assumption.INDEPENDENT)
+        report = verify_plan(broken)
+        assert any(d.code == "position-out-of-range" for d in report.errors)
+        with pytest.raises(ReproError):
+            EVALUATOR.evaluate(broken)
+
+    @SETTINGS
+    @given(st.data())
+    def test_invalid_weight_is_flagged_and_raises(self, data):
+        plan, _arity = data.draw(plans())
+        factor = data.draw(st.sampled_from([-0.5, 1.5, 2.0]))
+        broken = PraWeight(plan, factor)
+        report = verify_plan(broken)
+        assert any(d.code == "weight-out-of-range" for d in report.errors)
+        with pytest.raises(ReproError):
+            EVALUATOR.evaluate(broken)
+
+
+# ---------------------------------------------------------------------------
+# classification vs. execution semantics
+# ---------------------------------------------------------------------------
+
+TABLES = ("alpha", "beta", "gamma")
+
+NODES = ["a", "b", "c", "d", "e"]
+DYADIC_P = st.sampled_from([i / 16 for i in range(17)])
+
+
+def _make_catalog() -> Database:
+    """Three two-column probabilistic base tables with fixed, distinct rows."""
+    database = Database()
+    schema = Schema(
+        [
+            Field("key", DataType.STRING),
+            Field("value", DataType.STRING),
+            Field("p", DataType.FLOAT),
+        ]
+    )
+    for offset, name in enumerate(TABLES):
+        rows = [
+            (NODES[(offset + i) % len(NODES)], NODES[(offset + 2 * i) % len(NODES)], (i + 1) / 16)
+            for i in range(6)
+        ]
+        database.create_table(name, Relation.from_rows(schema, rows))
+    return database
+
+
+CATALOG = _make_catalog()
+SCAN_EVALUATOR = PRAEvaluator(CATALOG)
+
+
+def _draw_chain(draw, table: str):
+    """A random SELECT/WEIGHT chain over a scan — the scatterable shape."""
+    plan = PraScan(table)
+    for _ in range(draw(st.integers(0, 2))):
+        if draw(st.booleans()):
+            position = draw(st.integers(1, 2))
+            plan = PraSelect(
+                plan, BinaryOp("=", PositionalRef(position), Literal(draw(st.sampled_from(NODES))))
+            )
+        else:
+            plan = PraWeight(plan, draw(st.sampled_from([0.25, 0.5, 0.75, 1.0])))
+    return plan
+
+
+@st.composite
+def scan_plans(draw):
+    """Plans over base-table scans: chains, optionally TOP-capped or combined."""
+    shape = draw(st.sampled_from(["chain", "top", "join", "unite"]))
+    left = _draw_chain(draw, draw(st.sampled_from(TABLES)))
+    if shape == "chain":
+        return left
+    if shape == "top":
+        return PraTop(left, draw(st.integers(1, 6)))
+    right = _draw_chain(draw, draw(st.sampled_from(TABLES)))
+    if shape == "join":
+        return PraJoin(left, right, [(1, 1)], Assumption.INDEPENDENT)
+    return PraUnite(left, right, Assumption.INDEPENDENT)
+
+
+class TestClassificationAgreement:
+    @SETTINGS
+    @given(st.data())
+    def test_extraction_is_a_pure_restructuring(self, data):
+        plan = data.draw(scan_plans())
+        partitioned_tables = set(data.draw(st.sets(st.sampled_from(TABLES))))
+
+        report = classify(plan, lambda table: table in partitioned_tables)
+
+        # segments only ever cover partitioned tables
+        assert all(segment.table in partitioned_tables for segment in report.segments)
+
+        direct = SCAN_EVALUATOR.evaluate(plan)
+        pieces = {
+            name: SCAN_EVALUATOR.evaluate(segment.plan)
+            for name, segment in zip(report.parameter_names, report.segments)
+        }
+        rebuilt = SCAN_EVALUATOR.evaluate(report.coordinator_plan, bindings=pieces)
+        # bit-identical: same rows, same order, same probabilities
+        assert list(rebuilt.rows()) == list(direct.rows())
+
+    @SETTINGS
+    @given(st.data())
+    def test_pure_chains_over_partitioned_tables_fully_scatter(self, data):
+        table = data.draw(st.sampled_from(TABLES))
+        plan = _draw_chain(data.draw, table)
+        if data.draw(st.booleans()):
+            plan = PraTop(plan, data.draw(st.integers(1, 6)))
+
+        report = classify(plan, lambda name: name == table)
+        assert report.fully_scattered
+        assert [segment.table for segment in report.segments] == [table]
+
+        nothing = classify(plan, lambda name: False)
+        assert not nothing.scatterable
+        assert nothing.coordinator_plan is plan
+
+    @SETTINGS
+    @given(st.data())
+    def test_classification_matches_verifier_locality_note(self, data):
+        """``verify_plan(partitioned=...)`` embeds exactly ``classify``'s result."""
+        plan = data.draw(scan_plans())
+        partitioned_tables = set(data.draw(st.sets(st.sampled_from(TABLES))))
+        predicate = lambda table: table in partitioned_tables  # noqa: E731
+
+        report = verify_plan(
+            plan, schema_provider=CatalogSchemaProvider(CATALOG), partitioned=predicate
+        )
+        standalone = classify(plan, predicate)
+
+        assert report.locality is not None
+        assert report.locality.to_dict() == standalone.to_dict()
+        notes = [d for d in report.diagnostics if d.code == "scatter"]
+        assert [d.message for d in notes] == [standalone.render()]

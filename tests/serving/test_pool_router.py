@@ -106,6 +106,23 @@ class TestRouter:
         reply = router.handle({"kind": "spinql", "source": "not valid spinql"})
         assert not reply["ok"] and reply["status"] == 400
 
+    def test_pre_dispatch_gate_rejects_broken_plans_with_diagnostics(self, pool_engine):
+        # syntactically valid but statically broken: the verifier gate must
+        # answer 400 with the diagnostics instead of a worker round-trip
+        router = Router(pool_engine)
+        reply = router.handle(
+            {"kind": "spinql", "source": 'out = SELECT [$9="x"] (triples);', "top_k": 3}
+        )
+        assert not reply["ok"] and reply["status"] == 400
+        assert reply["error"] == "plan failed static verification"
+        codes = [d["code"] for d in reply["analysis"]["diagnostics"]]
+        assert "position-out-of-range" in codes
+
+    def test_pre_dispatch_gate_passes_clean_plans_through(self, pool_engine):
+        router = Router(pool_engine)
+        reply = router.handle({"kind": "spinql", "source": PROGRAM, "top_k": 3})
+        assert reply["ok"]
+
     def test_admission_control_sheds_load(self, pool_engine):
         router = Router(pool_engine, max_concurrent=1, max_queue=1)
         # fill the admission window by hand, then verify shedding
