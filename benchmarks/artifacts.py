@@ -78,3 +78,18 @@ def write_metrics(bench_id: str, metrics: dict[str, Any]) -> Path:
     payload = _load(bench_id)
     payload["metrics"].update(metrics)
     return _store(bench_id, payload)
+
+
+def latency_summary(latencies_ms: list[float]) -> dict[str, float]:
+    """Round-tripped p50/p95/p99/mean for a latency sample, in milliseconds.
+
+    One convention for every benchmark artifact: the nearest-rank
+    percentiles from :func:`repro.workload.log.latency_percentiles`,
+    rounded for stable, diffable JSON.
+    """
+    from repro.workload.log import latency_percentiles
+
+    return {
+        key: round(value, 3)
+        for key, value in latency_percentiles(list(latencies_ms)).items()
+    }

@@ -112,19 +112,20 @@ def test_e12_scatter_gather_topk_candidates(benchmark, sharded_setup):
         opened.close()
 
 
-def _throughput(engine: Engine, queries, *, concurrency: int) -> float:
-    """Queries/second for a top-k search stream at the given client concurrency."""
-    def one(query: str):
-        return engine.search("docs", query).top(TOP_K)
+def _throughput(engine: Engine, queries, *, concurrency: int) -> tuple[float, list[float]]:
+    """(queries/second, per-query latencies in ms) for a top-k search stream."""
+    def one(query: str) -> float:
+        begun = time.perf_counter()
+        engine.search("docs", query).top(TOP_K)
+        return (time.perf_counter() - begun) * 1000.0
 
     started = time.perf_counter()
     if concurrency <= 1:
-        for query in queries:
-            one(query)
+        latencies = [one(query) for query in queries]
     else:
         with ThreadPoolExecutor(max_workers=concurrency) as clients:
-            list(clients.map(one, queries))
-    return len(queries) / (time.perf_counter() - started)
+            latencies = list(clients.map(one, queries))
+    return len(queries) / (time.perf_counter() - started), latencies
 
 
 def test_e12_pool_throughput_scaling(benchmark, sharded_setup):
@@ -138,21 +139,32 @@ def test_e12_pool_throughput_scaling(benchmark, sharded_setup):
         expected = engine.search("docs", queries[1]).top(TOP_K)
         assert pooled.search("docs", queries[1]).top(TOP_K) == expected
 
-        single = _throughput(engine, queries, concurrency=1)
-        pool_serial = _throughput(pooled, queries, concurrency=1)
-        pool_concurrent = _throughput(pooled, queries, concurrency=SHARDS)
+        single, single_lat = _throughput(engine, queries, concurrency=1)
+        pool_serial, pool_serial_lat = _throughput(pooled, queries, concurrency=1)
+        pool_concurrent, pool_concurrent_lat = _throughput(
+            pooled, queries, concurrency=SHARDS
+        )
         cores = _usable_cores()
 
         table = ResultTable(
             f"E12 — search throughput, {SHARDS}-shard pool vs single process "
             f"({cores} cores)",
-            ["mode", "queries/s", "vs single"],
+            ["mode", "queries/s", "p50 ms", "p95 ms", "p99 ms", "vs single"],
         )
-        table.add_row("single process", f"{single:.1f}", 1.0)
-        table.add_row("pool, 1 client", f"{pool_serial:.1f}", pool_serial / single)
-        table.add_row(
-            f"pool, {SHARDS} clients", f"{pool_concurrent:.1f}", pool_concurrent / single
-        )
+        for label, qps, latencies in (
+            ("single process", single, single_lat),
+            ("pool, 1 client", pool_serial, pool_serial_lat),
+            (f"pool, {SHARDS} clients", pool_concurrent, pool_concurrent_lat),
+        ):
+            summary = artifacts.latency_summary(latencies)
+            table.add_row(
+                label,
+                f"{qps:.1f}",
+                f"{summary['p50_ms']:.2f}",
+                f"{summary['p95_ms']:.2f}",
+                f"{summary['p99_ms']:.2f}",
+                qps / single,
+            )
         table.print()
 
         artifacts.write_metrics(
@@ -162,6 +174,9 @@ def test_e12_pool_throughput_scaling(benchmark, sharded_setup):
                 "single_process_qps": round(single, 2),
                 "pool_serial_qps": round(pool_serial, 2),
                 "pool_concurrent_qps": round(pool_concurrent, 2),
+                "single_process_latency": artifacts.latency_summary(single_lat),
+                "pool_serial_latency": artifacts.latency_summary(pool_serial_lat),
+                "pool_concurrent_latency": artifacts.latency_summary(pool_concurrent_lat),
             },
         )
         benchmark(lambda: pooled.search("docs", queries[0]).top(TOP_K))

@@ -1,0 +1,164 @@
+"""E13 — closed-loop replay of a recorded workload: result cache on vs off.
+
+A workload log is recorded by running a mixed spinql/search stream over
+the auction workload, then a Zipf-skewed closed-loop schedule is
+synthesized from the log (seed-deterministic — the schedule hash is
+asserted stable across re-synthesis) and driven against two otherwise
+identical engines: one with the adaptive result cache enabled (the
+default) and one with it disabled.  The acceptance claims:
+
+* **Bit identity**: both scenarios report the same ``results_digest`` —
+  the cache never changes an answer, only how fast it arrives;
+* **The cache earns its keep**: the skewed stream repeats hot templates,
+  so the cache-on engine reports a non-zero hit rate.
+
+Per-scenario p50/p95/p99, throughput and hit rate land in
+``BENCH_E13.json`` through the shared artifact writer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import artifacts
+from repro.bench.reporting import ResultTable
+from repro.engine import Engine
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.workload.replay import EngineTarget, run_schedule, synthesize_schedule
+from repro.workloads import generate_auction_triples
+
+LOTS = 300
+SEED = 37
+REQUESTS = 120
+CONCURRENCY = 4
+ZIPF_S = 1.1
+TOP_K = 5
+
+#: the spinql half of the recorded stream
+SOURCES = [
+    'out = SELECT [$2="hasAuction"] (triples);',
+    'mat = SELECT [$2="material"] (triples);',
+    'lots = PROJECT [$1 AS lot] (SELECT [$2="type"] (triples));',
+]
+
+
+def _fresh_engine(workload, *, cached: bool) -> Engine:
+    if cached:
+        engine = Engine.from_triples(workload.triples)
+    else:
+        engine = Engine.from_triples(workload.triples, result_cache_size=None)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    engine.create_table(
+        "docs",
+        Relation(
+            schema,
+            [
+                Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+                Column(list(workload.lot_descriptions.values()), DataType.STRING),
+            ],
+        ),
+    )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """The auction workload plus a log recorded from a mixed query stream."""
+    workload = generate_auction_triples(LOTS, seed=SEED)
+    recorder = _fresh_engine(workload, cached=True)
+    queries = [
+        " ".join(description.split()[:3])
+        for description in list(workload.lot_descriptions.values())[:8]
+    ]
+    for source in SOURCES:
+        recorder.spinql(source).execute()
+    for query in queries:
+        recorder.search("docs", query).top(TOP_K)
+    return workload, recorder.workload_log.snapshot()
+
+
+def _run_scenario(schedule, workload, *, cached: bool):
+    engine = _fresh_engine(workload, cached=cached)
+    report = run_schedule(schedule, EngineTarget(engine), concurrency=CONCURRENCY)
+    cache_stats = (
+        engine.result_cache.statistics.to_dict()
+        if engine.result_cache is not None
+        else {"hits": 0, "misses": 0, "hit_rate": 0.0}
+    )
+    return report, cache_stats
+
+
+def test_e13_closed_loop_replay_cache_on_vs_off(benchmark, recorded):
+    workload, records = recorded
+
+    schedule = synthesize_schedule(
+        records, num_requests=REQUESTS, seed=SEED, mode="closed", zipf_s=ZIPF_S
+    )
+    again = synthesize_schedule(
+        records, num_requests=REQUESTS, seed=SEED, mode="closed", zipf_s=ZIPF_S
+    )
+    # same log + seed + knobs → the same schedule, checkable by hash
+    assert schedule.schedule_hash() == again.schedule_hash()
+
+    on_report, on_cache = _run_scenario(schedule, workload, cached=True)
+    off_report, _off_cache = _run_scenario(schedule, workload, cached=False)
+
+    assert on_report.errors == 0 and off_report.errors == 0
+    assert on_report.completed == REQUESTS and off_report.completed == REQUESTS
+    # the one thing a result cache must never do is change an answer
+    assert on_report.results_digest == off_report.results_digest
+    # the Zipf-skewed stream repeats hot templates, so the cache engages
+    assert on_cache["hit_rate"] > 0.0
+
+    table = ResultTable(
+        f"E13 — closed-loop replay, {REQUESTS} requests, "
+        f"{CONCURRENCY} workers, zipf_s={ZIPF_S}",
+        ["scenario", "queries/s", "p50 ms", "p95 ms", "p99 ms", "hit rate"],
+    )
+    for label, report, hit_rate in (
+        ("result cache on", on_report, on_cache["hit_rate"]),
+        ("result cache off", off_report, 0.0),
+    ):
+        table.add_row(
+            label,
+            f"{report.throughput_qps:.1f}",
+            f"{report.latency['p50_ms']:.3f}",
+            f"{report.latency['p95_ms']:.3f}",
+            f"{report.latency['p99_ms']:.3f}",
+            round(hit_rate, 3),
+        )
+    table.print()
+
+    artifacts.write_metrics(
+        "E13",
+        {
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "zipf_s": ZIPF_S,
+            "schedule_hash": schedule.schedule_hash(),
+            "bit_identical": True,
+            "cache_on": {
+                "qps": round(on_report.throughput_qps, 2),
+                "latency": {
+                    key: round(value, 3) for key, value in on_report.latency.items()
+                },
+                "hit_rate": round(on_cache["hit_rate"], 4),
+                "hits": on_cache["hits"],
+                "misses": on_cache["misses"],
+            },
+            "cache_off": {
+                "qps": round(off_report.throughput_qps, 2),
+                "latency": {
+                    key: round(value, 3) for key, value in off_report.latency.items()
+                },
+            },
+        },
+    )
+
+    hot = EngineTarget(_fresh_engine(workload, cached=True))
+    warm_request = schedule.requests[0].request
+    hot(warm_request)  # sight + admit so the benchmark measures the hit path
+    hot(warm_request)
+    benchmark(lambda: hot(warm_request))

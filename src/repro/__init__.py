@@ -50,6 +50,13 @@ The package is organised along the paper's sections:
 * :mod:`repro.serving` — multi-process serving, new in 1.3: worker pools
   over sharded snapshots, scatter-gather executors, and an
   admission-controlled HTTP router (``python -m repro serve``);
+* :mod:`repro.workload` — workload awareness, new in 1.5: a bounded query
+  log with a JSONL sink (``Engine.workload_log``, ``GET /statz``), a
+  deterministic replay/load generator (verbatim or Zipf-synthesized,
+  closed- or open-loop), a calibrated per-operator cost model consulted by
+  the optimizer and the scatter-gather executor, and an adaptive
+  result cache (``Engine.result_cache``) whose answers are bit-identical
+  to recomputation by construction;
 * :mod:`repro.workloads` — synthetic data generators standing in for the
   paper's proprietary collections;
 * :mod:`repro.bench` — the benchmark harness.
@@ -96,7 +103,18 @@ never renamed or removed, an error never silently becomes a warning, and
 new codes may appear in any minor release.  The human-readable message
 *text* is not part of the stable surface — match on ``Diagnostic.code``
 and ``severity``, not on message strings.  The lint rule names
-(``RL001``–``RL005``) follow the same append-only rule.
+(``RL001``–``RL006``) follow the same append-only rule.
+
+The workload-record schema (:class:`repro.workload.WorkloadRecord` and the
+JSONL lines ``WorkloadLog.export`` writes) is **stable** from 1.5 and
+versioned in-band: every line carries a ``v`` field, fields are
+append-only, and readers (``load_records``) ignore fields they do not
+know, so logs written by newer minors stay replayable by older ones.
+Record ``kind`` values (``plan``/``search``/``strategy``/``serve``) and
+fingerprint prefixes follow the same append-only rule.  Latencies and
+schedule hashes are derived from monotonic clocks and canonical JSON
+only — never from wall-clock time — so exported logs and
+``Schedule.schedule_hash()`` values are comparable across hosts and runs.
 """
 
 from repro.errors import EngineError, ReproError
@@ -121,7 +139,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # the public facade

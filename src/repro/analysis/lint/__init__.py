@@ -9,6 +9,7 @@ from repro.analysis.lint.engine import (
 )
 from repro.analysis.lint.rules import (
     ALL_RULES,
+    BoundedLogBufferRule,
     LengthPrefixedWriteRule,
     LockedCacheMutationRule,
     NoWallClockRule,
@@ -18,6 +19,7 @@ from repro.analysis.lint.rules import (
 
 __all__ = [
     "ALL_RULES",
+    "BoundedLogBufferRule",
     "LengthPrefixedWriteRule",
     "LintRule",
     "LintViolation",

@@ -43,6 +43,41 @@ def _has_stable_kind(call: ast.Call) -> bool:
     return False
 
 
+def _init_assignments(init: ast.FunctionDef) -> Iterator[tuple[ast.expr, ast.expr]]:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            yield node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            yield node.target, node.value
+
+
+def _self_attribute_target(target: ast.expr) -> str | None:
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _lock_attributes(init: ast.FunctionDef) -> set[str]:
+    locks: set[str] = set()
+    for target, value in _init_assignments(init):
+        attr = _self_attribute_target(target)
+        if attr is None:
+            continue
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "threading"
+            and value.func.attr in ("Lock", "RLock")
+        ):
+            locks.add(attr)
+    return locks
+
+
 class StableSortRule(LintRule):
     """RL001: ``sort``/``argsort`` in kernel modules must pass ``kind="stable"``.
 
@@ -206,41 +241,14 @@ class LockedCacheMutationRule(LintRule):
                 self._check_method(method, locks, caches, path, violations)
         return violations
 
-    @staticmethod
-    def _init_assignments(init: ast.FunctionDef) -> Iterator[tuple[ast.expr, ast.expr]]:
-        for node in ast.walk(init):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                yield node.targets[0], node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                yield node.target, node.value
-
     def _lock_attributes(self, init: ast.FunctionDef) -> set[str]:
-        locks: set[str] = set()
-        for target, value in self._init_assignments(init):
-            if not (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                continue
-            if (
-                isinstance(value, ast.Call)
-                and isinstance(value.func, ast.Attribute)
-                and isinstance(value.func.value, ast.Name)
-                and value.func.value.id == "threading"
-                and value.func.attr in ("Lock", "RLock")
-            ):
-                locks.add(target.attr)
-        return locks
+        return _lock_attributes(init)
 
     def _cache_attributes(self, init: ast.FunctionDef) -> set[str]:
         caches: set[str] = set()
-        for target, value in self._init_assignments(init):
-            if not (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
+        for target, value in _init_assignments(init):
+            attr = _self_attribute_target(target)
+            if attr is None:
                 continue
             is_dict_literal = isinstance(value, (ast.Dict, ast.DictComp))
             is_dict_call = (
@@ -249,7 +257,7 @@ class LockedCacheMutationRule(LintRule):
                 and value.func.id in ("dict", "OrderedDict", "defaultdict")
             )
             if is_dict_literal or is_dict_call:
-                caches.add(target.attr)
+                caches.add(attr)
         return caches
 
     def _check_method(
@@ -328,7 +336,7 @@ class NoWallClockRule(LintRule):
     _BANNED = {("time", "time"), ("datetime", "now"), ("datetime", "utcnow")}
 
     def applies_to(self, path: Path) -> bool:
-        return _in_scope(path, ("benchmarks/", "src/repro/bench/"))
+        return _in_scope(path, ("benchmarks/", "src/repro/bench/", "src/repro/workload/"))
 
     def check(self, tree: ast.Module, source: str, path: Path) -> list[LintViolation]:
         violations: list[LintViolation] = []
@@ -424,6 +432,201 @@ class LengthPrefixedWriteRule(LintRule):
         )
 
 
+class BoundedLogBufferRule(LintRule):
+    """RL006: in-memory log/record buffers must be bounded and lock-guarded.
+
+    The workload log (and any future event/trace buffer) is shared state on
+    a long-lived engine: every query appends to it, often from serving
+    threads.  Two failure modes are banned structurally:
+
+    * **unbounded growth** — a plain ``list`` (or a ``deque`` without
+      ``maxlen``) assigned to a log-like attribute grows without limit
+      under sustained traffic; buffers must be ring buffers
+      (``deque(maxlen=...)``).
+    * **unguarded writers** — a class holding such a buffer must own a
+      ``threading.Lock``/``RLock`` and only mutate the buffer inside
+      ``with self.<lock>``; a bare ``self._records.append(...)`` races
+      concurrent readers and other writers.
+
+    An attribute is log-like when any ``_``-separated segment of its name
+    is ``log``/``logs``/``record``/``records``/``buffer``/``buffers``/
+    ``history``/``event``/``events``/``trace``/``traces`` (segment-wise, so
+    ``catalog`` never matches).
+
+    Regression note: clean at introduction — ``WorkloadLog`` was built as a
+    ``deque(maxlen=capacity)`` behind a ``threading.Lock``.  The rule keeps
+    every future log writer shaped the same way.
+    """
+
+    name = "RL006"
+    description = "log/record buffers must be bounded ring buffers mutated under a lock"
+
+    _SEGMENTS = {
+        "log",
+        "logs",
+        "record",
+        "records",
+        "buffer",
+        "buffers",
+        "history",
+        "event",
+        "events",
+        "trace",
+        "traces",
+    }
+    _MUTATORS = (
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "clear",
+        "pop",
+        "popleft",
+        "remove",
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return _in_scope(path, ("src/repro/",))
+
+    def _log_like(self, attr: str) -> bool:
+        return bool(self._SEGMENTS & set(attr.lower().split("_")))
+
+    @staticmethod
+    def _is_deque_call(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id == "deque"
+        return isinstance(func, ast.Attribute) and func.attr == "deque"
+
+    @staticmethod
+    def _has_maxlen(value: ast.Call) -> bool:
+        if any(keyword.arg == "maxlen" for keyword in value.keywords):
+            return True
+        return len(value.args) >= 2  # deque(iterable, maxlen)
+
+    def check(self, tree: ast.Module, source: str, path: Path) -> list[LintViolation]:
+        violations: list[LintViolation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_class(node, path, violations)
+        return violations
+
+    def _check_class(
+        self, klass: ast.ClassDef, path: Path, violations: list[LintViolation]
+    ) -> None:
+        init = next(
+            (
+                node
+                for node in klass.body
+                if isinstance(node, ast.FunctionDef) and node.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        buffers: set[str] = set()
+        for target, value in _init_assignments(init):
+            attr = _self_attribute_target(target)
+            if attr is None or not self._log_like(attr):
+                continue
+            is_list = isinstance(value, (ast.List, ast.ListComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+            )
+            if is_list:
+                violations.append(
+                    self.violation(
+                        path,
+                        value,
+                        f"'self.{attr}' is an unbounded list buffer; use "
+                        "deque(maxlen=...) so the log cannot grow without limit",
+                    )
+                )
+                continue
+            if self._is_deque_call(value):
+                if not self._has_maxlen(value):  # type: ignore[arg-type]
+                    violations.append(
+                        self.violation(
+                            path,
+                            value,
+                            f"'self.{attr}' is a deque without maxlen; ring buffers "
+                            "must be bounded",
+                        )
+                    )
+                buffers.add(attr)
+        if not buffers:
+            return
+        locks = _lock_attributes(init)
+        if not locks:
+            violations.append(
+                self.violation(
+                    path,
+                    init,
+                    f"class '{klass.name}' holds log buffer(s) "
+                    f"{sorted(buffers)} but owns no threading.Lock/RLock to "
+                    "guard writers",
+                )
+            )
+            return
+        for method in klass.body:
+            if isinstance(method, ast.FunctionDef) and method.name != "__init__":
+                self._check_method(method, locks, buffers, path, violations)
+
+    def _check_method(
+        self,
+        method: ast.FunctionDef,
+        locks: set[str],
+        buffers: set[str],
+        path: Path,
+        violations: list[LintViolation],
+    ) -> None:
+        def walk(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, ast.With):
+                holds = locked or any(
+                    _is_self_attribute(item.context_expr, locks) for item in node.items
+                )
+                for child in ast.iter_child_nodes(node):
+                    walk(child, holds)
+                return
+            mutated = self._mutated_buffer(node, buffers)
+            if mutated is not None and not locked:
+                violations.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"'{method.name}' mutates log buffer 'self.{mutated}' "
+                        "outside 'with self.<lock>'",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked)
+
+        walk(method, locked=False)
+
+    def _mutated_buffer(self, node: ast.AST, buffers: set[str]) -> str | None:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _is_self_attribute(
+                    target.value, buffers
+                ):
+                    return target.value.attr  # type: ignore[union-attr]
+                if _is_self_attribute(target, buffers):
+                    return target.attr  # type: ignore[union-attr]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._MUTATORS
+            and _is_self_attribute(node.func.value, buffers)
+        ):
+            return node.func.value.attr  # type: ignore[union-attr]
+        return None
+
+
 #: the rule set scripts/repro_lint.py runs, in report order
 ALL_RULES: list[LintRule] = [
     StableSortRule(),
@@ -431,4 +634,5 @@ ALL_RULES: list[LintRule] = [
     LockedCacheMutationRule(),
     NoWallClockRule(),
     LengthPrefixedWriteRule(),
+    BoundedLogBufferRule(),
 ]

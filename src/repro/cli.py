@@ -14,7 +14,10 @@ Every subcommand drives the :class:`~repro.engine.Engine` facade:
   plan, SQL);
 * ``python -m repro snapshot --out DIR`` — build a scenario (or load a
   triples file) and save a columnar engine snapshot (see
-  :mod:`repro.storage`).
+  :mod:`repro.storage`);
+* ``python -m repro workload record|summary|top|replay`` — record a
+  scenario workload log to JSONL, summarize or rank an exported log, and
+  replay/synthesize it as load (see :mod:`repro.workload`).
 
 Every subcommand accepts ``--json`` for machine-readable output,
 ``--from-snapshot DIR`` to boot the engine from a saved snapshot instead of
@@ -340,6 +343,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_queries(args: argparse.Namespace) -> list[str]:
+    """The distinct query strings the ``workload record`` action cycles over."""
+    if args.query:
+        return list(args.query)
+    workload = generate_auction_triples(args.lots, seed=args.seed)
+    queries = [
+        " ".join(description.split()[:3])
+        for _lot, description in sorted(workload.lot_descriptions.items())
+    ]
+    return queries[: max(1, args.distinct)]
+
+
+def _workload_engine(args: argparse.Namespace) -> Engine:
+    engine = _snapshot_engine(args)
+    if engine is not None:
+        return engine
+    workload = generate_auction_triples(args.lots, seed=args.seed)
+    return Engine.from_triples(workload.triples)
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Record, summarize, rank or replay a workload log (see repro.workload)."""
+    from repro.workload import (
+        EngineTarget,
+        load_records,
+        replay_schedule,
+        run_schedule,
+        summarize,
+        synthesize_schedule,
+        top_fingerprints,
+    )
+
+    if args.action == "record":
+        queries = _workload_queries(args)
+        engine = _workload_engine(args)
+        try:
+            for index in range(args.requests):
+                engine.strategy("auction", query=queries[index % len(queries)]).execute()
+            engine.workload_log.export(args.out)
+            payload = {
+                "command": "workload",
+                "action": "record",
+                "out": args.out,
+                **engine.workload_log.summary(top=args.top_n),
+            }
+        finally:
+            engine.close()
+    elif args.action == "summary":
+        payload = {
+            "command": "workload",
+            "action": "summary",
+            **summarize(load_records(args.log), top=args.top_n),
+        }
+    elif args.action == "top":
+        payload = {
+            "command": "workload",
+            "action": "top",
+            "fingerprints": top_fingerprints(load_records(args.log), args.top_n),
+        }
+    else:  # replay
+        records = load_records(args.log)
+        if args.synthesize:
+            schedule = synthesize_schedule(
+                records,
+                num_requests=args.requests,
+                seed=args.seed,
+                mode=args.mode,
+                zipf_s=args.zipf_s,
+                rate_qps=args.rate_qps,
+            )
+        else:
+            schedule = replay_schedule(records)
+        if args.hash_only:
+            print(schedule.schedule_hash())
+            return 0
+        engine = _workload_engine(args)
+        try:
+            report = run_schedule(
+                schedule, EngineTarget(engine), concurrency=args.concurrency
+            )
+        finally:
+            engine.close()
+        payload = {
+            "command": "workload",
+            "action": "replay",
+            "schedule_hash": schedule.schedule_hash(),
+            **report.to_dict(),
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            if key == "command":
+                continue
+            print(f"{key}: {json.dumps(value) if isinstance(value, (dict, list)) else value}")
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser, *, top: bool = True) -> None:
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
@@ -482,6 +583,73 @@ def build_parser() -> argparse.ArgumentParser:
                        help="requests allowed to wait before load is shed (HTTP 503)")
     _add_common(serve, top=False)
     serve.set_defaults(handler=_cmd_serve)
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="record, summarize, rank or replay a workload log (repro.workload)",
+    )
+    actions = workload.add_subparsers(dest="action", required=True)
+
+    def _common_workload(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON output")
+        sub.add_argument("--top-n", dest="top_n", type=int, default=10,
+                         help="fingerprints to include in summaries/rankings")
+
+    def _scenario_workload(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--from-snapshot", dest="from_snapshot", metavar="DIR",
+                         default=None,
+                         help="run against a snapshot engine instead of the "
+                              "generated auction scenario")
+        sub.add_argument("--lots", type=int, default=200,
+                         help="auction lots to generate (ignored with --from-snapshot)")
+        sub.add_argument("--seed", type=int, default=37)
+
+    record = actions.add_parser(
+        "record", help="run a scenario workload and export its log as JSONL"
+    )
+    record.add_argument("--out", required=True, help="JSONL file for the exported log")
+    record.add_argument("--requests", type=int, default=50,
+                        help="how many strategy requests to issue")
+    record.add_argument("--distinct", type=int, default=8,
+                        help="distinct query strings to cycle over")
+    record.add_argument("--query", action="append", default=None,
+                        help="explicit query string (repeatable; overrides --distinct)")
+    _scenario_workload(record)
+    _common_workload(record)
+    record.set_defaults(handler=_cmd_workload)
+
+    summary = actions.add_parser("summary", help="summarize an exported workload log")
+    summary.add_argument("--log", required=True, help="JSONL log (workload record/export)")
+    _common_workload(summary)
+    summary.set_defaults(handler=_cmd_workload)
+
+    top_action = actions.add_parser("top", help="rank a log's hottest fingerprints")
+    top_action.add_argument("--log", required=True)
+    _common_workload(top_action)
+    top_action.set_defaults(handler=_cmd_workload)
+
+    replay = actions.add_parser(
+        "replay", help="replay a log (or synthesize load from it) in-process"
+    )
+    replay.add_argument("--log", required=True)
+    replay.add_argument("--synthesize", action="store_true",
+                        help="synthesize traffic from the log's templates instead of "
+                             "replaying it verbatim")
+    replay.add_argument("--requests", type=int, default=100,
+                        help="requests to synthesize (with --synthesize)")
+    replay.add_argument("--mode", choices=("closed", "open"), default="closed")
+    replay.add_argument("--zipf-s", dest="zipf_s", type=float, default=1.1,
+                        help="Zipf skew over request templates (with --synthesize)")
+    replay.add_argument("--rate-qps", dest="rate_qps", type=float, default=50.0,
+                        help="open-loop arrival rate (with --mode open)")
+    replay.add_argument("--concurrency", type=int, default=4)
+    replay.add_argument("--hash-only", dest="hash_only", action="store_true",
+                        help="print the deterministic schedule hash and exit "
+                             "without executing")
+    _scenario_workload(replay)
+    _common_workload(replay)
+    replay.set_defaults(handler=_cmd_workload)
 
     return parser
 

@@ -66,7 +66,9 @@ for advanced use; see the deprecation policy in :mod:`repro`.
 
 from __future__ import annotations
 
+import hashlib
 import threading
+import time
 from collections.abc import Iterable, Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -107,6 +109,9 @@ from repro.strategy.executor import StrategyExecutor
 from repro.strategy.graph import StrategyGraph
 from repro.text.analyzers import StandardAnalyzer
 from repro.triples.triple_store import TripleStore
+from repro.workload.cache import ResultCache, binding_fingerprint
+from repro.workload.cost import CostModel
+from repro.workload.log import WorkloadLog
 
 __all__ = [
     "CompiledProgram",
@@ -161,6 +166,9 @@ class Engine:
         triples_table: str = "triples",
         language: str = "english",
         plan_cache_size: int | None = None,
+        result_cache_size: int | None = 256,
+        workload_log_capacity: int = 2048,
+        cost_model: CostModel | None = None,
     ):
         self.store = TripleStore(database, storage=storage, table_name=triples_table)
         self.database = self.store.database
@@ -168,6 +176,14 @@ class Engine:
         self.language = language
         self.analyzer = StandardAnalyzer(language)
         self.plan_cache = PlanCache(max_entries=plan_cache_size)
+        # the workload subsystem: every execution is logged, repeated plan
+        # evaluations may be answered from the result cache, and the cost
+        # model (calibratable from the log) steers optimizer choices
+        self.workload_log = WorkloadLog(capacity=workload_log_capacity)
+        self.result_cache = (
+            ResultCache(max_entries=result_cache_size) if result_cache_size else None
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         self._evaluator = PRAEvaluator(self.database)
         self._executor: StrategyExecutor | None = None
         self._search_engines: dict[tuple, Any] = {}
@@ -199,6 +215,12 @@ class Engine:
             "language": self.language,
             "plan_cache": self.plan_cache.statistics,
             "materialization_cache": self.database.cache.statistics,
+            "result_cache": (
+                self.result_cache.statistics.to_dict()
+                if self.result_cache is not None
+                else None
+            ),
+            "workload_log": self.workload_log.statistics(),
         }
 
     # -- data loading ----------------------------------------------------------------
@@ -222,12 +244,16 @@ class Engine:
         """Register a base table in the database; invalidates dependent caches."""
         self.database.create_table(name, relation, replace=replace)
         self.plan_cache.invalidate_table(name)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(name)
         self._invalidate_search_statistics(name)
         return self
 
     def _on_data_changed(self) -> None:
         for name in self.database.table_names() + self.database.view_names():
             self.plan_cache.invalidate_table(name)
+            if self.result_cache is not None:
+                self.result_cache.invalidate_table(name)
         self._invalidate_search_statistics()
 
     def _invalidate_search_statistics(self, table: str | None = None) -> None:
@@ -240,6 +266,8 @@ class Engine:
     def clear_caches(self) -> None:
         """Drop every cached plan and materialized result (cold-start state)."""
         self.plan_cache.clear()
+        if self.result_cache is not None:
+            self.result_cache.clear()
         self.database.clear_cache()
         self._invalidate_search_statistics()
         with self._registry_lock:
@@ -279,6 +307,9 @@ class Engine:
             self._plan_executor.close()
         finally:
             self.plan_cache.clear()
+            if self.result_cache is not None:
+                self.result_cache.clear()
+            self.workload_log.close()
             with self._registry_lock:
                 self._search_engines.clear()
                 self._rank_blocks.clear()
@@ -562,6 +593,7 @@ class Engine:
         Known names: ``toy``, ``auction``, ``expanded-auction``, ``experts``;
         ``builder_kwargs`` are forwarded to the prebuilt builder.
         """
+        name: str | None = None
         if isinstance(graph, str):
             builders = _strategy_builders()
             try:
@@ -570,6 +602,8 @@ class Engine:
                 raise EngineError(
                     f"unknown strategy {graph!r}; known strategies: {sorted(builders)}"
                 ) from None
+            # only a default build is replayable by name from the workload log
+            name = graph if not builder_kwargs else None
             graph = builder(**builder_kwargs)
         elif builder_kwargs:
             raise EngineError(
@@ -577,7 +611,7 @@ class Engine:
                 "not a pre-built graph"
             )
         return StrategyQuery(
-            self, graph, query, result_block=result_block, parameters=parameters
+            self, graph, query, result_block=result_block, parameters=parameters, name=name
         )
 
     def explain(self, source: str, *, top_k: int | None = None, **bindings: Any) -> str:
@@ -676,7 +710,10 @@ class Engine:
         )
         plan = compiled.final_plan
         program = CompiledProgram(
-            source=source, compiled=compiled, plan=plan, optimized=optimize_pra(plan)
+            source=source,
+            compiled=compiled,
+            plan=plan,
+            optimized=optimize_pra(plan, top_gate=self._top_pushdown_gate()),
         )
         dependencies = frozenset().union(
             *(scan_tables(statement) for statement in compiled.plans.values())
@@ -689,16 +726,160 @@ class Engine:
         cached = self.plan_cache.get(key)
         if cached is not None:
             return cached
-        optimized = optimize_pra(plan)
+        optimized = optimize_pra(plan, top_gate=self._top_pushdown_gate())
         self.plan_cache.put(key, optimized, dependencies=scan_tables(plan))
         return optimized
 
+    # -- the workload feedback loop -----------------------------------------------
+
+    def _table_rows(self, name: str) -> float | None:
+        """Row count for cost estimation — from memory only, never from disk.
+
+        Lazy snapshot tables and views answer ``None`` (sizing them would
+        force hydration), which the cost model maps to its default estimate.
+        """
+        catalog = self.database.catalog
+        try:
+            if catalog.has_table(name) and catalog.is_hydrated(name):
+                return float(catalog.table(name).num_rows)
+        except ReproError:
+            return None
+        return None
+
+    def _top_pushdown_gate(self) -> Any | None:
+        """The cost-model predicate gating TOP pushdown, or ``None`` (always push)."""
+        model = self.cost_model
+        if model is None or model.top_pushdown_threshold <= 0:
+            return None
+
+        def gate(child: PraPlan) -> bool:
+            estimate = model.estimate(child, self._table_rows)
+            return model.should_push_top(estimate.output_rows)
+
+        return gate
+
+    def estimate_cost(self, plan: PraPlan):
+        """The cost model's estimate for ``plan`` against this catalog."""
+        return self.cost_model.estimate(plan, self._table_rows)
+
+    def calibrate_cost_model(self, *, min_samples: int = 8) -> bool:
+        """Fit the cost model's coefficients from this engine's workload log.
+
+        Returns True when enough logged executions carried unit vectors to
+        solve the fit.  Coefficients only affect *estimates* (and, with
+        nonzero thresholds, which result-identical plan variant runs) —
+        never results.
+        """
+        return self.cost_model.calibrate(
+            self.workload_log.snapshot(), min_samples=min_samples
+        )
+
+    def _record_execution(
+        self,
+        *,
+        kind: str,
+        fingerprint: str,
+        started: float,
+        rows_out: int | None,
+        status: str = "ok",
+        request: dict[str, Any] | None = None,
+        parameters: str | None = None,
+        result_cache: str | None = None,
+        cost_units: dict[str, float] | None = None,
+        tables: Iterable[str] = (),
+    ) -> None:
+        """Append one record to the workload log (never raises into queries)."""
+        known_rows = [self._table_rows(name) for name in tables]
+        sized = [rows for rows in known_rows if rows is not None]
+        scatter = getattr(self._plan_executor, "last_scatter", None) or {}
+        fanout = 0
+        if scatter.get("segments") or scatter.get("search"):
+            fanout = len(getattr(self._plan_executor, "backends", []))
+        self.workload_log.record(
+            kind,
+            fingerprint,
+            (time.perf_counter() - started) * 1000.0,
+            rows_out=rows_out,
+            rows_in=int(sum(sized)) if sized else None,
+            parameters=parameters or None,
+            request=request,
+            result_cache=result_cache,
+            executor=self._plan_executor.kind,
+            shard_fanout=fanout,
+            status=status,
+            cost_units=cost_units or {},
+        )
+
     def _evaluate(
-        self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
+        self,
+        plan: PraPlan,
+        bindings: Mapping[str, ProbabilisticRelation] | None = None,
+        *,
+        kind: str = "plan",
+        request: dict[str, Any] | None = None,
     ) -> ProbabilisticRelation:
-        """Run an (already optimized) plan through the engine's executor."""
+        """Run an (already optimized) plan through the engine's executor.
+
+        Every call is logged to :attr:`workload_log`; with the result cache
+        enabled, a repeat of the same (plan fingerprint, bound parameters)
+        returns the previously computed relation — the identical object, so
+        a hit is bit-identical to recomputation by construction.
+        """
         self._require_open()
-        return self._plan_executor.execute_plan(plan, bindings or None)
+        started = time.perf_counter()
+        bound = bindings or None
+        fingerprint = "plan::" + _short_digest(plan.fingerprint())
+        cache_key: tuple[str, str] | None = None
+        cache_status: str | None = None
+        if self.result_cache is not None:
+            params = binding_fingerprint(bound)
+            if params is not None:
+                cache_key = (plan.fingerprint(), params)
+                cached = self.result_cache.lookup(cache_key)
+                if cached is not None:
+                    self._record_execution(
+                        kind=kind,
+                        fingerprint=fingerprint,
+                        started=started,
+                        rows_out=cached.num_rows,
+                        request=request,
+                        parameters=params or None,
+                        result_cache="hit",
+                        tables=scan_tables(plan),
+                    )
+                    return cached
+                cache_status = "miss"
+        try:
+            result = self._plan_executor.execute_plan(plan, bound)
+        except Exception:
+            self._record_execution(
+                kind=kind,
+                fingerprint=fingerprint,
+                started=started,
+                rows_out=None,
+                status="error",
+                request=request,
+                result_cache=cache_status,
+                tables=scan_tables(plan),
+            )
+            raise
+        if cache_key is not None and self.result_cache is not None:
+            admitted = self.result_cache.store(
+                cache_key, result, dependencies=scan_tables(plan)
+            )
+            cache_status = "miss" if admitted else "bypass"
+        self._record_execution(
+            kind=kind,
+            fingerprint=fingerprint,
+            started=started,
+            rows_out=result.num_rows,
+            request=request,
+            parameters=cache_key[1] if cache_key else None,
+            result_cache=cache_status,
+            cost_units=self.cost_model.estimate(plan, self._table_rows).per_kind_units,
+            tables=scan_tables(plan),
+        )
+        return result
 
     def _execute_plan(
         self, plan: PraPlan, bindings: Mapping[str, ProbabilisticRelation] | None = None
@@ -836,6 +1017,11 @@ class Engine:
         terms = self.analyzer.analyze_query(query)
         ranked = block.execute(context, {"documents": docs, "query": terms})
         return ranked.sorted_by_probability()
+
+
+def _short_digest(text: str) -> str:
+    """A compact, process-stable digest for workload-log fingerprints."""
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
 
 
 def connect(database: Database | None = None, **kwargs: Any) -> Engine:

@@ -46,6 +46,15 @@ class PlanCacheStatistics:
             return 0.0
         return self.hits / self.lookups
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class _PlanEntry:

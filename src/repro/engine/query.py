@@ -224,6 +224,7 @@ def _explain_plan_sections(engine: "Engine", plan: PraPlan) -> list[str]:
     sections = ["PRA plan:", plan.describe()]
     sections += ["", "Optimized PRA plan:", optimized.describe()]
     sections += ["", "SQL translation:", to_sql(optimized)]
+    sections += ["", "Cost estimate:", engine.estimate_cost(optimized).describe()]
     return sections
 
 
@@ -288,7 +289,12 @@ class SpinQLQuery(Query):
         """
         self._check_declared(parameters)
         program = self._program()
-        return self._engine._evaluate(program.optimized, self._merged_bindings(parameters))
+        return self._engine._evaluate(
+            program.optimized,
+            self._merged_bindings(parameters),
+            kind="plan",
+            request={"kind": "spinql", "source": self.source},
+        )
 
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
         """Rank-aware top-k: evaluate under a pushed-down ``TOP k`` node.
@@ -299,7 +305,12 @@ class SpinQLQuery(Query):
         """
         self._check_declared(parameters)
         _, optimized = self.plans(top_k=k)
-        result = self._engine._evaluate(optimized, self._merged_bindings(parameters))
+        result = self._engine._evaluate(
+            optimized,
+            self._merged_bindings(parameters),
+            kind="plan",
+            request={"kind": "spinql", "source": self.source, "top_k": k},
+        )
         return result_pairs(result, k)
 
     def check(self, *, top_k: int | None = None, hydrate: bool = True, **parameters: Any):
@@ -330,6 +341,7 @@ class SpinQLQuery(Query):
             "pra_plan": plan.describe(),
             "optimized_plan": optimized.describe(),
             "sql": to_sql(optimized),
+            "cost": self._engine.estimate_cost(optimized).to_dict(),
             "analysis": self.check(top_k=top_k).to_dict(),
         }
 
@@ -341,6 +353,12 @@ class SpinQLQuery(Query):
         sections += ["PRA plan:", data["pra_plan"]]
         sections += ["", "Optimized PRA plan:", data["optimized_plan"]]
         sections += ["", "SQL translation:", data["sql"]]
+        sections += [
+            "",
+            "Cost estimate:",
+            "\n".join(data["cost"]["plan"])
+            + f"\nestimated: {data['cost']['estimated_ms']:.3f} ms",
+        ]
         sections += ["", "Static analysis:", self.check(top_k=top_k).render()]
         return "\n".join(sections)
 
@@ -597,25 +615,55 @@ class SearchQuery(Query):
         self._search_engine().warm_up()
 
     def execute(self, *, query: str | None = None, top_k: int | None = None):
+        import time
+
         effective = query if query is not None else self._query
         if effective is None:
             raise EngineError("search() has no query; pass one to search() or execute()")
         k = top_k if top_k is not None else self._top_k
-        # on a sharded/pool engine the query scatters: shards rank their own
-        # documents against global statistics, the merge is bit-identical
-        sharded = self._engine._search_sharded(
-            table=self.table,
-            query=effective,
-            model=self._model,
-            pipeline=self._pipeline,
-            top_k=k,
-            expander=self._expander,
-            id_column=self._id_column,
-            text_column=self._text_column,
+        started = time.perf_counter()
+        request: dict[str, Any] = {
+            "kind": "search",
+            "table": self.table,
+            "query": effective,
+        }
+        if k is not None:
+            request["top_k"] = k
+        fingerprint = f"search::{self.table}::{effective}"
+        try:
+            # on a sharded/pool engine the query scatters: shards rank their
+            # own documents against global statistics, the merge is
+            # bit-identical
+            result = self._engine._search_sharded(
+                table=self.table,
+                query=effective,
+                model=self._model,
+                pipeline=self._pipeline,
+                top_k=k,
+                expander=self._expander,
+                id_column=self._id_column,
+                text_column=self._text_column,
+            )
+            if result is None:
+                result = self._search_engine().search(effective, top_k=k)
+        except Exception:
+            self._engine._record_execution(
+                kind="search",
+                fingerprint=fingerprint,
+                started=started,
+                rows_out=None,
+                status="error",
+                request=request,
+            )
+            raise
+        self._engine._record_execution(
+            kind="search",
+            fingerprint=fingerprint,
+            started=started,
+            rows_out=len(result.ranked),
+            request=request,
         )
-        if sharded is not None:
-            return sharded
-        return self._search_engine().search(effective, top_k=k)
+        return result
 
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
         return self.execute(top_k=k, **parameters).top(k)
@@ -643,22 +691,52 @@ class StrategyQuery(Query):
         *,
         result_block: str | None = None,
         parameters: Mapping[str, Any] | None = None,
+        name: str | None = None,
     ):
         super().__init__(engine)
         self.graph = graph
         self._query = query
         self._result_block = result_block
         self._parameters = dict(parameters or {})
+        self._name = name  # prebuilt strategy name, when built from one
 
     def execute(self, *, query: str | None = None, **parameters: Any):
+        import time
+
         merged = dict(self._parameters)
         merged.update(parameters)
-        return self._engine.executor.run(
-            self.graph,
-            query=query if query is not None else self._query,
-            result_block=self._result_block,
-            parameters=merged,
+        effective = query if query is not None else self._query
+        label = self._name if self._name is not None else type(self.graph).__name__
+        fingerprint = f"strategy::{label}::{effective}"
+        request = None
+        if self._name is not None and not merged and self._result_block is None:
+            request = {"kind": "strategy", "name": self._name, "query": effective}
+        started = time.perf_counter()
+        try:
+            run = self._engine.executor.run(
+                self.graph,
+                query=effective,
+                result_block=self._result_block,
+                parameters=merged,
+            )
+        except Exception:
+            self._engine._record_execution(
+                kind="strategy",
+                fingerprint=fingerprint,
+                started=started,
+                rows_out=None,
+                status="error",
+                request=request,
+            )
+            raise
+        self._engine._record_execution(
+            kind="strategy",
+            fingerprint=fingerprint,
+            started=started,
+            rows_out=run.result.num_rows,
+            request=request,
         )
+        return run
 
     def explain(self) -> str:
         from repro.strategy.render import render_ascii

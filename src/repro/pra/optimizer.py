@@ -54,9 +54,19 @@ probabilities combine across sides).
 
 Rules are applied bottom-up to a fixpoint, mirroring the relational
 optimizer's driver loop.
+
+**Cost-model steering.**  ``optimize_pra`` accepts an optional ``top_gate``
+— a predicate over the subtree a ``TOP`` would be pushed towards.  When the
+gate answers ``False`` (e.g. the engine's calibrated cost model estimates
+the child is already tiny, so pruning buys nothing) the TOP-pushdown
+rewrites are skipped for that node.  Both outcomes are result-identical by
+the soundness arguments above: the gate steers *where work happens*, never
+*what is computed* — the plan-equivalence property suite enforces this.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from repro.pra.assumptions import Assumption
 from repro.pra.expressions import PositionalRef
@@ -80,53 +90,63 @@ from repro.relational.expressions import (
 )
 
 
-def optimize_pra(plan: PraPlan) -> PraPlan:
+#: a predicate over the subtree a TOP would be pushed towards; False skips
+#: the (result-identical) pushdown for that node
+TopGate = Callable[[PraPlan], bool]
+
+
+def optimize_pra(plan: PraPlan, *, top_gate: TopGate | None = None) -> PraPlan:
     """Apply all rewrite rules bottom-up until the plan stops changing."""
     previous_fingerprint = None
     current = plan
     while current.fingerprint() != previous_fingerprint:
         previous_fingerprint = current.fingerprint()
-        current = _rewrite(current)
+        current = _rewrite(current, top_gate)
     return current
 
 
-def _rewrite(plan: PraPlan) -> PraPlan:
-    plan = _rewrite_children(plan)
+def _rewrite(plan: PraPlan, gate: TopGate | None) -> PraPlan:
+    plan = _rewrite_children(plan, gate)
     plan = _fold_weights(plan)
     plan = _push_select_past_weight(plan)
     plan = _push_select_into_unite(plan)
     plan = _fuse_selections(plan)
     plan = _absorb_tops(plan)
-    plan = _push_top_past_weight(plan)
-    plan = _push_top_into_unite(plan)
+    plan = _push_top_past_weight(plan, gate)
+    plan = _push_top_into_unite(plan, gate)
     return plan
 
 
-def _rewrite_children(plan: PraPlan) -> PraPlan:
+def _rewrite_children(plan: PraPlan, gate: TopGate | None) -> PraPlan:
     """Rebuild ``plan`` with rewritten children (PRA nodes are immutable)."""
     if isinstance(plan, PraSelect):
-        return PraSelect(_rewrite(plan.child), plan.predicate)
+        return PraSelect(_rewrite(plan.child, gate), plan.predicate)
     if isinstance(plan, PraWeight):
-        return PraWeight(_rewrite(plan.child), plan.factor)
+        return PraWeight(_rewrite(plan.child, gate), plan.factor)
     if isinstance(plan, PraTop):
-        return PraTop(_rewrite(plan.child), plan.k)
+        return PraTop(_rewrite(plan.child, gate), plan.k)
     if isinstance(plan, PraUnite):
-        return PraUnite(_rewrite(plan.left), _rewrite(plan.right), plan.assumption)
+        return PraUnite(
+            _rewrite(plan.left, gate), _rewrite(plan.right, gate), plan.assumption
+        )
     if isinstance(plan, PraSubtract):
-        return PraSubtract(_rewrite(plan.left), _rewrite(plan.right))
+        return PraSubtract(_rewrite(plan.left, gate), _rewrite(plan.right, gate))
     if isinstance(plan, PraJoin):
         return PraJoin(
-            _rewrite(plan.left), _rewrite(plan.right), plan.conditions, plan.assumption
+            _rewrite(plan.left, gate),
+            _rewrite(plan.right, gate),
+            plan.conditions,
+            plan.assumption,
         )
     # PraProject / PraBayes keep positional references that are only valid
     # against their direct child's column layout, so their subtree is rewritten
     # but the node itself is never reordered.
     if isinstance(plan, PraProject):
         return PraProject(
-            _rewrite(plan.child), plan.positions, plan.assumption, plan.output_names
+            _rewrite(plan.child, gate), plan.positions, plan.assumption, plan.output_names
         )
     if isinstance(plan, PraBayes):
-        return PraBayes(_rewrite(plan.child), plan.evidence_positions)
+        return PraBayes(_rewrite(plan.child, gate), plan.evidence_positions)
     return plan
 
 
@@ -207,14 +227,14 @@ def _absorb_tops(plan: PraPlan) -> PraPlan:
     return plan
 
 
-def _push_top_past_weight(plan: PraPlan) -> PraPlan:
+def _push_top_past_weight(plan: PraPlan, gate: TopGate | None = None) -> PraPlan:
     # scaling by f > 0 is strictly monotone and leaves values untouched, so
     # the (probability, value-key) order — ties included — is preserved
     # exactly; f = 0 maps every probability to zero and would change which
     # tuples the top-k keeps
     if isinstance(plan, PraTop) and isinstance(plan.child, PraWeight):
         weight = plan.child
-        if weight.factor > 0:
+        if weight.factor > 0 and (gate is None or gate(weight.child)):
             return PraWeight(PraTop(weight.child, plan.k), weight.factor)
     return plan
 
@@ -245,7 +265,7 @@ def _already_pruned(side: PraPlan, k: int) -> bool:
     return isinstance(node, PraTop) and node.k <= k
 
 
-def _push_top_into_unite(plan: PraPlan) -> PraPlan:
+def _push_top_into_unite(plan: PraPlan, gate: TopGate | None = None) -> PraPlan:
     # sound only under the SUBSUMED (max) merge — the merged probability is
     # then attained by one of the inputs — and only for duplicate-free sides;
     # see the module docstring for the counterexamples that stop the rewrite
@@ -260,6 +280,8 @@ def _push_top_into_unite(plan: PraPlan) -> PraPlan:
 
     def prune(side: PraPlan) -> PraPlan:
         if _already_pruned(side, plan.k):
+            return side
+        if gate is not None and not gate(side):
             return side
         return PraTop(side, plan.k)
 

@@ -152,6 +152,27 @@ class WorkerPool:
             self.request(worker, -1, {"op": "ping"}) for worker in range(self.num_workers)
         ]
 
+    def liveness(self) -> list[dict[str, Any]]:
+        """Per-worker process liveness without a worker round-trip.
+
+        Unlike :meth:`ping` this never blocks on a busy or wedged worker —
+        it only inspects the child processes — so health endpoints can call
+        it on every request.
+        """
+        return [
+            {
+                "worker": worker,
+                "pid": process.pid,
+                "alive": process.is_alive(),
+                "shards": sorted(
+                    shard
+                    for shard, owner in self._assignment.items()
+                    if owner == worker
+                ),
+            }
+            for worker, process in enumerate(self._processes)
+        ]
+
     def shard_backends(self) -> list[PoolShard]:
         """One backend proxy per shard, in shard order."""
         return [

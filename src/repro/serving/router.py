@@ -10,8 +10,14 @@ the worker pool — and exposes two surfaces:
   ``max_queue`` may wait; beyond that the router sheds load with a
   ``503``-shaped refusal instead of queueing unboundedly.
 * :meth:`Router.serve` / :meth:`Router.start` — a threaded HTTP server
-  (standard library only): ``POST /query`` with a JSON request body, and
-  ``GET /healthz`` reporting executor/pool state.
+  (standard library only): ``POST /query`` with a JSON request body,
+  ``GET /healthz`` reporting admission-queue depth, worker liveness and
+  cache counters, and ``GET /statz`` serving the engine's workload-log
+  summary (hot fingerprints, latency percentiles, cache hit rates).
+
+Every handled request is appended to the engine's workload log as a
+``serve`` record carrying the request payload itself, so a router's traffic
+can be replayed or synthesized into load by :mod:`repro.workload.replay`.
 
 Request kinds::
 
@@ -27,8 +33,10 @@ response code, so overload surfaces as a real ``503``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
@@ -84,9 +92,32 @@ class Router:
                 "in_flight": self._admitted,
                 "served": self._served,
                 "shed": self._shed,
+                "queue_depth": max(0, self._admitted - self.max_concurrent),
                 "max_concurrent": self.max_concurrent,
                 "max_queue": self.max_queue,
             }
+
+    # -- introspection ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` payload: admission, liveness and cache counters."""
+        engine = self.engine
+        result_cache = engine.result_cache
+        return {
+            "ok": True,
+            "executor": engine._plan_executor.health(),
+            "router": self.statistics(),
+            "plan_cache": engine.plan_cache.statistics.to_dict(),
+            "result_cache": result_cache.statistics.to_dict() if result_cache else None,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/statz`` payload: the workload-log summary plus router counters."""
+        return {
+            "ok": True,
+            "workload": self.engine.workload_log.summary(),
+            "router": self.statistics(),
+        }
 
     # -- request handling ---------------------------------------------------------
 
@@ -101,15 +132,37 @@ class Router:
                     f"{self.max_queue} queued"
                 ),
             }
+        started = time.perf_counter()
+        reply: dict[str, Any]
         try:
             with self._execution_slots:
-                return self._dispatch(request)
+                reply = self._dispatch(request)
         except ReproError as error:
-            return {"ok": False, "status": 400, "error": str(error)}
+            reply = {"ok": False, "status": 400, "error": str(error)}
         except Exception as error:  # noqa: BLE001 - the router must not die
-            return {"ok": False, "status": 500, "error": f"{type(error).__name__}: {error}"}
+            reply = {"ok": False, "status": 500, "error": f"{type(error).__name__}: {error}"}
         finally:
             self._release()
+        self._record(request, reply, started)
+        return reply
+
+    def _record(
+        self, request: dict[str, Any], reply: dict[str, Any], started: float
+    ) -> None:
+        """Append a ``serve`` record for this request to the engine's log."""
+        try:
+            canonical = json.dumps(request, sort_keys=True, default=str)
+            self.engine.workload_log.record(
+                "serve",
+                "serve::" + hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16],
+                (time.perf_counter() - started) * 1000.0,
+                rows_out=len(reply.get("results", [])) if reply.get("ok") else None,
+                request=request,
+                executor=self.engine.executor_info().get("executor"),
+                status="ok" if reply.get("ok") else "error",
+            )
+        except Exception:  # noqa: BLE001 - logging must never fail a request
+            pass
 
     def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         kind = request.get("kind")
@@ -194,13 +247,10 @@ class Router:
 
             def do_GET(self) -> None:  # noqa: N802 - http.server naming
                 if self.path == "/healthz":
-                    self._reply(
-                        {
-                            "ok": True,
-                            "executor": router.engine.executor_info(),
-                            "router": router.statistics(),
-                        }
-                    )
+                    self._reply(_jsonable(router.health()))
+                    return
+                if self.path == "/statz":
+                    self._reply(_jsonable(router.stats()))
                     return
                 self._reply({"ok": False, "status": 404, "error": "unknown path"})
 

@@ -1,0 +1,76 @@
+"""The workload subsystem: logging, replay, cost modelling, result caching.
+
+The ROADMAP's "workload-aware engine" item in four cooperating parts —
+each usable on its own, designed to feed each other:
+
+* :mod:`repro.workload.log` — a bounded, lock-guarded ring buffer of
+  structured :class:`~repro.workload.log.WorkloadRecord` entries (plan
+  fingerprint, parameters, latency, rows in/out, cache hits, executor,
+  shard fan-out), with an optional JSONL sink.  Every
+  ``Query.execute``/``top`` and every serving-router request appends one;
+  ``engine.workload_log``, ``GET /statz`` and ``repro workload`` expose it.
+* :mod:`repro.workload.replay` — a replay/load-generation harness: replay
+  a recorded log verbatim, or synthesize traffic from it with Zipfian
+  skew over the observed request templates, under open- or closed-loop
+  arrival.  A fixed seed yields a byte-identical schedule
+  (:meth:`~repro.workload.replay.Schedule.schedule_hash`), so load tests
+  are reproducible; reports carry throughput and p50/p95/p99.
+* :mod:`repro.workload.cost` — a per-operator cost model: cardinality
+  estimates from catalog metadata, per-kernel coefficients fitted from
+  logged latencies (:meth:`~repro.workload.cost.CostModel.calibrate`).
+  ``explain`` surfaces the estimate; the optimizer and the scatter-gather
+  executor consult it for TOP-pushdown and scatter-vs-coordinator
+  decisions.  Every steered choice is between result-identical plans —
+  the cost model can change *speed*, never *answers* (Hypothesis-enforced).
+* :mod:`repro.workload.cache` — an adaptive result cache keyed by
+  (plan fingerprint, bound parameters): size-bounded, lock-guarded,
+  invalidated by table dependency exactly like the plan cache, admitting
+  a key only once its fingerprint repeats (one-shot queries never evict
+  hot entries).  Cached results are bit-identical to recomputation.
+
+The JSONL record schema is part of the public API surface — see the
+stability policy in :mod:`repro`.
+"""
+
+from repro.workload.cache import ResultCache, ResultCacheStatistics, binding_fingerprint
+from repro.workload.cost import CostEstimate, CostModel
+from repro.workload.log import (
+    WorkloadLog,
+    WorkloadRecord,
+    load_records,
+    summarize,
+    top_fingerprints,
+)
+from repro.workload.replay import (
+    EngineTarget,
+    HttpTarget,
+    LoadReport,
+    RequestSpec,
+    RouterTarget,
+    Schedule,
+    replay_schedule,
+    run_schedule,
+    synthesize_schedule,
+)
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "EngineTarget",
+    "HttpTarget",
+    "LoadReport",
+    "RequestSpec",
+    "ResultCache",
+    "ResultCacheStatistics",
+    "RouterTarget",
+    "Schedule",
+    "WorkloadLog",
+    "WorkloadRecord",
+    "binding_fingerprint",
+    "load_records",
+    "replay_schedule",
+    "run_schedule",
+    "summarize",
+    "synthesize_schedule",
+    "top_fingerprints",
+]

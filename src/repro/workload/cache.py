@@ -1,0 +1,200 @@
+"""The adaptive result cache: evaluated relations keyed by plan + parameters.
+
+Where the :class:`~repro.engine.plan_cache.PlanCache` memoizes *plans*, this
+cache memoizes *results*: the :class:`~repro.pra.relation.ProbabilisticRelation`
+an optimized plan evaluated to, keyed by ``(plan fingerprint, binding
+fingerprint)``.  A hit skips the executor entirely — no scatter, no worker
+round-trip — and returns the exact relation object computed before, so a
+cached answer is bit-identical to recomputation by construction (property
+tests enforce it end to end).
+
+**Adaptive admission.**  A result is only *stored* once its plan
+fingerprint has been seen ``admission_threshold`` times (default: twice).
+One-shot queries — ad-hoc exploration, unique parameter values — therefore
+never evict the entries that are actually hot; the fingerprint sighting
+counts live in a bounded LRU of their own, so the admission tracker cannot
+grow without bound either.
+
+**Invalidation.**  Entries record the base tables their plan scans (the
+same ``scan_tables`` dependency set the plan cache uses), and the engine
+calls :meth:`ResultCache.invalidate_table` from exactly the hooks that
+invalidate the plan cache — ``create_table``, triple-store reload,
+``clear_caches`` — so a cached result can never outlive the data it was
+computed from.
+
+Thread safety matches the plan cache: one re-entrant lock guards every
+lookup, insert, invalidation and counter update.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from repro.pra.relation import ProbabilisticRelation
+
+
+@dataclass
+class ResultCacheStatistics:
+    """Counters describing result-cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    admitted: int = 0
+    bypassed: int = 0  # stores skipped by the admission policy
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "admitted": self.admitted,
+            "bypassed": self.bypassed,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _ResultEntry:
+    value: ProbabilisticRelation
+    dependencies: frozenset[str] = field(default_factory=frozenset)
+    uses: int = 0
+
+
+def binding_fingerprint(
+    bindings: Mapping[str, ProbabilisticRelation] | None,
+) -> str | None:
+    """A deterministic key for a set of bound parameter relations.
+
+    Returns ``None`` when any bound relation cannot be fingerprinted by
+    content — the caller must then treat the execution as uncacheable
+    rather than risk serving a stale or wrong answer.
+    """
+    if not bindings:
+        return ""
+    parts: list[str] = []
+    for name in sorted(bindings):
+        value = bindings[name]
+        try:
+            content: Hashable = value.relation.content_fingerprint()
+        except Exception:  # noqa: BLE001 - unhashable content => uncacheable
+            return None
+        parts.append(f"{name}={content}")
+    return ";".join(parts)
+
+
+class ResultCache:
+    """A size-bounded, lock-guarded, dependency-invalidated result cache."""
+
+    def __init__(self, max_entries: int = 256, *, admission_threshold: int = 2):
+        if max_entries < 1:
+            raise ValueError("result cache max_entries must be >= 1")
+        if admission_threshold < 1:
+            raise ValueError("admission_threshold must be >= 1")
+        self.max_entries = max_entries
+        self.admission_threshold = admission_threshold
+        self._entries: OrderedDict[tuple[str, str], _ResultEntry] = OrderedDict()
+        # fingerprint -> sighting count; bounded so ad-hoc traffic cannot
+        # grow the admission tracker without limit
+        self._sightings: OrderedDict[str, int] = OrderedDict()
+        self._sightings_capacity = max(max_entries * 4, 64)
+        self._lock = threading.RLock()
+        self.statistics = ResultCacheStatistics()
+
+    # -- lookup / store ----------------------------------------------------------
+
+    def lookup(self, key: tuple[str, str]) -> ProbabilisticRelation | None:
+        """The cached result for ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+            self.statistics.hits += 1
+            entry.uses += 1
+            self._entries.move_to_end(key)
+            return entry.value
+
+    def store(
+        self,
+        key: tuple[str, str],
+        value: ProbabilisticRelation,
+        *,
+        dependencies: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Offer a computed result; returns True if it was admitted.
+
+        Admission is adaptive: the result is kept only once the plan
+        fingerprint's sighting count reaches ``admission_threshold`` (the
+        lookup that preceded this store counts as one sighting).
+        """
+        fingerprint = key[0]
+        with self._lock:
+            if key in self._entries:
+                return True  # a concurrent execution already stored it
+            count = self._sightings.get(fingerprint, 0) + 1
+            self._sightings[fingerprint] = count
+            self._sightings.move_to_end(fingerprint)
+            while len(self._sightings) > self._sightings_capacity:
+                self._sightings.popitem(last=False)
+            if count < self.admission_threshold:
+                self.statistics.bypassed += 1
+                return False
+            self._entries[key] = _ResultEntry(value=value, dependencies=dependencies)
+            self.statistics.admitted += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+            self.statistics.entries = len(self._entries)
+            return True
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop every cached result whose plan depends on ``table_name``."""
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if table_name in entry.dependencies
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.statistics.invalidations += len(stale)
+            self.statistics.entries = len(self._entries)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached result and the admission sighting counts."""
+        with self._lock:
+            self.statistics.invalidations += len(self._entries)
+            self._entries.clear()
+            self._sightings.clear()
+            self.statistics.entries = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._entries

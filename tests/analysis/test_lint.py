@@ -11,6 +11,7 @@ from pathlib import Path
 
 from repro.analysis.lint import (
     ALL_RULES,
+    BoundedLogBufferRule,
     LengthPrefixedWriteRule,
     LockedCacheMutationRule,
     NoWallClockRule,
@@ -183,6 +184,83 @@ class TestLengthPrefixedWrite:
             lint_source(source, Path("src/repro/serving/pool.py"), [LengthPrefixedWriteRule()])
             == []
         )
+
+
+LOG_CLASS = """
+import threading
+from collections import deque
+
+class Log:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records = deque(maxlen=100)
+
+    def record(self, entry):
+        {body}
+"""
+
+
+class TestBoundedLogBuffer:
+    def test_flags_plain_list_buffer(self):
+        source = (
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._records = []\n"
+        )
+        violations = lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()])
+        assert rule_names(violations) == ["RL006"]
+        assert "unbounded list buffer" in violations[0].message
+
+    def test_flags_deque_without_maxlen(self):
+        source = (
+            "import threading\n"
+            "from collections import deque\n"
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._event_log = deque()\n"
+        )
+        violations = lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()])
+        assert rule_names(violations) == ["RL006"]
+        assert "maxlen" in violations[0].message
+
+    def test_flags_buffer_class_without_lock(self):
+        source = (
+            "from collections import deque\n"
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._records = deque(maxlen=10)\n"
+        )
+        violations = lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()])
+        assert rule_names(violations) == ["RL006"]
+        assert "no threading.Lock" in violations[0].message
+
+    def test_flags_unguarded_append(self):
+        source = LOG_CLASS.format(body="self._records.append(entry)")
+        violations = lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()])
+        assert rule_names(violations) == ["RL006"]
+        assert "'record' mutates log buffer 'self._records'" in violations[0].message
+
+    def test_guarded_append_is_clean(self):
+        source = LOG_CLASS.format(
+            body="with self._lock:\n            self._records.append(entry)"
+        )
+        assert lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()]) == []
+
+    def test_segment_matching_skips_catalog(self):
+        # "catalog" contains "log" as a substring, but not as a "_" segment
+        source = (
+            "class Database:\n"
+            "    def __init__(self):\n"
+            "        self.catalog = []\n"
+            "    def add(self, table):\n"
+            "        self.catalog.append(table)\n"
+        )
+        assert lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()]) == []
+
+    def test_reads_are_not_flagged(self):
+        source = LOG_CLASS.format(body="return list(self._records)")
+        assert lint_source(source, ENGINE_PATH, [BoundedLogBufferRule()]) == []
 
 
 class TestSuppression:

@@ -144,6 +144,93 @@ class TestPlanCacheStress:
         assert engine.spinql(TRAVERSE, seeds=["lot1"]).execute().num_rows == 1
 
 
+class TestResultCacheStress:
+    """8 threads mixing execution with result-cache invalidation and clears.
+
+    The result cache may be invalidated or cleared at any moment by a
+    concurrent writer; the contract is that every observed result is still
+    bit-identical to serial execution (a stale answer is the one failure
+    mode a result cache must never have) and that the hit/miss counters
+    stay consistent — exactly one lookup per cacheable execution.
+    """
+
+    THREADS = 8
+    ITERATIONS = 30
+
+    def _mix(self, engine, worker: int):
+        snapshots = []
+        for iteration in range(self.ITERATIONS):
+            step = (worker + iteration) % 4
+            if step == 3 and worker % 2 == 0:
+                engine.result_cache.invalidate_table("triples")
+            elif step == 3:
+                engine.clear_caches()
+            source = SOURCES[(worker + iteration) % len(SOURCES)]
+            result = engine.spinql(source).execute()
+            snapshots.append(
+                (_result_key(result), [round(p, 12) for p in result.probabilities()])
+            )
+            seeds = SEED_SETS[(worker * 3 + iteration) % len(SEED_SETS)]
+            snapshots.append(
+                (_result_key(engine.spinql(TRAVERSE, seeds=seeds).execute(seeds=seeds)), None)
+            )
+        return snapshots
+
+    def test_mixed_execute_invalidate_clear_is_bit_identical(self, engine):
+        serial_engine = Engine.from_triples(TRIPLES, result_cache_size=None)
+        expected = [
+            self._serial_mix(serial_engine, worker) for worker in range(self.THREADS)
+        ]
+
+        barrier = threading.Barrier(self.THREADS)
+        results: list = [None] * self.THREADS
+        errors: list = []
+
+        def run(worker: int):
+            try:
+                barrier.wait()
+                results[worker] = self._mix(engine, worker)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(worker,)) for worker in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert results == expected
+
+        stats = engine.result_cache.statistics
+        # one cache lookup per execution, none lost to races
+        executions = self.THREADS * self.ITERATIONS * 2
+        assert stats.hits + stats.misses == executions
+        assert 0 <= stats.entries <= engine.result_cache.max_entries
+
+        # after the stress, invalidation still works: new data, new answer
+        engine.load_triples([("lot4", "hasAuction", "auction1")])
+        fresh = engine.spinql(TRAVERSE, seeds=["lot4"]).execute()
+        assert fresh.value_rows() == [("auction1",)]
+
+    def _serial_mix(self, engine, worker: int):
+        """The same query mix as _mix, without the cache churn calls."""
+        snapshots = []
+        for iteration in range(self.ITERATIONS):
+            source = SOURCES[(worker + iteration) % len(SOURCES)]
+            result = engine.spinql(source).execute()
+            snapshots.append(
+                (_result_key(result), [round(p, 12) for p in result.probabilities()])
+            )
+            seeds = SEED_SETS[(worker * 3 + iteration) % len(SEED_SETS)]
+            snapshots.append(
+                (_result_key(engine.spinql(TRAVERSE, seeds=seeds).execute(seeds=seeds)), None)
+            )
+        return snapshots
+
+
 class TestConcurrentBatches:
     def test_execute_many_concurrent_equals_serial(self, engine):
         query = engine.spinql(TRAVERSE, seeds=[])

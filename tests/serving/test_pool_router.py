@@ -134,6 +134,36 @@ class TestRouter:
         assert router.handle({"kind": "info"})["ok"]
         assert router.statistics()["shed"] == 1
 
+    def test_healthz_shape(self, pool_engine):
+        health = Router(pool_engine).health()
+        assert health["ok"]
+        # worker liveness from the pool executor
+        assert health["executor"]["executor"] == "pool"
+        liveness = health["executor"]["worker_liveness"]
+        assert len(liveness) == pool_engine.executor_info()["workers"]
+        assert all(worker["alive"] for worker in liveness)
+        # admission-queue depth plus both cache counter blocks
+        router_stats = health["router"]
+        assert {"in_flight", "queue_depth", "served", "shed"} <= set(router_stats)
+        assert {"hits", "misses", "entries", "hit_rate"} <= set(health["plan_cache"])
+        assert {"hits", "misses", "entries", "hit_rate"} <= set(health["result_cache"])
+
+    def test_statz_summarizes_served_traffic(self, pool_engine):
+        router = Router(pool_engine)
+        before = router.stats()["workload"]["log"]["appended"]
+        router.handle({"kind": "spinql", "source": PROGRAM, "top_k": 3})
+        stats = router.stats()
+        assert stats["ok"]
+        workload = stats["workload"]
+        assert workload["log"]["appended"] > before
+        assert {"by_kind", "by_status", "latency", "result_cache"} <= set(workload)
+        serves = [
+            item
+            for item in workload["top_fingerprints"]
+            if item["fingerprint"].startswith("serve::")
+        ]
+        assert serves  # the handled request was logged as a serve record
+
     def test_http_front_end(self, source_and_snapshot, pool_engine):
         engine, _path, query = source_and_snapshot
         router = Router(pool_engine)
@@ -144,6 +174,11 @@ class TestRouter:
                 urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz").read()
             )
             assert health["ok"] and health["executor"]["executor"] == "pool"
+            assert health["result_cache"] is not None
+            statz = json.loads(
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/statz").read()
+            )
+            assert statz["ok"] and "workload" in statz
             request = urllib.request.Request(
                 f"http://127.0.0.1:{port}/query",
                 data=json.dumps(
