@@ -171,9 +171,15 @@ def test_e12_pool_throughput_scaling(benchmark, sharded_setup):
             "E12",
             {
                 "cores": cores,
+                "transport": pooled.executor_info().get("transport"),
                 "single_process_qps": round(single, 2),
                 "pool_serial_qps": round(pool_serial, 2),
                 "pool_concurrent_qps": round(pool_concurrent, 2),
+                # the IPC-gap headline: best pool mode over the in-process
+                # engine (1.0 would mean the pool costs nothing)
+                "pool_vs_single_ratio": round(
+                    max(pool_serial, pool_concurrent) / single, 4
+                ),
                 "single_process_latency": artifacts.latency_summary(single_lat),
                 "pool_serial_latency": artifacts.latency_summary(pool_serial_lat),
                 "pool_concurrent_latency": artifacts.latency_summary(pool_concurrent_lat),

@@ -8,6 +8,7 @@ on any mismatch, so CI can gate on it.
 Usage::
 
     python scripts/serving_smoke.py [--shards 2] [--workers 2] [--lots 200]
+                                    [--transport auto|shm|inline]
 """
 
 from __future__ import annotations
@@ -25,6 +26,12 @@ def main() -> int:
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--lots", type=int, default=200)
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "inline"),
+        default="auto",
+        help="worker reply transport (shm forces every reply through shared memory)",
+    )
     args = parser.parse_args()
 
     from repro.engine import Engine
@@ -57,7 +64,15 @@ def main() -> int:
     source.save(snapshot, shards=args.shards)
     print(f"sharded snapshot: {snapshot} ({args.shards} shards)")
 
-    engine = Engine.open_sharded(snapshot, executor="pool", workers=args.workers)
+    # --transport shm drops the threshold to zero so even the small smoke
+    # replies actually exercise the shared-memory path
+    engine = Engine.open_sharded(
+        snapshot,
+        executor="pool",
+        workers=args.workers,
+        transport=args.transport,
+        shm_threshold=0 if args.transport == "shm" else None,
+    )
     router = Router(engine, max_concurrent=args.workers)
     server, _thread = router.start(port=0)
     port = server.server_address[1]

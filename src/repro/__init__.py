@@ -139,7 +139,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # the public facade

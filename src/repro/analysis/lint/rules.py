@@ -365,14 +365,16 @@ class LengthPrefixedWriteRule(LintRule):
     """RL005: wire-codec writes must go through the length-prefixed framing.
 
     Router↔worker messages are self-delimiting frames (4-byte big-endian
-    length + payload).  A raw ``stream.write`` of unframed bytes desyncs the
-    peer's ``read_frame`` loop permanently; a ``send_bytes`` of anything but
-    an ``encode_message`` frame breaks the pool transport the same way.  The
-    only raw-write site allowed is ``write_frame`` itself.
+    length + payload); the pool transport additionally prefixes frames with
+    a request id (``encode_tagged``).  A raw ``stream.write`` of unframed
+    bytes desyncs the peer's ``read_frame`` loop permanently; a
+    ``send_bytes`` of anything but an ``encode_message``/``encode_tagged``
+    frame breaks the pool transport the same way.  The only raw-write site
+    allowed is ``write_frame`` itself.
 
     Regression note: clean at introduction — ``codec.write_frame`` is the
     single raw write, and every ``send_bytes`` in the pool/worker transport
-    wraps ``encode_message``.  The rule keeps it that way.
+    wraps one of the two codec entry points.  The rule keeps it that way.
     """
 
     name = "RL005"
@@ -410,8 +412,8 @@ class LengthPrefixedWriteRule(LintRule):
                         self.violation(
                             path,
                             node,
-                            ".send_bytes() payload must be encode_message(...) so the "
-                            "frame stays length-prefixed",
+                            ".send_bytes() payload must be encode_message(...) or "
+                            "encode_tagged(...) so the frame stays length-prefixed",
                         )
                     )
             for child in ast.iter_child_nodes(node):
@@ -428,7 +430,7 @@ class LengthPrefixedWriteRule(LintRule):
         return (
             isinstance(argument, ast.Call)
             and isinstance(argument.func, ast.Name)
-            and argument.func.id == "encode_message"
+            and argument.func.id in ("encode_message", "encode_tagged")
         )
 
 

@@ -318,6 +318,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         path,
         executor="pool" if args.workers != 0 else "sharded",
         workers=args.workers or None,
+        transport=args.transport,
     )
     router = Router(
         engine, max_concurrent=args.max_concurrent, max_queue=args.max_queue
@@ -581,6 +582,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="requests executing at once (admission control)")
     serve.add_argument("--max-queue", type=int, default=64,
                        help="requests allowed to wait before load is shed (HTTP 503)")
+    serve.add_argument(
+        "--transport",
+        choices=("auto", "shm", "inline"),
+        default="auto",
+        help="worker reply transport: shared memory for large results "
+             "('auto'/'shm', platform permitting) or the pipe codec only ('inline')",
+    )
     _add_common(serve, top=False)
     serve.set_defaults(handler=_cmd_serve)
 

@@ -452,6 +452,8 @@ class Engine:
         executor: str = "sharded",
         workers: int | None = None,
         mmap: bool = True,
+        transport: str = "auto",
+        shm_threshold: int | None = None,
         **engine_kwargs: Any,
     ) -> "Engine":
         """Open a partitioned snapshot behind a scatter-gather executor.
@@ -459,13 +461,16 @@ class Engine:
         ``executor="sharded"`` memmaps every shard in this process;
         ``executor="pool"`` boots persistent worker processes (``workers``
         of them, default one per shard), each memmapping its own shard and
-        fed over pipes.  Either way the returned engine answers every query
-        bit-identically to the unsharded engine: row-local plan segments
-        (select/weight chains, rank-aware TOP) and keyword ranking scatter
-        to the shards; everything else runs on the coordinator over
-        gather-reconstructed tables.  Raises
-        :class:`~repro.errors.StorageError` for a missing or corrupt shard
-        map.
+        fed over pipelined pipes.  Worker replies at or above
+        ``shm_threshold`` bytes travel through shared memory when
+        ``transport`` is ``"auto"``/``"shm"`` and the platform supports it;
+        ``transport="inline"`` keeps everything on the pipe codec.  Either
+        way the returned engine answers every query bit-identically to the
+        unsharded engine: row-local plan segments (select/weight chains,
+        rank-aware TOP) and keyword ranking scatter to the shards;
+        everything else runs on the coordinator over gather-reconstructed
+        tables.  Raises :class:`~repro.errors.StorageError` for a missing
+        or corrupt shard map.
         """
         from repro.storage.format import read_manifest
         from repro.storage.shards import read_shard_map, shard_rowids
@@ -482,7 +487,13 @@ class Engine:
         if executor == "pool":
             from repro.serving.pool import WorkerPool
 
-            pool = WorkerPool(shard_map, workers=workers, mmap=mmap)
+            pool = WorkerPool(
+                shard_map,
+                workers=workers,
+                mmap=mmap,
+                transport=transport,
+                shm_threshold=shm_threshold,
+            )
             plan_executor: PlanExecutor = PoolExecutor(engine, shard_map, pool)
         elif executor == "sharded":
             backends = [

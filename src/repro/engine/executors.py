@@ -87,6 +87,17 @@ class SearchSpec:
     model: RankingModel | None = None
 
 
+def statistics_key(spec: SearchSpec) -> tuple:
+    """Cache key for the global collection statistics a search needs.
+
+    Shared by the executor's coordinator-side cache and the worker-side
+    cache (:mod:`repro.serving.worker`): two specs with the same key rank
+    against the same merged df/cf tables, so the pool sends the payload to
+    each worker at most once per key.
+    """
+    return (spec.table, spec.pipeline, spec.id_column, spec.text_column)
+
+
 def model_from_descriptor(descriptor: dict[str, Any] | None) -> RankingModel | None:
     """Rebuild a ranking model from its ``describe()`` dict (JSON requests).
 
@@ -243,7 +254,10 @@ def gather_table(backends: Sequence[Any], table: str) -> Relation:
     source table's exact rows and order.  This is the coordinator's lazy
     hydration path for plan shapes that cannot scatter (joins, merges).
     """
-    parts = [backend.fragment(table) for backend in backends]
+    if all(getattr(backend, "pipelined", False) for backend in backends):
+        parts = [pending.result() for pending in [b.begin_fragment(table) for b in backends]]
+    else:
+        parts = [backend.fragment(table) for backend in backends]
     relation = parts[0][0]
     for fragment, _rows in parts[1:]:
         relation = relation.concat(fragment)
@@ -272,8 +286,25 @@ def gather_triples(backends: Sequence[Any]) -> list:
 # ---------------------------------------------------------------------------
 
 
+class _Immediate:
+    """An already-computed pending reply (the in-process ``begin_*`` shape).
+
+    In-process backends have no wire to pipeline over, so their ``begin_*``
+    methods compute eagerly and wrap the value; callers treat the result
+    uniformly with :class:`repro.serving.pool._PendingReply`.
+    """
+
+    def __init__(self, value: Any):
+        self._value = value
+
+    def result(self, timeout: float | None = None) -> Any:
+        return self._value
+
+
 class InProcessShard:
     """A shard backend over a shard engine opened in this process."""
+
+    pipelined = False
 
     def __init__(self, engine: "Engine", rowids: "ShardRowids"):
         self.engine = engine
@@ -291,8 +322,14 @@ class InProcessShard:
     def evaluate_segment(self, plan: PraPlan, table: str) -> ProbabilisticRelation:
         return self._evaluator.evaluate(plan, bindings={FRAGMENT_PARAM: self._augmented(table)})
 
+    def begin_segment(self, plan: PraPlan, table: str) -> _Immediate:
+        return _Immediate(self.evaluate_segment(plan, table))
+
     def fragment(self, table: str) -> tuple[Relation, np.ndarray]:
         return self.engine.database.table(table), self.rowids.get(table)
+
+    def begin_fragment(self, table: str) -> _Immediate:
+        return _Immediate(self.fragment(table))
 
     def triples_fragment(self) -> tuple[list, np.ndarray]:
         return list(self.engine.store._triples), self.rowids.get_store()
@@ -310,6 +347,9 @@ class InProcessShard:
     def statistics_summary(self, spec: SearchSpec) -> GlobalStatistics:
         return GlobalStatistics.reduce([self._searcher(spec).statistics])
 
+    def begin_statistics_summary(self, spec: SearchSpec) -> _Immediate:
+        return _Immediate(self.statistics_summary(spec))
+
     def search_shard(
         self, spec: SearchSpec, global_statistics: GlobalStatistics
     ) -> tuple[list[Any], np.ndarray, np.ndarray]:
@@ -322,6 +362,11 @@ class InProcessShard:
             model,
             spec.top_k,
         )
+
+    def begin_search(
+        self, spec: SearchSpec, global_statistics: GlobalStatistics
+    ) -> _Immediate:
+        return _Immediate(self.search_shard(spec, global_statistics))
 
     def close(self) -> None:
         self._fragments.clear()
@@ -424,10 +469,13 @@ class ScatterGatherExecutor(PlanExecutor):
         for name, segment in segments:
             shard_plan = segment.shard_plan()
 
+            def begin(backend, plan=shard_plan, table=segment.table):
+                return backend.begin_segment(plan, table)
+
             def evaluate(backend, plan=shard_plan, table=segment.table):
                 return backend.evaluate_segment(plan, table)
 
-            results = self._map_backends(evaluate)
+            results = self._fan_out(begin, evaluate)
             shard_counts.append([result.num_rows for result in results])
             gathered[name] = segment.gather(results)
         self.last_scatter["per_shard_rows"] = shard_counts
@@ -443,14 +491,29 @@ class ScatterGatherExecutor(PlanExecutor):
         pool = self._engine._shard_pool(len(self.backends))
         return list(pool.map(operation, self.backends))
 
+    def _fan_out(
+        self, begin: Callable[[Any], Any], blocking: Callable[[Any], Any]
+    ) -> list[Any]:
+        """Run one operation on every backend, overlapping all of them.
+
+        Pipelined backends (:class:`repro.serving.pool.PoolShard`) put every
+        request on the wire first — each ``begin`` is just a pipe write — and
+        collect replies afterwards, so the scatter overlaps all workers from
+        the calling thread with no thread pool.  In-process backends compute
+        on a thread pool via ``blocking`` as before.
+        """
+        if self.backends and all(
+            getattr(backend, "pipelined", False) for backend in self.backends
+        ):
+            return [pending.result() for pending in [begin(b) for b in self.backends]]
+        return self._map_backends(blocking)
+
     # -- search -----------------------------------------------------------------
 
     def _search_supported(self, spec: SearchSpec) -> bool:
         return self.shard_map.is_partitioned(spec.table)
 
-    @staticmethod
-    def _statistics_key(spec: SearchSpec) -> tuple:
-        return (spec.table, spec.pipeline, spec.id_column, spec.text_column)
+    _statistics_key = staticmethod(statistics_key)
 
     def has_global_statistics(self, spec: SearchSpec) -> bool:
         """True once the global reduce for this table/config has been merged."""
@@ -460,7 +523,10 @@ class ScatterGatherExecutor(PlanExecutor):
         key = self._statistics_key(spec)
         cached = self._global_statistics.get(key)
         if cached is None:
-            summaries = self._map_backends(lambda backend: backend.statistics_summary(spec))
+            summaries = self._fan_out(
+                lambda backend: backend.begin_statistics_summary(spec),
+                lambda backend: backend.statistics_summary(spec),
+            )
             cached = GlobalStatistics.merge(summaries)
             self._global_statistics[key] = cached
         return cached
@@ -469,8 +535,9 @@ class ScatterGatherExecutor(PlanExecutor):
         if not self._search_supported(spec):
             return None
         global_statistics = self._global_for(spec)
-        results = self._map_backends(
-            lambda backend: backend.search_shard(spec, global_statistics)
+        results = self._fan_out(
+            lambda backend: backend.begin_search(spec, global_statistics),
+            lambda backend: backend.search_shard(spec, global_statistics),
         )
         self.last_scatter = {
             "search": spec.table,
@@ -518,6 +585,7 @@ class PoolExecutor(ScatterGatherExecutor):
     def describe(self) -> dict[str, Any]:
         description = super().describe()
         description["workers"] = self._pool.num_workers
+        description["transport"] = self._pool.transport
         return description
 
     def health(self) -> dict[str, Any]:

@@ -4,16 +4,23 @@ This package turns a partitioned snapshot (:mod:`repro.storage.shards`)
 into a serving deployment:
 
 * :mod:`repro.serving.codec` — a small length-prefixed binary codec for
-  plans and relations, used on every router↔worker pipe;
+  plans and relations, plus the tagged (request-id-prefixed) frames the
+  pool pipelines over every router↔worker pipe;
+* :mod:`repro.serving.shm` — the shared-memory result path: large reply
+  frames travel out-of-band through ``multiprocessing.shared_memory``
+  segments, with only a control frame on the pipe (inline fallback when
+  the platform lacks shared memory);
 * :mod:`repro.serving.worker` — the worker process main loop: memmap the
   assigned shards, answer segment-evaluation / statistics / search /
-  fragment requests;
+  fragment requests, caching global statistics between searches;
 * :mod:`repro.serving.pool` — :class:`WorkerPool`: spawns persistent
-  workers, assigns shards, multiplexes requests (the transport behind
-  :class:`~repro.engine.executors.PoolExecutor`);
+  workers, assigns shards, multiplexes pipelined requests (the transport
+  behind :class:`~repro.engine.executors.PoolExecutor`);
 * :mod:`repro.serving.router` — :class:`Router`: owns the engine (sharded
-  or pooled), admission-queues requests, and exposes a minimal threaded
-  HTTP front end (``POST /query``, ``GET /healthz``).
+  or pooled) and admission-queues requests;
+* :mod:`repro.serving.frontend` — the asyncio HTTP front end
+  (``POST /query``, ``GET /healthz``, ``GET /statz``): parse and admit on
+  the event loop, execute admitted requests on a small thread pool.
 
 The CLI front end is ``python -m repro serve`` (and ``shard`` to
 re-partition an existing snapshot).

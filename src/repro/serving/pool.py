@@ -6,24 +6,44 @@ multiplexes codec-framed requests over one duplex pipe per worker.  Each
 worker memmaps its shards (OS page cache shared across workers on one
 host), so pool start-up is O(process spawn), not O(data).
 
+**Pipelining.**  Every request frame carries an 8-byte request id
+(:func:`~repro.serving.codec.encode_tagged`); a dedicated reader thread
+per connection matches reply frames to futures by id, so many requests can
+be in flight on one pipe at once — the send lock is held only for the
+write, never for the round trip.  Issuing requests therefore costs one
+pipe write, and the scatter step overlaps every worker without needing a
+thread per backend.
+
+**Result transport.**  Small replies travel inline on the pipe; replies at
+or above the shared-memory threshold are published to
+:mod:`repro.serving.shm` segments by the worker and only a control frame
+crosses the pipe (``transport="inline"`` forces the pipe codec everywhere,
+e.g. for CI parity runs).  Workers also cache the global collection
+statistics a search needs, keyed like the executor's own cache, so steady
+state search requests carry only terms and a key — not the df/cf tables.
+
 :meth:`WorkerPool.shard_backends` returns one :class:`PoolShard` proxy per
 shard — the same backend interface :class:`~repro.engine.executors.InProcessShard`
 implements, so :class:`~repro.engine.executors.PoolExecutor` reuses the
-scatter-gather logic unchanged.  A worker that dies mid-request surfaces as
-a clean :class:`~repro.errors.EngineError` naming the shard and worker, not
-a hung pipe or a raw ``EOFError``.
+scatter-gather logic unchanged.  A worker that dies mid-request — or sends
+a frame the codec cannot decode — surfaces as a clean
+:class:`~repro.errors.EngineError` naming the shard and worker, the
+connection is marked dead, and every subsequent request fails fast with
+the same attribution instead of reading garbage frames.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from typing import TYPE_CHECKING, Any
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro.errors import EngineError
-from repro.serving.codec import decode_message, encode_message
+from repro.serving.codec import encode_tagged, resolve_tagged, split_tagged
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executors import SearchSpec
@@ -32,46 +52,280 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _JOIN_TIMEOUT_SECONDS = 5.0
 
+#: reply code a worker sends when it needs the global statistics re-sent
+GLOBAL_MISSING = "global-missing"
+
+
+class _WorkerDied(Exception):
+    """Internal marker: the connection to a worker is unusable."""
+
+
+#: how long a receive leader blocks in ``poll`` before re-checking state
+_POLL_SECONDS = 0.1
+
+
+class _WorkerConnection:
+    """One duplex pipe to a worker process, multiplexed by request id.
+
+    Receiving is leader/follower, not a dedicated reader thread: whichever
+    waiting caller holds the receive lock drains frames (resolving futures
+    by request id) until its own reply arrives, then hands leadership to
+    the next waiter via the turnstile condition.  In the common serial case
+    the caller that sent the request also reads the reply — no cross-thread
+    hand-off, which on a busy host saves two context switches per reply.
+    """
+
+    def __init__(self, worker: int, connection: Any, process: Any):
+        self.worker = worker
+        self.connection = connection
+        self.process = process
+        self.installed_globals: set[tuple] = set()
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._turnstile = threading.Condition()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._death: str | None = None
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, message: dict[str, Any]) -> Future:
+        """Issue one request; returns a future resolving to (kind, body)."""
+        with self._state_lock:
+            if self._death is not None:
+                raise _WorkerDied(self._death)
+            self._next_id += 1
+            request_id = self._next_id
+            future: Future = Future()
+            self._pending[request_id] = future
+        try:
+            with self._send_lock:
+                self.connection.send_bytes(encode_tagged(request_id, message))
+        except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as error:
+            self.mark_dead(f"pipe write failed: {error!r}")
+        return future
+
+    # -- receiving ---------------------------------------------------------------
+
+    def wait(self, future: Future, timeout: float | None = None) -> tuple[bytes, bytes]:
+        """Wait for ``future``'s reply frame, draining the pipe if leading.
+
+        Raises the future's exception (:class:`_WorkerDied`) on a dead
+        connection and :class:`concurrent.futures.TimeoutError` on expiry.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not future.done():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if self._recv_lock.acquire(blocking=False):
+                try:
+                    self._lead(future, deadline)
+                finally:
+                    self._recv_lock.release()
+                    with self._turnstile:
+                        self._turnstile.notify_all()
+            else:
+                with self._turnstile:
+                    # re-check under the turnstile lock: the leader may have
+                    # exited between our failed acquire and this wait, and
+                    # its notify_all requires the lock we now hold — so a
+                    # free receive lock or a done future cannot be missed
+                    if future.done() or not self._recv_lock.locked():
+                        continue
+                    self._turnstile.wait(_POLL_SECONDS)
+        return future.result(timeout=0)
+
+    def _lead(self, future: Future, deadline: float | None) -> None:
+        """Drain reply frames until ``future`` resolves (or death/deadline)."""
+        while not future.done() and self._death is None:
+            try:
+                if deadline is not None:
+                    # bounded wait: poll so the deadline is honored even if
+                    # the worker never replies (close() uses this path)
+                    if time.monotonic() >= deadline:
+                        return
+                    if not self.connection.poll(_POLL_SECONDS):
+                        continue
+                data = self.connection.recv_bytes()
+            except (EOFError, OSError):
+                self.mark_dead("connection closed")
+                return
+            try:
+                request_id, kind, body = split_tagged(data)
+            except EngineError as error:
+                self.mark_dead(f"sent an unreadable frame: {error}")
+                return
+            with self._state_lock:
+                target = self._pending.pop(request_id, None)
+            if target is not None and not target.done():
+                target.set_result((kind, body))
+                if target is not future:
+                    with self._turnstile:
+                        self._turnstile.notify_all()
+
+    def mark_dead(self, reason: str) -> None:
+        """Fail every in-flight request and reject all future ones."""
+        with self._state_lock:
+            if self._death is None:
+                self._death = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(_WorkerDied(reason))
+        with self._turnstile:
+            self._turnstile.notify_all()
+
+    @property
+    def death(self) -> str | None:
+        return self._death
+
+    def shutdown(self) -> None:
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+class _PendingReply:
+    """One in-flight request: resolves, attributes errors, post-processes."""
+
+    def __init__(
+        self,
+        pool: "WorkerPool",
+        worker: int,
+        shard: int,
+        op: str | None,
+        future: Future,
+        transform: Callable[[Any], Any] | None = None,
+    ):
+        self._pool = pool
+        self.worker = worker
+        self.shard = shard
+        self.op = op
+        self._future = future
+        self._transform = transform
+
+    def reply(self, timeout: float | None = None) -> dict[str, Any]:
+        """The decoded raw reply dict (``ok`` may be false)."""
+        return self._pool._resolve(self, timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The reply's value; raises attributed ``EngineError`` on failure."""
+        value = self._pool._unwrap(self, self.reply(timeout))
+        return self._transform(value) if self._transform is not None else value
+
+
+class _SearchPending:
+    """A pipelined ``search`` request with global-statistics re-send retry."""
+
+    def __init__(
+        self,
+        shard_proxy: "PoolShard",
+        spec: "SearchSpec",
+        global_statistics: "GlobalStatistics",
+        key: tuple,
+        pending: _PendingReply,
+    ):
+        self._proxy = shard_proxy
+        self._spec = spec
+        self._global = global_statistics
+        self._key = key
+        self._pending = pending
+
+    def result(self, timeout: float | None = None) -> tuple[list[Any], np.ndarray, np.ndarray]:
+        pool = self._proxy._pool
+        reply = self._pending.reply(timeout)
+        if not reply.get("ok") and reply.get("code") == GLOBAL_MISSING:
+            # the worker lost (or never had) the cached global statistics;
+            # re-issue the request carrying the full payload
+            message = self._proxy._search_message(self._spec, self._global, install=True)
+            self._pending = pool.begin_request(
+                self._pending.worker, self._pending.shard, message
+            )
+            reply = self._pending.reply(timeout)
+        value = pool._unwrap(self._pending, reply)
+        pool.mark_global_installed(self._pending.worker, self._key)
+        return (
+            list(value["doc_ids"]),
+            np.asarray(value["scores"], dtype=np.float64),
+            np.asarray(value["rows"], dtype=np.int64),
+        )
+
 
 class PoolShard:
-    """Backend proxy for one shard served by a pool worker."""
+    """Backend proxy for one shard served by a pool worker.
+
+    Every ``begin_*`` method puts the request on the wire immediately and
+    returns a pending reply; the blocking methods are ``begin`` + wait.
+    :attr:`pipelined` tells the scatter step it can fan out requests from
+    one thread and overlap all workers.
+    """
+
+    pipelined = True
 
     def __init__(self, pool: "WorkerPool", worker: int, shard: int):
         self._pool = pool
         self.worker = worker
         self.shard = shard
 
-    def _request(self, message: dict[str, Any]) -> Any:
+    def _begin(
+        self, message: dict[str, Any], transform: Callable[[Any], Any] | None = None
+    ) -> _PendingReply:
         message["shard"] = self.shard
-        return self._pool.request(self.worker, self.shard, message)
+        return self._pool.begin_request(self.worker, self.shard, message, transform)
+
+    def begin_segment(self, plan: Any, table: str) -> _PendingReply:
+        return self._begin({"op": "segment", "plan": plan, "table": table})
 
     def evaluate_segment(self, plan: Any, table: str) -> Any:
-        return self._request({"op": "segment", "plan": plan, "table": table})
+        return self.begin_segment(plan, table).result()
 
-    def statistics_summary(self, spec: "SearchSpec") -> "GlobalStatistics":
+    def begin_statistics_summary(self, spec: "SearchSpec") -> _PendingReply:
         from repro.ir.statistics import GlobalStatistics
 
-        return GlobalStatistics.from_payload(self._request({"op": "stats", "spec": spec}))
+        return self._begin({"op": "stats", "spec": spec}, GlobalStatistics.from_payload)
+
+    def statistics_summary(self, spec: "SearchSpec") -> "GlobalStatistics":
+        return self.begin_statistics_summary(spec).result()
+
+    def _search_message(
+        self, spec: "SearchSpec", global_statistics: "GlobalStatistics", *, install: bool
+    ) -> dict[str, Any]:
+        message: dict[str, Any] = {"op": "search", "spec": spec, "shard": self.shard}
+        if install:
+            message["global"] = global_statistics.to_payload()
+        return message
+
+    def begin_search(
+        self, spec: "SearchSpec", global_statistics: "GlobalStatistics"
+    ) -> _SearchPending:
+        from repro.engine.executors import statistics_key
+
+        key = statistics_key(spec)
+        install = not self._pool.global_installed(self.worker, key)
+        message = self._search_message(spec, global_statistics, install=install)
+        pending = self._pool.begin_request(self.worker, self.shard, message)
+        return _SearchPending(self, spec, global_statistics, key, pending)
 
     def search_shard(
         self, spec: "SearchSpec", global_statistics: "GlobalStatistics"
     ) -> tuple[list[Any], np.ndarray, np.ndarray]:
-        reply = self._request(
-            {"op": "search", "spec": spec, "global": global_statistics.to_payload()}
-        )
-        return (
-            list(reply["doc_ids"]),
-            np.asarray(reply["scores"], dtype=np.float64),
-            np.asarray(reply["rows"], dtype=np.int64),
+        return self.begin_search(spec, global_statistics).result()
+
+    def begin_fragment(self, table: str) -> _PendingReply:
+        return self._begin(
+            {"op": "fragment", "table": table},
+            lambda value: (value["relation"], np.asarray(value["rows"], dtype=np.int64)),
         )
 
     def fragment(self, table: str) -> tuple[Any, np.ndarray]:
-        reply = self._request({"op": "fragment", "table": table})
-        return reply["relation"], np.asarray(reply["rows"], dtype=np.int64)
+        return self.begin_fragment(table).result()
 
     def triples_fragment(self) -> tuple[list, np.ndarray]:
-        reply = self._request({"op": "store"})
-        return list(reply["triples"]), np.asarray(reply["rows"], dtype=np.int64)
+        value = self._begin({"op": "store"}).result()
+        return list(value["triples"]), np.asarray(value["rows"], dtype=np.int64)
 
     def close(self) -> None:
         """Workers are shared between shards; the pool owns their lifecycle."""
@@ -87,7 +341,10 @@ class WorkerPool:
         workers: int | None = None,
         mmap: bool = True,
         start_method: str = "spawn",
+        transport: str = "auto",
+        shm_threshold: int | None = None,
     ):
+        from repro.serving import shm as shm_policy
         from repro.serving.worker import worker_main
 
         self.shard_map = shard_map
@@ -97,11 +354,15 @@ class WorkerPool:
             shard: shard % self.num_workers for shard in range(num_shards)
         }
         self._closed = False
+        # resolve the transport here so `describe` reflects what workers do
+        # (workers re-derive the same policy from the name + threshold)
+        self._reply_transport = shm_policy.transport_from_name(transport, shm_threshold)
+        self.transport = transport if self._reply_transport is not None else "inline"
+        self._shm_threshold = shm_threshold
 
         context = multiprocessing.get_context(start_method)
         self._processes = []
-        self._connections = []
-        self._locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._connections: list[_WorkerConnection] = []
         for worker in range(self.num_workers):
             assigned = sorted(
                 shard for shard, owner in self._assignment.items() if owner == worker
@@ -110,41 +371,89 @@ class WorkerPool:
             process = context.Process(
                 target=worker_main,
                 args=(str(shard_map.path), assigned, child),
-                kwargs={"mmap": mmap},
+                kwargs={
+                    "mmap": mmap,
+                    "transport": self.transport,
+                    "shm_threshold": shm_threshold,
+                },
                 daemon=True,
                 name=f"repro-shard-worker-{worker}",
             )
             process.start()
             child.close()
             self._processes.append(process)
-            self._connections.append(parent)
+            self._connections.append(_WorkerConnection(worker, parent, process))
 
     # -- request multiplexing ----------------------------------------------------
 
-    def request(self, worker: int, shard: int, message: dict[str, Any]) -> Any:
-        """Send one codec frame to ``worker`` and wait for its reply."""
+    def begin_request(
+        self,
+        worker: int,
+        shard: int,
+        message: dict[str, Any],
+        transform: Callable[[Any], Any] | None = None,
+    ) -> _PendingReply:
+        """Put one request on a worker's pipe; returns the pending reply."""
         if self._closed:
             raise EngineError("worker pool is closed")
         connection = self._connections[worker]
+        op = message.get("op")
         try:
-            with self._locks[worker]:
-                connection.send_bytes(encode_message(message))
-                frame = connection.recv_bytes()
-        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
-            process = self._processes[worker]
-            exitcode = process.exitcode
+            future = connection.send(message)
+        except _WorkerDied as died:
+            raise self._died_error(worker, shard, op, str(died)) from died
+        return _PendingReply(self, worker, shard, op, future, transform)
+
+    def request(self, worker: int, shard: int, message: dict[str, Any]) -> Any:
+        """Send one codec frame to ``worker`` and wait for its reply."""
+        return self.begin_request(worker, shard, message).result()
+
+    def _resolve(self, pending: _PendingReply, timeout: float | None) -> dict[str, Any]:
+        """Wait for a pending reply's frame and decode it (shm-aware)."""
+        connection = self._connections[pending.worker]
+        try:
+            kind, body = connection.wait(pending._future, timeout)
+        except _WorkerDied as died:
+            raise self._died_error(pending.worker, pending.shard, pending.op, str(died)) from died
+        try:
+            return resolve_tagged(kind, body)
+        except EngineError as error:
+            # a corrupt reply frame means the transport itself can no longer
+            # be trusted: attribute it and stop using this connection — later
+            # requests get the clean worker-died error, never garbage frames
+            connection.mark_dead(f"sent a corrupt reply frame: {error}")
             raise EngineError(
-                f"shard worker {worker} (serving shard {shard}) died "
-                f"(exit code {exitcode}) during {message.get('op')!r}: {error!r}; "
-                "restart the pool to recover"
+                f"shard worker {pending.worker} (serving shard {pending.shard}) sent a "
+                f"corrupt reply to {pending.op!r}: {error}; the connection has been "
+                "closed — restart the pool to recover"
             ) from error
-        reply = decode_message(frame)
+
+    def _unwrap(self, pending: _PendingReply, reply: dict[str, Any]) -> Any:
         if not reply.get("ok"):
             raise EngineError(
-                f"shard worker {worker} failed {message.get('op')!r} for shard "
-                f"{shard}: {reply.get('error')}"
+                f"shard worker {pending.worker} failed {pending.op!r} for shard "
+                f"{pending.shard}: {reply.get('error')}"
             )
         return reply.get("value")
+
+    def _died_error(self, worker: int, shard: int, op: str | None, reason: str) -> EngineError:
+        process = self._processes[worker]
+        return EngineError(
+            f"shard worker {worker} (serving shard {shard}) died "
+            f"(exit code {process.exitcode}) during {op!r}: {reason}; "
+            "restart the pool to recover"
+        )
+
+    # -- worker-side global-statistics cache bookkeeping -------------------------
+
+    def global_installed(self, worker: int, key: tuple) -> bool:
+        """Whether ``worker`` is known to hold the global statistics for ``key``."""
+        return key in self._connections[worker].installed_globals
+
+    def mark_global_installed(self, worker: int, key: tuple) -> None:
+        self._connections[worker].installed_globals.add(key)
+
+    # -- introspection -----------------------------------------------------------
 
     def ping(self) -> list[dict[str, Any]]:
         """Liveness info from every worker (pid + assigned shards)."""
@@ -187,18 +496,15 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
-        for worker, connection in enumerate(self._connections):
+        for connection in self._connections:
             try:
-                with self._locks[worker]:
-                    connection.send_bytes(encode_message({"op": "close"}))
-                    connection.recv_bytes()
-            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                # wait() (not Future.result) so this thread leads the receive
+                # and actually drains the worker's acknowledgement frame
+                connection.wait(connection.send({"op": "close"}), _JOIN_TIMEOUT_SECONDS)
+            except Exception:  # noqa: BLE001 - the worker may already be gone
                 pass
             finally:
-                try:
-                    connection.close()
-                except OSError:
-                    pass
+                connection.shutdown()
         for process in self._processes:
             process.join(timeout=_JOIN_TIMEOUT_SECONDS)
             if process.is_alive():  # pragma: no cover - stuck worker safety net

@@ -1,4 +1,4 @@
-"""The router: admission control plus a minimal threaded HTTP front end.
+"""The router: admission control plus an asyncio HTTP front end.
 
 A :class:`Router` owns one engine — typically opened with
 ``Engine.open_sharded(path, executor="pool")`` so queries scatter across
@@ -9,11 +9,14 @@ the worker pool — and exposes two surfaces:
   most ``max_concurrent`` requests execute at once and at most
   ``max_queue`` may wait; beyond that the router sheds load with a
   ``503``-shaped refusal instead of queueing unboundedly.
-* :meth:`Router.serve` / :meth:`Router.start` — a threaded HTTP server
-  (standard library only): ``POST /query`` with a JSON request body,
-  ``GET /healthz`` reporting admission-queue depth, worker liveness and
-  cache counters, and ``GET /statz`` serving the engine's workload-log
-  summary (hot fingerprints, latency percentiles, cache hit rates).
+* :meth:`Router.serve` / :meth:`Router.start` — an asyncio HTTP server
+  (:class:`~repro.serving.frontend.AsyncHTTPFrontEnd`, standard library
+  only): ``POST /query`` with a JSON request body, ``GET /healthz``
+  reporting admission-queue depth, worker liveness and cache counters, and
+  ``GET /statz`` serving the engine's workload-log summary (hot
+  fingerprints, latency percentiles, cache hit rates).  Parsing and
+  admission run on the event loop; only admitted requests occupy an
+  executor thread.
 
 Every handled request is appended to the engine's workload log as a
 ``serve`` record carrying the request payload itself, so a router's traffic
@@ -28,7 +31,11 @@ Request kinds::
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
 "status": <http-ish code>}``; the HTTP layer maps ``status`` onto the
-response code, so overload surfaces as a real ``503``.
+response code.  The taxonomy is strict: **400** for anything the client
+got wrong (malformed JSON or ``Content-Length``, a missing ``query`` /
+``source`` field, an unknown model or request kind, a plan that fails
+static verification), **503** for admission-queue overload, and **500**
+only for genuinely unexpected engine-side failures.
 """
 
 from __future__ import annotations
@@ -37,7 +44,6 @@ import hashlib
 import json
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.executors import model_from_descriptor
@@ -46,6 +52,7 @@ from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine import Engine
+    from repro.serving.frontend import AsyncHTTPFrontEnd
 
 
 class Router:
@@ -124,14 +131,27 @@ class Router:
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Dispatch one request dict; never raises for request-level errors."""
         if not self._admit():
-            return {
-                "ok": False,
-                "status": 503,
-                "error": (
-                    f"router overloaded: {self.max_concurrent} in flight plus "
-                    f"{self.max_queue} queued"
-                ),
-            }
+            return self._overloaded()
+        return self._run_admitted(request)
+
+    def _overloaded(self) -> dict[str, Any]:
+        return {
+            "ok": False,
+            "status": 503,
+            "error": (
+                f"router overloaded: {self.max_concurrent} in flight plus "
+                f"{self.max_queue} queued"
+            ),
+        }
+
+    def _run_admitted(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Execute a request that already holds an admission slot.
+
+        Split from :meth:`handle` so the asyncio front end can admit (and
+        shed) on the event loop and push only admitted work onto executor
+        threads.  Callers must have taken a slot via ``_admit``; this
+        method always releases it.
+        """
         started = time.perf_counter()
         reply: dict[str, Any]
         try:
@@ -181,7 +201,15 @@ class Router:
 
     def _handle_search(self, request: dict[str, Any]) -> dict[str, Any]:
         table = request.get("table", "docs")
-        query = request["query"]
+        query = request.get("query")
+        if not isinstance(query, str):
+            # a missing field is the client's mistake, not a server fault —
+            # it must never surface as a KeyError-shaped 500
+            return {
+                "ok": False,
+                "status": 400,
+                "error": "search request is missing the required 'query' field",
+            }
         top_k = request.get("top_k")
         descriptor = request.get("model")
         model = model_from_descriptor(descriptor)
@@ -201,7 +229,13 @@ class Router:
         }
 
     def _handle_spinql(self, request: dict[str, Any]) -> dict[str, Any]:
-        source = request["source"]
+        source = request.get("source")
+        if not isinstance(source, str):
+            return {
+                "ok": False,
+                "status": 400,
+                "error": "spinql request is missing the required 'source' field",
+            }
         top_k = request.get("top_k")
         query = self.engine.spinql(source)
         # pre-dispatch gate: statically verify before the plan ever reaches
@@ -228,51 +262,22 @@ class Router:
 
     # -- the HTTP front end -------------------------------------------------------
 
-    def serve(self, host: str = "127.0.0.1", port: int = 8080) -> ThreadingHTTPServer:
-        """Build (but do not start) the threaded HTTP server for this router."""
-        router = self
+    def serve(self, host: str = "127.0.0.1", port: int = 8080) -> "AsyncHTTPFrontEnd":
+        """Build (but do not start) the asyncio HTTP server for this router.
 
-        class Handler(BaseHTTPRequestHandler):
-            def log_message(self, *args: Any) -> None:  # quiet by default
-                pass
+        The returned object follows the ``ThreadingHTTPServer`` lifecycle
+        contract — ``server_address`` (resolved already, so ``port=0``
+        works), ``serve_forever()``, thread-safe ``shutdown()``, and
+        ``server_close()`` — see
+        :class:`~repro.serving.frontend.AsyncHTTPFrontEnd`.
+        """
+        from repro.serving.frontend import AsyncHTTPFrontEnd
 
-            def _reply(self, payload: dict[str, Any]) -> None:
-                status = payload.get("status", 200) if not payload.get("ok") else 200
-                body = json.dumps(payload).encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-
-            def do_GET(self) -> None:  # noqa: N802 - http.server naming
-                if self.path == "/healthz":
-                    self._reply(_jsonable(router.health()))
-                    return
-                if self.path == "/statz":
-                    self._reply(_jsonable(router.stats()))
-                    return
-                self._reply({"ok": False, "status": 404, "error": "unknown path"})
-
-            def do_POST(self) -> None:  # noqa: N802 - http.server naming
-                if self.path != "/query":
-                    self._reply({"ok": False, "status": 404, "error": "unknown path"})
-                    return
-                length = int(self.headers.get("Content-Length", "0"))
-                try:
-                    request = json.loads(self.rfile.read(length) or b"{}")
-                except json.JSONDecodeError as error:
-                    self._reply(
-                        {"ok": False, "status": 400, "error": f"invalid JSON: {error}"}
-                    )
-                    return
-                self._reply(router.handle(request))
-
-        return ThreadingHTTPServer((host, port), Handler)
+        return AsyncHTTPFrontEnd(self, host, port)
 
     def start(
         self, host: str = "127.0.0.1", port: int = 8080
-    ) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    ) -> tuple["AsyncHTTPFrontEnd", threading.Thread]:
         """Start the HTTP server on a daemon thread; returns (server, thread)."""
         server = self.serve(host, port)
         thread = threading.Thread(

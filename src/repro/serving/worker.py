@@ -5,9 +5,12 @@ spawns.  Each worker owns a disjoint set of shards of one partitioned
 snapshot; per shard it opens a standalone engine (``Engine.open_shard`` —
 memmap-backed, so N workers on one host share the OS page cache) wrapped in
 the same :class:`~repro.engine.executors.InProcessShard` backend the
-in-process sharded executor uses.  The request loop speaks the
-length-prefixed codec of :mod:`repro.serving.codec` over a
-``multiprocessing`` connection:
+in-process sharded executor uses.  The request loop speaks the *tagged*
+frames of :mod:`repro.serving.codec` over a ``multiprocessing`` connection:
+each request carries an 8-byte id the reply echoes, so the pool can keep
+many requests in flight per worker, and replies at or above the
+shared-memory threshold travel out-of-band (:mod:`repro.serving.shm`) with
+only a control frame on the pipe.
 
 ========== ==================================================================
 op         behaviour
@@ -21,6 +24,13 @@ store      one shard's slice of the triple list, plus original indices
 close      drain and exit cleanly
 ========== ==================================================================
 
+``search`` requests carry the global statistics payload at most once: the
+worker caches it keyed exactly like the executor's own cache
+(:func:`~repro.engine.executors.statistics_key`), and a request without a
+payload for an unknown key is answered with the ``global-missing`` code so
+the pool re-sends it — steady-state searches cost terms + a key, not the
+df/cf tables.
+
 Failures never kill the loop: any exception is reported back as an
 ``{"ok": False, "error": ...}`` reply and the worker keeps serving — only a
 closed pipe (the router went away) or ``close`` ends the process.
@@ -32,7 +42,7 @@ import os
 import traceback
 from typing import Any
 
-from repro.serving.codec import decode_message, encode_message
+from repro.serving.codec import encode_tagged, resolve_tagged, split_tagged
 
 
 def _open_backend(snapshot_path: str, shard: int, mmap: bool):
@@ -53,9 +63,19 @@ def worker_main(
     connection: Any,
     *,
     mmap: bool = True,
+    transport: str = "auto",
+    shm_threshold: int | None = None,
 ) -> None:
     """Serve shard requests until the connection closes or ``close`` arrives."""
+    from repro.serving import shm as shm_policy
+    from repro.serving.pool import GLOBAL_MISSING
+
     backends: dict[int, Any] = {}
+    cached_globals: dict[tuple, Any] = {}
+    try:
+        reply_transport = shm_policy.transport_from_name(transport, shm_threshold)
+    except Exception:  # noqa: BLE001 - a bad name falls back to inline replies
+        reply_transport = None
 
     def backend(shard: int):
         if shard not in shards:
@@ -66,54 +86,71 @@ def worker_main(
             backends[shard] = opened
         return opened
 
-    def handle(message: dict[str, Any]) -> Any:
+    def global_for(message: dict[str, Any]):
+        from repro.engine.executors import statistics_key
+        from repro.ir.statistics import GlobalStatistics
+
+        key = statistics_key(message["spec"])
+        payload = message.get("global")
+        if payload is not None:
+            cached_globals[key] = GlobalStatistics.from_payload(payload)
+        return cached_globals.get(key)
+
+    def handle(message: dict[str, Any]) -> dict[str, Any]:
         op = message["op"]
         if op == "ping":
-            return {"pid": os.getpid(), "shards": list(shards)}
+            return {"ok": True, "value": {"pid": os.getpid(), "shards": list(shards)}}
         if op == "segment":
             result = backend(message["shard"]).evaluate_segment(
                 message["plan"], message["table"]
             )
-            return result  # a ProbabilisticRelation; the codec packs it
+            return {"ok": True, "value": result}  # the codec packs the relation
         if op == "stats":
-            return backend(message["shard"]).statistics_summary(message["spec"]).to_payload()
+            summary = backend(message["shard"]).statistics_summary(message["spec"])
+            return {"ok": True, "value": summary.to_payload()}
         if op == "search":
-            from repro.ir.statistics import GlobalStatistics
-
+            global_statistics = global_for(message)
+            if global_statistics is None:
+                return {
+                    "ok": False,
+                    "code": GLOBAL_MISSING,
+                    "error": "global statistics not cached for this spec; re-send with payload",
+                }
             doc_ids, scores, rows = backend(message["shard"]).search_shard(
-                message["spec"], GlobalStatistics.from_payload(message["global"])
+                message["spec"], global_statistics
             )
-            return {"doc_ids": doc_ids, "scores": scores, "rows": rows}
+            return {"ok": True, "value": {"doc_ids": doc_ids, "scores": scores, "rows": rows}}
         if op == "fragment":
             relation, rows = backend(message["shard"]).fragment(message["table"])
-            return {"relation": relation, "rows": rows}
+            return {"ok": True, "value": {"relation": relation, "rows": rows}}
         if op == "store":
             triples, rows = backend(message["shard"]).triples_fragment()
-            return {"triples": triples, "rows": rows}
+            return {"ok": True, "value": {"triples": triples, "rows": rows}}
         raise ValueError(f"unknown worker op {op!r}")
 
     try:
         while True:
             try:
-                frame = connection.recv_bytes()
+                data = connection.recv_bytes()
             except (EOFError, OSError):
                 break
-            message = decode_message(frame)
+            request_id, kind, body = split_tagged(data)
+            message = resolve_tagged(kind, body)
             if message.get("op") == "close":
-                connection.send_bytes(encode_message({"ok": True, "value": None}))
+                connection.send_bytes(encode_tagged(request_id, {"ok": True, "value": None}))
                 break
             try:
-                value = handle(message)
+                reply = handle(message)
             except BaseException as error:  # noqa: BLE001 - reported to the router
                 reply = {
                     "ok": False,
                     "error": f"{type(error).__name__}: {error}",
                     "traceback": traceback.format_exc(),
                 }
-            else:
-                reply = {"ok": True, "value": value}
             try:
-                connection.send_bytes(encode_message(reply))
+                connection.send_bytes(
+                    encode_tagged(request_id, reply, transport=reply_transport)
+                )
             except (BrokenPipeError, OSError):
                 break
     finally:

@@ -110,6 +110,19 @@ def pool_engine(local_engine, tmp_path_factory):
     engine.close()
 
 
+@pytest.fixture(scope="module")
+def shm_pool_engine(local_engine, tmp_path_factory):
+    """A pool with *every* reply forced through the shared-memory path."""
+    from repro.serving.shm import shared_memory_available
+
+    if not shared_memory_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    path = local_engine.save(tmp_path_factory.mktemp("shm-equivalence") / "p2", shards=2)
+    engine = Engine.open_sharded(path, executor="pool", transport="shm", shm_threshold=0)
+    yield engine
+    engine.close()
+
+
 def _leaf_with_arity(draw, arity: int) -> PraPlan:
     """A scannable leaf with exactly ``arity`` value columns."""
     if arity == 1:
@@ -216,3 +229,11 @@ class TestPoolBitIdentity:
     def test_pool_equals_local(self, plan, local_engine, pool_engine):
         expected = local_engine._execute_plan(plan)
         assert_bit_identical(pool_engine._execute_plan(plan), expected)
+
+    @POOL_SETTINGS
+    @given(plan=plans())
+    def test_shm_transport_equals_local(self, plan, local_engine, shm_pool_engine):
+        # shm_threshold=0 routes every reply frame through shared memory, so
+        # the out-of-band result path must be bit-identical too
+        expected = local_engine._execute_plan(plan)
+        assert_bit_identical(shm_pool_engine._execute_plan(plan), expected)

@@ -15,14 +15,37 @@ from repro.relational.expressions import BinaryOp, Literal
 from repro.pra.expressions import PositionalRef
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
+from repro.serving import codec, shm
 from repro.serving.codec import (
+    KIND_INLINE,
+    KIND_SHM,
     decode_message,
     encode_message,
+    encode_tagged,
     pack_relation,
     read_frame,
+    resolve_tagged,
+    split_tagged,
     unpack_relation,
     write_frame,
 )
+
+
+class _ChunkedStream:
+    """A read-only stream that returns at most ``chunk`` bytes per read.
+
+    Models the short reads a socket file object can legally produce: a
+    ``read(4)`` may return a single byte even though more data is coming.
+    """
+
+    def __init__(self, data: bytes, chunk: int = 1):
+        self._buffer = io.BytesIO(data)
+        self._chunk = chunk
+
+    def read(self, size: int = -1) -> bytes:
+        if size is None or size < 0:
+            return self._buffer.read()
+        return self._buffer.read(min(size, self._chunk))
 
 
 def _relation() -> Relation:
@@ -113,3 +136,99 @@ class TestStreamFraming:
         data = stream.getvalue()[:-10]
         with pytest.raises(EngineError, match="mid-frame"):
             read_frame(io.BytesIO(data))
+
+    def test_read_frame_survives_one_byte_short_reads(self):
+        # A socket may return the 4-byte header one byte at a time; the
+        # reader must loop, not treat the first short read as the header.
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "a", "n": 1})
+        write_frame(stream, {"op": "b", "relation": _relation()})
+        chunked = _ChunkedStream(stream.getvalue(), chunk=1)
+        assert read_frame(chunked) == {"op": "a", "n": 1}
+        assert read_frame(chunked)["relation"] == _relation()
+        with pytest.raises(EOFError):
+            read_frame(chunked)
+
+    def test_short_read_mid_header_is_reported(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "a"})
+        data = stream.getvalue()[:2]  # half a header, then EOF
+        with pytest.raises(EngineError, match="mid-frame header"):
+            read_frame(_ChunkedStream(data, chunk=1))
+
+    def test_inbound_frame_over_limit_is_rejected(self, monkeypatch):
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "a", "payload": "x" * 256})
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 64)
+        stream.seek(0)
+        with pytest.raises(EngineError, match="exceeds"):
+            read_frame(stream)
+
+
+class TestWriteSideLimit:
+    def test_oversized_encode_is_refused_with_the_size_named(self, monkeypatch):
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 64)
+        message = {"op": "reply", "payload": "x" * 256}
+        with pytest.raises(EngineError, match=r"refusing to encode") as excinfo:
+            encode_message(message)
+        # The error must name both the offending size and the limit so an
+        # operator can tell which side to fix.
+        text = str(excinfo.value)
+        assert "-byte frame" in text and "64" in text
+
+    def test_oversized_write_frame_is_refused(self, monkeypatch):
+        monkeypatch.setattr(codec, "MAX_FRAME_BYTES", 64)
+        stream = io.BytesIO()
+        with pytest.raises(EngineError, match="refusing to encode"):
+            write_frame(stream, {"op": "reply", "payload": "x" * 256})
+        assert stream.getvalue() == b""  # nothing half-written
+
+
+class TestTaggedFrames:
+    def test_inline_roundtrip(self):
+        message = {"op": "reply", "rows": np.array([1, 2, 3], dtype=np.int64)}
+        request_id, kind, body = split_tagged(encode_tagged(42, message))
+        assert request_id == 42
+        assert kind == KIND_INLINE
+        decoded = resolve_tagged(kind, body)
+        assert decoded["op"] == "reply"
+        np.testing.assert_array_equal(decoded["rows"], [1, 2, 3])
+
+    def test_shm_roundtrip(self):
+        if not shm.shared_memory_available():
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        transport = shm.ShmTransport(threshold=0)
+        message = {"op": "reply", "relation": _relation()}
+        request_id, kind, body = split_tagged(
+            encode_tagged(7, message, transport=transport)
+        )
+        assert request_id == 7
+        assert kind == KIND_SHM
+        decoded = resolve_tagged(kind, body)
+        assert decoded["relation"] == _relation()
+
+    def test_large_threshold_falls_back_to_inline(self):
+        transport = shm.ShmTransport(threshold=1 << 40)
+        tagged = encode_tagged(1, {"op": "ping"}, transport=transport)
+        _, kind, _ = split_tagged(tagged)
+        assert kind == KIND_INLINE
+
+    def test_truncated_tagged_frame_is_rejected(self):
+        with pytest.raises(EngineError, match="truncated tagged frame"):
+            split_tagged(b"\x00\x01\x02")
+
+    def test_unknown_kind_is_rejected(self):
+        tagged = bytearray(encode_tagged(1, {"op": "ping"}))
+        tagged[8:9] = b"Z"
+        with pytest.raises(EngineError, match="unknown tagged-frame kind"):
+            split_tagged(bytes(tagged))
+
+    def test_malformed_shm_control_frame_is_rejected(self):
+        body = encode_message({"shm": {"bogus": True}})
+        with pytest.raises(EngineError, match="shared-memory control"):
+            resolve_tagged(KIND_SHM, body)
+
+    def test_non_control_shm_body_is_rejected(self):
+        body = encode_message({"op": "reply"})
+        with pytest.raises(EngineError, match="shared-memory control"):
+            resolve_tagged(KIND_SHM, body)

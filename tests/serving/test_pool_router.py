@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import socket
+import threading
+import urllib.error
 import urllib.request
 
 import pytest
@@ -13,6 +17,7 @@ from repro.relational.column import Column, DataType
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
 from repro.serving import Router
+from repro.serving import shm
 from repro.workloads import generate_auction_triples
 
 PROGRAM = 'out = SELECT [$2="hasAuction"] (triples);'
@@ -198,3 +203,150 @@ class TestRouter:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestRequestValidation:
+    """Client mistakes are 400s naming the problem, never 500-shaped crashes."""
+
+    def test_missing_query_field_is_a_clean_400(self, pool_engine):
+        reply = Router(pool_engine).handle({"kind": "search", "table": "docs", "top_k": 3})
+        assert not reply["ok"] and reply["status"] == 400
+        assert "'query'" in reply["error"]
+
+    def test_non_string_query_is_a_clean_400(self, pool_engine):
+        reply = Router(pool_engine).handle(
+            {"kind": "search", "table": "docs", "query": 7, "top_k": 3}
+        )
+        assert not reply["ok"] and reply["status"] == 400
+        assert "'query'" in reply["error"]
+
+    def test_missing_source_field_is_a_clean_400(self, pool_engine):
+        reply = Router(pool_engine).handle({"kind": "spinql", "top_k": 3})
+        assert not reply["ok"] and reply["status"] == 400
+        assert "'source'" in reply["error"]
+
+
+class TestHTTPErrorMapping:
+    """The asyncio front end's error taxonomy over a real socket."""
+
+    @pytest.fixture()
+    def http_port(self, pool_engine):
+        router = Router(pool_engine)
+        server, _thread = router.start(port=0)
+        yield server.server_address[1]
+        server.shutdown()
+        server.server_close()
+
+    def test_unknown_path_is_404(self, http_port):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"http://127.0.0.1:{http_port}/nope")
+        assert caught.value.code == 404
+        assert b"unknown path" in caught.value.read()
+
+    def test_missing_query_field_is_400_naming_the_field(self, http_port):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{http_port}/query",
+            data=json.dumps({"kind": "search", "table": "docs"}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 400
+        assert b"'query'" in caught.value.read()
+
+    def test_non_object_body_is_400(self, http_port):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{http_port}/query", data=b"[1, 2, 3]", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 400
+        assert b"JSON object" in caught.value.read()
+
+    def test_malformed_content_length_is_400_naming_the_header(self, http_port):
+        # urllib always sends a well-formed Content-Length, so speak raw HTTP
+        with socket.create_connection(("127.0.0.1", http_port), timeout=30) as client:
+            client.sendall(
+                b"POST /query HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            response = b""
+            while True:
+                chunk = client.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"Content-Length" in response and b"banana" in response
+
+    def test_malformed_request_line_is_400(self, http_port):
+        with socket.create_connection(("127.0.0.1", http_port), timeout=30) as client:
+            client.sendall(b"NONSENSE\r\nConnection: close\r\n\r\n")
+            response = b""
+            while True:
+                chunk = client.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+
+class TestCorruptReplyHandling:
+    def test_corrupt_reply_is_attributed_and_poisons_the_connection(
+        self, source_and_snapshot
+    ):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path, executor="pool")
+        try:
+            pool = opened._plan_executor._pool
+            pool.ping()  # workers are live
+            # splice our own pipe in front of worker 0 and answer the next
+            # request by echoing its id with a body the codec must reject
+            victim = pool._connections[0]
+            original = victim.connection
+            parent, child = multiprocessing.Pipe(duplex=True)
+            victim.connection = parent
+
+            def echo_garbage():
+                request = child.recv_bytes()
+                child.send_bytes(request[:8] + b"I" + b"\x00\x00\x00\x08not a frame")
+
+            thread = threading.Thread(target=echo_garbage, daemon=True)
+            thread.start()
+            with pytest.raises(EngineError, match="corrupt reply") as caught:
+                pool.request(0, 0, {"op": "ping"})
+            message = str(caught.value)
+            assert "worker 0" in message and "shard 0" in message
+            thread.join(timeout=10)
+            # the connection is poisoned: follow-ups fail fast with the
+            # attributed worker-died error instead of reading garbage
+            with pytest.raises(EngineError, match="died"):
+                pool.request(0, 0, {"op": "ping"})
+            original.close()  # the real worker sees EOF and exits
+        finally:
+            opened.close()
+
+
+class TestTransports:
+    def test_pool_reports_its_reply_transport(self, pool_engine):
+        assert pool_engine.executor_info()["transport"] in ("auto", "inline")
+
+    @pytest.mark.parametrize("transport,threshold", [("inline", None), ("shm", 0)])
+    def test_forced_transport_parity(self, source_and_snapshot, transport, threshold):
+        engine, path, query = source_and_snapshot
+        if transport == "shm" and not shm.shared_memory_available():
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        opened = Engine.open_sharded(
+            path, executor="pool", transport=transport, shm_threshold=threshold
+        )
+        try:
+            assert opened.executor_info()["transport"] == transport
+            assert opened.search("docs", query).top(8) == engine.search("docs", query).top(8)
+            assert opened.spinql(PROGRAM).top(8) == engine.spinql(PROGRAM).top(8)
+            expected = engine.spinql(PROGRAM).execute()
+            assert opened.spinql(PROGRAM).execute().value_rows() == expected.value_rows()
+        finally:
+            opened.close()
