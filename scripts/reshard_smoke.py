@@ -1,0 +1,142 @@
+"""Reshard smoke check: online 4→2 re-sharding under live traffic.
+
+Boots a pooled serving deployment over a 4-shard snapshot, starts a
+background thread issuing a continuous query stream, then re-shards the
+deployment live to 2 shards (build the new layout in the background,
+atomically swap the executor).  Every answer returned before, during and
+after the swap must be bit-identical to in-process execution, and the
+result digests of the pre- and post-swap runs must match.  Exits non-zero
+on any mismatch, so CI can gate on it.
+
+Usage::
+
+    python scripts/reshard_smoke.py [--from-shards 4] [--to-shards 2]
+                                    [--workers 2] [--lots 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+
+def digest(rows: list) -> str:
+    return hashlib.sha256(
+        json.dumps(rows, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--from-shards", type=int, default=4)
+    parser.add_argument("--to-shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--lots", type=int, default=200)
+    args = parser.parse_args()
+
+    from repro.engine import Engine
+    from repro.relational.column import Column, DataType
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Field, Schema
+    from repro.serving import ServingConfig
+    from repro.workloads import generate_auction_triples
+
+    workload = generate_auction_triples(args.lots, seed=41)
+    source = Engine.from_triples(workload.triples)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    source.create_table(
+        "docs",
+        Relation(
+            schema,
+            [
+                Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+                Column(list(workload.lot_descriptions.values()), DataType.STRING),
+            ],
+        ),
+    )
+    queries = [
+        " ".join(description.split()[:3])
+        for description in list(workload.lot_descriptions.values())[:6]
+    ]
+    source.search("docs", queries[0]).execute()
+    expected = {
+        query: [[doc_id, score] for doc_id, score in source.search("docs", query).top(5)]
+        for query in queries
+    }
+    expected_digest = digest([expected[query] for query in queries])
+
+    root = Path(tempfile.mkdtemp(prefix="repro-reshard-smoke-"))
+    snapshot = root / "snapshot"
+    source.save(snapshot, shards=args.from_shards)
+    print(f"sharded snapshot: {snapshot} ({args.from_shards} shards)")
+
+    config = ServingConfig(workers=args.workers, max_concurrent=args.workers)
+    engine = Engine.open_sharded(snapshot, executor="pool", config=config)
+    print(f"serving: {engine.executor_info()}")
+
+    failures = 0
+    answered = 0
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    def drive() -> None:
+        nonlocal failures, answered
+        index = 0
+        while not stop.is_set():
+            query = queries[index % len(queries)]
+            index += 1
+            pairs = [[doc_id, score] for doc_id, score in
+                     engine.search("docs", query).top(5)]
+            with lock:
+                answered += 1
+                if pairs != expected[query]:
+                    failures += 1
+                    print(f"MISMATCH mid-swap for {query!r}: {pairs}")
+
+    driver = threading.Thread(target=drive, name="reshard-smoke-driver")
+    driver.start()
+    try:
+        summary = engine.reshard(args.to_shards, out=root / "resharded")
+        print(f"swap: {summary}")
+    finally:
+        stop.set()
+        driver.join(timeout=60)
+
+    after = engine.executor_info()
+    print(f"serving after swap: {after}")
+    post_digest = digest(
+        [
+            [[doc_id, score] for doc_id, score in engine.search("docs", query).top(5)]
+            for query in queries
+        ]
+    )
+    engine.close()
+    source.close()
+
+    ok = (
+        failures == 0
+        and after["shards"] == args.to_shards
+        and after["epoch"] == 1
+        and post_digest == expected_digest
+    )
+    print(
+        f"queries answered under swap: {answered}; "
+        f"digest before/after: {expected_digest} / {post_digest}"
+    )
+    if not ok:
+        print(f"FAILED: failures={failures} after={after} digest={post_digest}")
+        return 1
+    print(
+        f"reshard smoke passed: live {args.from_shards}->{args.to_shards} swap, "
+        "bit-identical results throughout"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,28 @@
 """Serving smoke check: router + workers over a sharded toy snapshot.
 
 Boots the full serving stack — partitioned snapshot, worker pool, router,
-threaded HTTP front end — runs a stream of queries over the socket, and
+asyncio HTTP front end — runs a stream of queries over the socket, and
 asserts the answers are identical to in-process execution.  Exits non-zero
 on any mismatch, so CI can gate on it.
+
+With ``--replicas 2 --kill-worker`` the check also exercises failover:
+one worker is SIGKILLed halfway through the query stream and every
+subsequent answer must still come back correct (re-routed to the
+surviving replica) with zero client-visible errors.
 
 Usage::
 
     python scripts/serving_smoke.py [--shards 2] [--workers 2] [--lots 200]
                                     [--transport auto|shm|inline]
+                                    [--replicas 2] [--kill-worker]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import tempfile
 import urllib.request
@@ -32,13 +40,26 @@ def main() -> int:
         default="auto",
         help="worker reply transport (shm forces every reply through shared memory)",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replicas per shard (2+ enables transparent failover)",
+    )
+    parser.add_argument(
+        "--kill-worker",
+        action="store_true",
+        help="SIGKILL one worker mid-run; requires --replicas >= 2",
+    )
     args = parser.parse_args()
+    if args.kill_worker and args.replicas < 2:
+        parser.error("--kill-worker requires --replicas >= 2")
 
     from repro.engine import Engine
     from repro.relational.column import Column, DataType
     from repro.relational.relation import Relation
     from repro.relational.schema import Field, Schema
-    from repro.serving import Router
+    from repro.serving import Router, ServingConfig
     from repro.workloads import generate_auction_triples
 
     workload = generate_auction_triples(args.lots, seed=37)
@@ -66,34 +87,45 @@ def main() -> int:
 
     # --transport shm drops the threshold to zero so even the small smoke
     # replies actually exercise the shared-memory path
-    engine = Engine.open_sharded(
-        snapshot,
-        executor="pool",
+    config = ServingConfig(
         workers=args.workers,
+        replicas=args.replicas,
         transport=args.transport,
         shm_threshold=0 if args.transport == "shm" else None,
+        max_concurrent=args.workers,
     )
-    router = Router(engine, max_concurrent=args.workers)
+    engine = Engine.open_sharded(snapshot, executor="pool", config=config)
+    router = Router(engine)
     server, _thread = router.start(port=0)
     port = server.server_address[1]
     print(f"router: http://127.0.0.1:{port} {engine.executor_info()}")
 
+    def ask_search(query: str) -> dict:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/query",
+            data=json.dumps(
+                {"kind": "search", "table": "docs", "query": query, "top_k": 5}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        return json.loads(urllib.request.urlopen(request, timeout=60).read())
+
     failures = 0
+    killed_pid: int | None = None
     try:
         health = json.loads(
             urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=30).read()
         )
         assert health["ok"], health
 
-        for query in queries:
-            request = urllib.request.Request(
-                f"http://127.0.0.1:{port}/query",
-                data=json.dumps(
-                    {"kind": "search", "table": "docs", "query": query, "top_k": 5}
-                ).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-            )
-            reply = json.loads(urllib.request.urlopen(request, timeout=60).read())
+        for index, query in enumerate(queries):
+            if args.kill_worker and index == len(queries) // 2 and killed_pid is None:
+                victim = engine._plan_executor._pool._processes[0]
+                killed_pid = victim.pid
+                os.kill(killed_pid, signal.SIGKILL)
+                victim.join(timeout=10)
+                print(f"killed worker pid={killed_pid}; continuing the query stream")
+            reply = ask_search(query)
             expected = [
                 [doc_id, score] for doc_id, score in source.search("docs", query).top(5)
             ]
@@ -120,6 +152,18 @@ def main() -> int:
         stats = router.statistics()
         print(f"router statistics: {stats}")
         assert stats["served"] == len(queries) + 1
+
+        if killed_pid is not None:
+            health = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=30
+                ).read()
+            )
+            replication = health["executor"].get("replication", {})
+            print(
+                f"after kill: degraded={health.get('degraded')} "
+                f"restarts={replication.get('restarts')}"
+            )
     finally:
         server.shutdown()
         server.server_close()
@@ -128,7 +172,13 @@ def main() -> int:
     if failures:
         print(f"FAILED: {failures} mismatches")
         return 1
-    print("serving smoke passed: socket answers identical to in-process execution")
+    if killed_pid is not None:
+        print(
+            "serving smoke passed: zero client-visible errors with one worker "
+            "SIGKILLed mid-run (failover re-routed to the surviving replica)"
+        )
+    else:
+        print("serving smoke passed: socket answers identical to in-process execution")
     return 0
 
 

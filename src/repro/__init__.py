@@ -49,7 +49,10 @@ The package is organised along the paper's sections:
   snapshots (``Engine.save(path, shards=N)``) new in 1.3;
 * :mod:`repro.serving` — multi-process serving, new in 1.3: worker pools
   over sharded snapshots, scatter-gather executors, and an
-  admission-controlled HTTP router (``python -m repro serve``);
+  admission-controlled HTTP router (``python -m repro serve``); 1.7 adds
+  shard replicas with transparent failover, a self-healing worker
+  supervisor, online re-sharding (``python -m repro reshard``), and the
+  unified :class:`~repro.serving.ServingConfig`;
 * :mod:`repro.workload` — workload awareness, new in 1.5: a bounded query
   log with a JSONL sink (``Engine.workload_log``, ``GET /statz``), a
   deterministic replay/load generator (verbatim or Zipf-synthesized,
@@ -110,11 +113,24 @@ JSONL lines ``WorkloadLog.export`` writes) is **stable** from 1.5 and
 versioned in-band: every line carries a ``v`` field, fields are
 append-only, and readers (``load_records``) ignore fields they do not
 know, so logs written by newer minors stay replayable by older ones.
-Record ``kind`` values (``plan``/``search``/``strategy``/``serve``) and
-fingerprint prefixes follow the same append-only rule.  Latencies and
-schedule hashes are derived from monotonic clocks and canonical JSON
-only — never from wall-clock time — so exported logs and
-``Schedule.schedule_hash()`` values are comparable across hosts and runs.
+Record ``kind`` values (``plan``/``search``/``strategy``/``serve``, plus
+``event`` for serving lifecycle records from 1.7) and fingerprint prefixes
+follow the same append-only rule.  Latencies and schedule hashes are
+derived from monotonic clocks and canonical JSON only — never from
+wall-clock time — so exported logs and ``Schedule.schedule_hash()`` values
+are comparable across hosts and runs.
+
+Version 1.7 unifies serving configuration under one frozen dataclass,
+:class:`repro.serving.ServingConfig`: every serving entry point
+(:class:`~repro.serving.WorkerPool`, ``Engine.open_sharded``,
+:class:`~repro.serving.Router`, the ``serve``/``reshard`` CLI) accepts
+``config=ServingConfig(...)``.  The superseded per-call keyword arguments
+(``workers=``, ``mmap=``, ``transport=``, ``shm_threshold=``,
+``max_concurrent=``, ``max_queue=``) keep working **unchanged** through a
+shim that emits one :class:`DeprecationWarning` per entry point per
+process; per the policy above the shim stays for at least two minor
+versions (i.e. through 1.9), and passing both ``config=`` and a legacy
+keyword is an error rather than a silent merge.
 """
 
 from repro.errors import EngineError, ReproError
@@ -139,7 +155,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # the public facade

@@ -293,7 +293,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot a router (and worker pool) over a sharded snapshot and serve HTTP."""
     import tempfile
 
-    from repro.serving import Router
+    from repro.serving import Router, ServingConfig
     from repro.storage.shards import is_sharded_snapshot
 
     if not args.from_snapshot:
@@ -314,21 +314,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--shards re-partitions an unsharded snapshot; this snapshot is already "
             "sharded (use the `shard` subcommand to change its layout)"
         )
+    config = ServingConfig.from_cli_args(args)
     engine = Engine.open_sharded(
         path,
         executor="pool" if args.workers != 0 else "sharded",
-        workers=args.workers or None,
-        transport=args.transport,
+        config=config,
     )
-    router = Router(
-        engine, max_concurrent=args.max_concurrent, max_queue=args.max_queue
-    )
-    server = router.serve(args.host, args.port)
+    # the router and HTTP front end inherit the same config (admission
+    # limits, host/port) from the engine — one object, four entry points
+    router = Router(engine)
+    server = router.serve()
     info = {
         "command": "serve",
-        "endpoint": f"http://{args.host}:{server.server_address[1]}",
+        "endpoint": f"http://{config.host}:{server.server_address[1]}",
         "snapshot": path,
         "executor": engine.executor_info(),
+        "config": config.to_dict(),
     }
     if args.json:
         print(json.dumps(info, indent=2))
@@ -341,6 +342,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         router.close()
+    return 0
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    """Re-partition a served snapshot online: build N' shards, swap atomically."""
+    from repro.serving import ServingConfig
+    from repro.storage.shards import is_sharded_snapshot
+
+    if not args.from_snapshot:
+        raise EngineError("reshard needs --from-snapshot DIR (a sharded snapshot)")
+    if not is_sharded_snapshot(args.from_snapshot):
+        raise EngineError(
+            "reshard works on partitioned snapshots; use the `shard` subcommand "
+            "to create one first"
+        )
+    config = ServingConfig.from_cli_args(args)
+    engine = Engine.open_sharded(
+        args.from_snapshot,
+        executor="pool" if args.workers != 0 else "sharded",
+        config=config,
+    )
+    try:
+        before = engine.executor_info()
+        summary = engine.reshard(args.shards, out=args.out)
+        after = engine.executor_info()
+    finally:
+        engine.close()
+    payload = {
+        "command": "reshard",
+        "before": before,
+        "after": after,
+        "swap": summary,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"resharded {args.from_snapshot}: {summary['from_shards']} -> "
+            f"{summary['to_shards']} shards (epoch {summary['from_epoch']} -> "
+            f"{summary['to_epoch']}) at {summary['path']}"
+        )
     return 0
 
 
@@ -578,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: one per shard; 0 = in-process sharded executor)",
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="workers serving each shard; >= 2 survives single-worker death "
+             "with transparent failover",
+    )
     serve.add_argument("--max-concurrent", type=int, default=4,
                        help="requests executing at once (admission control)")
     serve.add_argument("--max-queue", type=int, default=64,
@@ -589,8 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker reply transport: shared memory for large results "
              "('auto'/'shm', platform permitting) or the pipe codec only ('inline')",
     )
+    serve.add_argument("--shm-threshold", dest="shm_threshold", type=int, default=None,
+                       help="reply bytes at/above which results travel via shared memory")
+    serve.add_argument("--health-interval", dest="health_interval_seconds", type=float,
+                       default=None,
+                       help="seconds between supervisor health checks of the workers")
+    serve.add_argument("--retry-budget", dest="retry_budget", type=int, default=None,
+                       help="failover re-routes allowed per request beyond the first try")
     _add_common(serve, top=False)
     serve.set_defaults(handler=_cmd_serve)
+
+    reshard = subparsers.add_parser(
+        "reshard",
+        help="re-partition a sharded snapshot online: background build + atomic swap",
+    )
+    reshard.add_argument("--shards", type=int, required=True,
+                         help="target shard count for the new layout")
+    reshard.add_argument("--out", required=True,
+                         help="directory for the new partitioned layout")
+    reshard.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve through a worker pool during the swap (0 = in-process executor)",
+    )
+    reshard.add_argument("--replicas", type=int, default=None,
+                         help="replicas per shard while serving through a pool")
+    _add_common(reshard, top=False)
+    reshard.set_defaults(handler=_cmd_reshard)
 
     workload = subparsers.add_parser(
         "workload",

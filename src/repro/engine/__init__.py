@@ -129,6 +129,12 @@ __all__ = [
 ]
 
 
+#: local "not passed" marker for open_sharded's deprecated keyword arguments
+#: (translated to repro.serving.config.UNSET inside the method — the serving
+#: package is imported lazily to keep engine import free of serving imports)
+_UNSET: Any = object()
+
+
 @dataclass
 class CompiledProgram:
     """A compiled SpinQL program plus its optimized final plan."""
@@ -197,6 +203,16 @@ class Engine:
         self._lifecycle_lock = threading.Lock()
         # guards _search_engines/_rank_blocks; Engine is shareable across threads
         self._registry_lock = threading.Lock()
+        # online-reconfiguration state: requests check the executor out for
+        # their whole run, so an atomic swap drains in-flight work on the old
+        # executor while new requests route on the new one (epoch semantics)
+        self._executor_lock = threading.Lock()
+        self._executor_drained = threading.Condition(self._executor_lock)
+        self._executor_leases: dict[int, int] = {}
+        self._retired_executors: dict[int, PlanExecutor] = {}
+        self._serving_config: Any | None = None
+        self._snapshot_path: Path | None = None
+        self._blueprint_manager: Any | None = None
         self._closed = False
 
     # -- construction -----------------------------------------------------------------
@@ -303,6 +319,15 @@ class Engine:
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=True)
+        with self._executor_lock:
+            retired = list(self._retired_executors.values())
+            self._retired_executors.clear()
+            self._executor_leases.clear()
+        for executor in retired:
+            try:
+                executor.close()
+            except ReproError:  # pragma: no cover - already-dead workers
+                pass
         try:
             self._plan_executor.close()
         finally:
@@ -328,6 +353,98 @@ class Engine:
     def _require_open(self) -> None:
         if self._closed:
             raise EngineError("engine is closed; open a new session to run queries")
+
+    # -- executor leases and online reconfiguration -----------------------------------
+
+    def _checkout_executor(self) -> PlanExecutor:
+        """The current executor, leased for one request (pair with release)."""
+        with self._executor_lock:
+            executor = self._plan_executor
+            key = id(executor)
+            self._executor_leases[key] = self._executor_leases.get(key, 0) + 1
+            return executor
+
+    def _release_executor(self, executor: PlanExecutor) -> None:
+        """Return a lease; the last lease of a retired executor closes it."""
+        retired: PlanExecutor | None = None
+        with self._executor_lock:
+            key = id(executor)
+            count = self._executor_leases.get(key, 0) - 1
+            if count > 0:
+                self._executor_leases[key] = count
+            else:
+                self._executor_leases.pop(key, None)
+                retired = self._retired_executors.pop(key, None)
+                self._executor_drained.notify_all()
+        if retired is not None:
+            retired.close()
+
+    def swap_executor(
+        self, new_executor: PlanExecutor, *, drain_timeout: float = 30.0
+    ) -> PlanExecutor:
+        """Atomically install ``new_executor``; drain and close the old one.
+
+        The install is the atomic step: every request that checks out after
+        it routes on the new executor (new epoch), while requests already
+        in flight finish on the old one.  This method then waits up to
+        ``drain_timeout`` seconds for those leases to drain; either way the
+        old executor is closed exactly once — immediately when drained, or
+        by the final lease holder's release.  Returns the old executor.
+        """
+        self._require_open()
+        with self._executor_lock:
+            old = self._plan_executor
+            self._plan_executor = new_executor
+            key = id(old)
+            if self._executor_leases.get(key, 0) > 0:
+                self._retired_executors[key] = old
+                deadline = time.monotonic() + drain_timeout
+                while self._executor_leases.get(key, 0) > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # still draining: the final release closes it
+                        return old
+                    self._executor_drained.wait(remaining)
+                self._retired_executors.pop(key, None)
+        # drained (or never leased): close here; executor close is idempotent,
+        # so a racing final release closing it first is harmless
+        old.close()
+        return old
+
+    def reshard(
+        self,
+        shards: int,
+        *,
+        out: str | Path | None = None,
+        drain_timeout: float = 30.0,
+    ) -> dict[str, Any]:
+        """Re-partition the served snapshot to ``shards`` shards, online.
+
+        Builds the new layout in the background from the current immutable
+        snapshot, then atomically swaps the versioned shard map (monotonic
+        epoch): in-flight requests drain on the old epoch, new requests
+        route on the new one — no downtime, bit-identical results.  Only
+        engines opened with :meth:`open_sharded` can reshard.  Returns a
+        summary dict (old/new epoch, shard counts, output path).
+        """
+        return self.blueprint_manager().reshard(
+            shards, out=out, drain_timeout=drain_timeout
+        )
+
+    def blueprint_manager(self) -> Any:
+        """The engine's blueprint manager (serialized serving transitions)."""
+        from repro.serving.blueprint import BlueprintManager
+
+        self._require_open()
+        if getattr(self._plan_executor, "shard_map", None) is None:
+            raise EngineError(
+                "online resharding needs a sharded engine; open the snapshot "
+                "with Engine.open_sharded first"
+            )
+        with self._executor_lock:
+            if self._blueprint_manager is None:
+                self._blueprint_manager = BlueprintManager(self)
+            return self._blueprint_manager
 
     def _batch_pool(self, max_workers: int) -> ThreadPoolExecutor:
         """The engine-owned thread pool behind ``execute_many``/``top_many``.
@@ -450,90 +567,123 @@ class Engine:
         path: str | Path,
         *,
         executor: str = "sharded",
-        workers: int | None = None,
-        mmap: bool = True,
-        transport: str = "auto",
-        shm_threshold: int | None = None,
+        config: Any | None = None,
+        workers: int | None = _UNSET,
+        mmap: bool = _UNSET,
+        transport: str = _UNSET,
+        shm_threshold: int | None = _UNSET,
         **engine_kwargs: Any,
     ) -> "Engine":
         """Open a partitioned snapshot behind a scatter-gather executor.
 
         ``executor="sharded"`` memmaps every shard in this process;
-        ``executor="pool"`` boots persistent worker processes (``workers``
-        of them, default one per shard), each memmapping its own shard and
-        fed over pipelined pipes.  Worker replies at or above
-        ``shm_threshold`` bytes travel through shared memory when
-        ``transport`` is ``"auto"``/``"shm"`` and the platform supports it;
-        ``transport="inline"`` keeps everything on the pipe codec.  Either
-        way the returned engine answers every query bit-identically to the
-        unsharded engine: row-local plan segments (select/weight chains,
-        rank-aware TOP) and keyword ranking scatter to the shards;
+        ``executor="pool"`` boots persistent worker processes fed over
+        pipelined pipes, with replication, failover and self-healing
+        restarts governed by ``config`` — a
+        :class:`~repro.serving.config.ServingConfig` (the ``workers``,
+        ``mmap``, ``transport`` and ``shm_threshold`` keyword arguments are
+        the deprecated spelling of the same fields).  Worker replies at or
+        above ``config.shm_threshold`` bytes travel through shared memory
+        when ``config.transport`` is ``"auto"``/``"shm"`` and the platform
+        supports it; ``"inline"`` keeps everything on the pipe codec.
+        Either way the returned engine answers every query bit-identically
+        to the unsharded engine: row-local plan segments (select/weight
+        chains, rank-aware TOP) and keyword ranking scatter to the shards;
         everything else runs on the coordinator over gather-reconstructed
-        tables.  Raises :class:`~repro.errors.StorageError` for a missing
-        or corrupt shard map.
+        tables.  The engine supports online re-sharding via
+        :meth:`reshard`.  Raises :class:`~repro.errors.StorageError` for a
+        missing or corrupt shard map.
         """
+        from repro.serving.config import UNSET, resolve_config
         from repro.storage.format import read_manifest
-        from repro.storage.shards import read_shard_map, shard_rowids
+        from repro.storage.shards import read_shard_map
         from repro.storage.snapshot import read_table_schemas
         from repro.triples.partitioning import make_storage
 
+        legacy = {
+            "workers": workers,
+            "mmap": mmap,
+            "transport": transport,
+            "shm_threshold": shm_threshold,
+        }
+        resolved = resolve_config(
+            config,
+            {name: (UNSET if value is _UNSET else value) for name, value in legacy.items()},
+            "Engine.open_sharded",
+        )
         shard_map = read_shard_map(path)
-        manifest = read_manifest(shard_map.shard_directories[0], "engine")
+        manifest = read_manifest(shard_map.shard_directory(0), "engine")
         engine = cls(
             triples_table=manifest["triples_table"],
             language=manifest["language"],
             **engine_kwargs,
         )
-        if executor == "pool":
-            from repro.serving.pool import WorkerPool
-
-            pool = WorkerPool(
-                shard_map,
-                workers=workers,
-                mmap=mmap,
-                transport=transport,
-                shm_threshold=shm_threshold,
-            )
-            plan_executor: PlanExecutor = PoolExecutor(engine, shard_map, pool)
-        elif executor == "sharded":
-            backends = [
-                InProcessShard(
-                    cls.open(shard_map.shard_directories[index], mmap=mmap),
-                    shard_rowids(shard_map, index),
-                )
-                for index in range(shard_map.num_shards)
-            ]
-            plan_executor = ShardedExecutor(engine, shard_map, backends)
-        else:
-            raise EngineError(
-                f"unknown executor {executor!r}; use 'sharded' or 'pool'"
-            )
-        engine._plan_executor = plan_executor
+        engine._serving_config = resolved
+        engine._snapshot_path = Path(path)
+        engine._plan_executor = engine._build_shard_executor(shard_map, executor, resolved)
 
         # coordinator tables hydrate on demand by gathering shard fragments
         # back into exact original row order (the bit-identity fallback path);
         # fragment schemas equal the unsharded table's, so shard 0's manifest
-        # declares each lazy table's schema for hydration-free verification
-        schemas = read_table_schemas(shard_map.shard_directories[0] / "database")
+        # declares each lazy table's schema for hydration-free verification.
+        # The closures read the executor through the engine so an online
+        # reshard re-points them at the new layout's backends automatically.
+        schemas = read_table_schemas(shard_map.shard_directory(0) / "database")
         for name in shard_map.table_names:
             engine.database.catalog.create_lazy_table(
                 name,
-                lambda name=name: gather_table(plan_executor.backends, name),
+                lambda name=name: gather_table(engine._plan_executor.backends, name),
                 schema=schemas.get(name),
             )
 
         # the triple store reuses the shard layout's storage strategy; the
         # triple list itself gathers lazily on first access
-        store_manifest = read_manifest(shard_map.shard_directories[0] / "store", "triple-store")
+        store_manifest = read_manifest(shard_map.shard_directory(0) / "store", "triple-store")
         storage = make_storage(store_manifest["storage"]["name"])
         storage.restore_state(store_manifest["storage"]["state"])
         engine.store.storage = storage
         engine.store.table_name = store_manifest["table_name"]
-        engine.store.adopt_snapshot(lambda: gather_triples(plan_executor.backends))
+        engine.store.adopt_snapshot(lambda: gather_triples(engine._plan_executor.backends))
 
         for entry in manifest["spinql"]:
             engine._compile_spinql(entry["source"], frozenset(entry["parameters"]))
         return engine
+
+    def _build_shard_executor(
+        self, shard_map: Any, executor: str, config: Any
+    ) -> PlanExecutor:
+        """One scatter-gather executor over ``shard_map`` (shared with reshard)."""
+        from repro.storage.shards import shard_rowids
+
+        if executor == "pool":
+            from repro.serving.pool import WorkerPool
+
+            pool = WorkerPool(shard_map, config, on_event=self._log_serving_event)
+            return PoolExecutor(self, shard_map, pool)
+        if executor == "sharded":
+            backends = [
+                InProcessShard(
+                    Engine.open(shard_map.shard_directory(index), mmap=config.mmap),
+                    shard_rowids(shard_map, index),
+                )
+                for index in shard_map.shards()
+            ]
+            return ShardedExecutor(self, shard_map, backends)
+        raise EngineError(f"unknown executor {executor!r}; use 'sharded' or 'pool'")
+
+    def _log_serving_event(self, name: str, detail: dict[str, Any]) -> None:
+        """Record a failover/restart/swap event in the workload log."""
+        try:
+            self.workload_log.record(
+                "event",
+                f"event::{name}",
+                0.0,
+                request={"event": name, **detail},
+                executor=self._plan_executor.kind,
+                status="ok",
+            )
+        except Exception:  # noqa: BLE001 - events must never break serving
+            pass
 
     # -- front ends -------------------------------------------------------------------
 
@@ -798,14 +948,16 @@ class Engine:
         result_cache: str | None = None,
         cost_units: dict[str, float] | None = None,
         tables: Iterable[str] = (),
+        executor: PlanExecutor | None = None,
     ) -> None:
         """Append one record to the workload log (never raises into queries)."""
         known_rows = [self._table_rows(name) for name in tables]
         sized = [rows for rows in known_rows if rows is not None]
-        scatter = getattr(self._plan_executor, "last_scatter", None) or {}
+        used = executor if executor is not None else self._plan_executor
+        scatter = getattr(used, "last_scatter", None) or {}
         fanout = 0
         if scatter.get("segments") or scatter.get("search"):
-            fanout = len(getattr(self._plan_executor, "backends", []))
+            fanout = len(getattr(used, "backends", []))
         self.workload_log.record(
             kind,
             fingerprint,
@@ -815,7 +967,7 @@ class Engine:
             parameters=parameters or None,
             request=request,
             result_cache=result_cache,
-            executor=self._plan_executor.kind,
+            executor=used.kind,
             shard_fanout=fanout,
             status=status,
             cost_units=cost_units or {},
@@ -860,8 +1012,9 @@ class Engine:
                     )
                     return cached
                 cache_status = "miss"
+        executor = self._checkout_executor()
         try:
-            result = self._plan_executor.execute_plan(plan, bound)
+            result = executor.execute_plan(plan, bound)
         except Exception:
             self._record_execution(
                 kind=kind,
@@ -872,8 +1025,11 @@ class Engine:
                 request=request,
                 result_cache=cache_status,
                 tables=scan_tables(plan),
+                executor=executor,
             )
             raise
+        finally:
+            self._release_executor(executor)
         if cache_key is not None and self.result_cache is not None:
             admitted = self.result_cache.store(
                 cache_key, result, dependencies=scan_tables(plan)
@@ -889,6 +1045,7 @@ class Engine:
             result_cache=cache_status,
             cost_units=self.cost_model.estimate(plan, self._table_rows).per_kind_units,
             tables=scan_tables(plan),
+            executor=executor,
         )
         return result
 
@@ -925,29 +1082,33 @@ class Engine:
         from repro.ir.search import SearchResult
 
         self._require_open()
-        if not isinstance(self._plan_executor, (ShardedExecutor, PoolExecutor)):
-            return None
-        started = time.perf_counter()
-        searcher = self._search_engine(
-            table,
-            model=model,
-            pipeline=pipeline,
-            expander=expander,
-            id_column=id_column,
-            text_column=text_column,
-        )
-        base_terms, expanded_terms, terms = searcher.query_terms(query)
-        spec = SearchSpec(
-            table=table,
-            terms=list(terms),
-            top_k=top_k,
-            pipeline=pipeline,
-            id_column=id_column,
-            text_column=text_column,
-            model=model,
-        )
-        was_warm = self._plan_executor.has_global_statistics(spec)
-        ranked = self._plan_executor.search(spec)
+        executor = self._checkout_executor()
+        try:
+            if not isinstance(executor, (ShardedExecutor, PoolExecutor)):
+                return None
+            started = time.perf_counter()
+            searcher = self._search_engine(
+                table,
+                model=model,
+                pipeline=pipeline,
+                expander=expander,
+                id_column=id_column,
+                text_column=text_column,
+            )
+            base_terms, expanded_terms, terms = searcher.query_terms(query)
+            spec = SearchSpec(
+                table=table,
+                terms=list(terms),
+                top_k=top_k,
+                pipeline=pipeline,
+                id_column=id_column,
+                text_column=text_column,
+                model=model,
+            )
+            was_warm = executor.has_global_statistics(spec)
+            ranked = executor.search(spec)
+        finally:
+            self._release_executor(executor)
         if ranked is None:
             return None
         return SearchResult(

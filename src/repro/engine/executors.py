@@ -548,7 +548,11 @@ class ScatterGatherExecutor(PlanExecutor):
     # -- lifecycle ---------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
-        return {"executor": self.kind, "shards": self.shard_map.num_shards}
+        return {
+            "executor": self.kind,
+            "shards": self.shard_map.num_shards,
+            "epoch": self.shard_map.epoch,
+        }
 
     def close(self) -> None:
         errors: list[BaseException] = []
@@ -586,12 +590,14 @@ class PoolExecutor(ScatterGatherExecutor):
         description = super().describe()
         description["workers"] = self._pool.num_workers
         description["transport"] = self._pool.transport
+        description["replicas"] = self._pool.replicas
         return description
 
     def health(self) -> dict[str, Any]:
         """Describe plus per-worker liveness (no worker round-trips)."""
         description = self.describe()
         description["worker_liveness"] = self._pool.liveness()
+        description["replication"] = self._pool.replication()
         return description
 
     def close(self) -> None:

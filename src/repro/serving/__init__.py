@@ -26,7 +26,9 @@ The CLI front end is ``python -m repro serve`` (and ``shard`` to
 re-partition an existing snapshot).
 """
 
+from repro.serving.blueprint import Blueprint, BlueprintManager
+from repro.serving.config import ServingConfig
 from repro.serving.pool import WorkerPool
 from repro.serving.router import Router
 
-__all__ = ["Router", "WorkerPool"]
+__all__ = ["Blueprint", "BlueprintManager", "Router", "ServingConfig", "WorkerPool"]

@@ -1,0 +1,159 @@
+"""The blueprint manager: planned transitions between serving layouts.
+
+Online re-sharding follows the blueprint pattern: the **current** serving
+configuration keeps answering queries while the **next** one (a different
+shard count over the same immutable snapshot data) is built in the
+background; the cut-over is a single atomic swap of the engine's executor,
+carrying a monotonically-versioned shard map (its **epoch**).  In-flight
+requests drain on the old epoch's executor — the engine's lease accounting
+closes it only after the last one finishes — and every request admitted
+after the swap routes on the new epoch.  No downtime, and bit-identical
+results throughout: both layouts partition the same rows and the gather
+step reconstructs original row order regardless of the shard count (the
+Hypothesis shard-equivalence suite enforces this across a mid-stream
+swap).
+
+:class:`BlueprintManager` owns the transition: it serializes concurrent
+reshard attempts behind a lock, builds the new layout via
+:meth:`~repro.storage.shards.ShardMap.with_layout`, mirrors the engine's
+current executor kind and :class:`~repro.serving.config.ServingConfig`
+for the replacement executor, and reports ``reshard-start`` /
+``blueprint-swap`` events into the workload log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import EngineError
+from repro.serving.config import ServingConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine import Engine
+    from repro.storage.shards import ShardMap
+
+
+class Blueprint:
+    """One planned serving configuration: a versioned layout + executor kind."""
+
+    def __init__(self, shard_map: "ShardMap", executor: str, config: ServingConfig):
+        self.shard_map = shard_map
+        self.executor = executor
+        self.config = config
+
+    @property
+    def epoch(self) -> int:
+        return self.shard_map.epoch
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "epoch": self.shard_map.epoch,
+            "shards": self.shard_map.num_shards,
+            "executor": self.executor,
+            "path": str(self.shard_map.path),
+        }
+
+
+class BlueprintManager:
+    """Builds and atomically installs successor serving layouts for an engine."""
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+        # one transition at a time; queries are never blocked by this lock
+        self._transition_lock = threading.Lock()
+
+    # -- introspection -----------------------------------------------------------
+
+    def current(self) -> Blueprint:
+        """The blueprint the engine is serving right now."""
+        executor = self._engine._plan_executor
+        shard_map = getattr(executor, "shard_map", None)
+        if shard_map is None:
+            raise EngineError(
+                "the engine has no shard map; open the snapshot with "
+                "Engine.open_sharded to manage blueprints"
+            )
+        config = self._engine._serving_config or ServingConfig()
+        return Blueprint(shard_map, executor.kind, config)
+
+    # -- transitions -------------------------------------------------------------
+
+    def build_layout(self, shards: int, out: str | Path | None = None) -> "ShardMap":
+        """Materialize the current snapshot as a ``shards``-shard layout.
+
+        Pure background work: serving traffic keeps flowing on the current
+        executor while a private engine re-partitions the immutable
+        snapshot.  Returns the new map stamped at ``current epoch + 1``.
+        """
+        if shards < 1:
+            raise EngineError(f"shards must be >= 1, got {shards}")
+        current = self.current().shard_map
+        if out is None:
+            out = current.path.parent / (
+                f"{current.path.name}-epoch{current.epoch + 1:04d}-{shards}shards"
+            )
+        return current.with_layout(shards, out)
+
+    def swap_to(
+        self, shard_map: "ShardMap", *, drain_timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Atomically cut serving over to ``shard_map`` (same executor kind).
+
+        Builds the replacement executor (workers boot and memmap before the
+        swap, so the new epoch is ready the instant it is installed), then
+        swaps it in: new requests route on the new epoch, in-flight
+        requests drain on the old, and the old executor closes once
+        drained.  Returns a summary of the transition.
+        """
+        blueprint = self.current()
+        old_map = blueprint.shard_map
+        if shard_map.epoch <= old_map.epoch:
+            raise EngineError(
+                f"blueprint epoch must advance: {shard_map.epoch} <= "
+                f"current {old_map.epoch}"
+            )
+        engine = self._engine
+        started = time.perf_counter()
+        new_executor = engine._build_shard_executor(
+            shard_map, blueprint.executor, blueprint.config
+        )
+        try:
+            engine.swap_executor(new_executor, drain_timeout=drain_timeout)
+        except BaseException:
+            new_executor.close()
+            raise
+        summary = {
+            "from_epoch": old_map.epoch,
+            "to_epoch": shard_map.epoch,
+            "from_shards": old_map.num_shards,
+            "to_shards": shard_map.num_shards,
+            "executor": blueprint.executor,
+            "path": str(shard_map.path),
+            "swap_seconds": time.perf_counter() - started,
+        }
+        engine._log_serving_event("blueprint-swap", summary)
+        return summary
+
+    def reshard(
+        self,
+        shards: int,
+        *,
+        out: str | Path | None = None,
+        drain_timeout: float = 30.0,
+    ) -> dict[str, Any]:
+        """Build an N′-shard layout in the background, then swap it in live."""
+        with self._transition_lock:
+            current = self.current()
+            self._engine._log_serving_event(
+                "reshard-start",
+                {
+                    "from_epoch": current.epoch,
+                    "from_shards": current.shard_map.num_shards,
+                    "to_shards": shards,
+                },
+            )
+            new_map = self.build_layout(shards, out)
+            return self.swap_to(new_map, drain_timeout=drain_timeout)

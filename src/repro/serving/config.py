@@ -1,0 +1,189 @@
+"""The unified serving configuration: one frozen dataclass for every knob.
+
+The serving surface grew one keyword argument at a time — ``transport`` and
+``shm_threshold`` on :class:`~repro.serving.pool.WorkerPool`, ``workers``
+on ``Engine.open_sharded``, admission limits on
+:class:`~repro.serving.router.Router`, and now replication and
+self-healing knobs — until the same deployment decision was spread across
+four call sites.  :class:`ServingConfig` collects all of them:
+
+* **pool** — ``workers``, ``replicas``, ``mmap``, ``start_method``,
+  ``transport``, ``shm_threshold``;
+* **self-healing** — ``restart_workers``, ``health_interval_seconds``,
+  ``max_restarts``, ``restart_backoff_seconds`` (doubled per consecutive
+  restart, capped at ``restart_backoff_cap_seconds``), ``retry_budget``
+  (failover re-routes per request beyond the first attempt);
+* **admission** — ``max_concurrent``, ``max_queue``;
+* **HTTP** — ``host``, ``port``.
+
+Every serving entry point accepts ``config=ServingConfig(...)``; the old
+per-call keyword arguments keep working through :func:`resolve_config`,
+which maps them onto a config and emits **one** :class:`DeprecationWarning`
+per entry point per process (the shim policy is documented in
+``repro.__init__``).  ``from_cli_args`` / ``to_dict`` / ``from_dict``
+round-trip the config through the CLI and JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any
+
+from repro.errors import EngineError
+
+#: sentinel distinguishing "caller did not pass this kwarg" from any value
+UNSET: Any = object()
+
+TRANSPORTS = ("auto", "shm", "inline")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Every serving knob, validated once, threaded through all entry points."""
+
+    # -- worker pool ------------------------------------------------------------
+    workers: int | None = None  # base workers per replica; None = one per shard
+    replicas: int = 1  # workers serving each shard (failover needs >= 2)
+    mmap: bool = True
+    start_method: str = "spawn"
+    transport: str = "auto"  # "auto" | "shm" | "inline"
+    shm_threshold: int | None = None
+
+    # -- self-healing -----------------------------------------------------------
+    restart_workers: bool = True
+    health_interval_seconds: float = 0.5
+    max_restarts: int = 5  # per worker slot, per pool lifetime
+    restart_backoff_seconds: float = 0.25
+    restart_backoff_cap_seconds: float = 10.0
+    retry_budget: int = 2  # failover re-routes per request beyond the first try
+
+    # -- router admission -------------------------------------------------------
+    max_concurrent: int = 4
+    max_queue: int = 64
+
+    # -- HTTP front end ---------------------------------------------------------
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise EngineError(f"workers must be >= 1 or None, got {self.workers}")
+        if self.replicas < 1:
+            raise EngineError(f"replicas must be >= 1, got {self.replicas}")
+        if self.transport not in TRANSPORTS:
+            raise EngineError(
+                f"unknown transport {self.transport!r}; use one of {TRANSPORTS}"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise EngineError(
+                f"unknown start_method {self.start_method!r}; "
+                "use 'spawn', 'fork' or 'forkserver'"
+            )
+        if self.shm_threshold is not None and self.shm_threshold < 0:
+            raise EngineError(f"shm_threshold must be >= 0, got {self.shm_threshold}")
+        if self.health_interval_seconds <= 0:
+            raise EngineError(
+                f"health_interval_seconds must be > 0, got {self.health_interval_seconds}"
+            )
+        if self.max_restarts < 0:
+            raise EngineError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.restart_backoff_seconds < 0:
+            raise EngineError(
+                f"restart_backoff_seconds must be >= 0, got {self.restart_backoff_seconds}"
+            )
+        if self.restart_backoff_cap_seconds < self.restart_backoff_seconds:
+            raise EngineError(
+                "restart_backoff_cap_seconds must be >= restart_backoff_seconds"
+            )
+        if self.retry_budget < 0:
+            raise EngineError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.max_concurrent < 1:
+            raise EngineError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        if self.max_queue < 0:
+            raise EngineError(f"max_queue must be >= 0, got {self.max_queue}")
+        if not 0 <= self.port <= 65535:
+            raise EngineError(f"port must be in [0, 65535], got {self.port}")
+
+    # -- round trips ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict; :meth:`from_dict` reconstructs an equal config."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ServingConfig":
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise EngineError(f"unknown ServingConfig fields: {unknown}")
+        return cls(**payload)
+
+    @classmethod
+    def from_cli_args(cls, args: Any) -> "ServingConfig":
+        """Build a config from an argparse namespace (the ``serve`` subcommand).
+
+        Only attributes present on the namespace override the defaults, so
+        subcommands with partial serving surfaces (``reshard``) reuse this.
+        """
+        overrides: dict[str, Any] = {}
+        for field in fields(cls):
+            value = getattr(args, field.name, None)
+            if value is not None:
+                overrides[field.name] = value
+        # `--workers 0` means "in-process sharded executor" on the CLI; the
+        # pool itself never sees workers=0 (the CLI picks the executor kind)
+        if overrides.get("workers") == 0:
+            overrides["workers"] = None
+        return cls(**overrides)
+
+    def with_overrides(self, **overrides: Any) -> "ServingConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        return replace(self, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# the legacy-kwarg deprecation shim
+# ---------------------------------------------------------------------------
+
+_warned_entry_points: set[str] = set()
+_warn_lock = threading.Lock()
+
+
+def _warn_legacy(entry_point: str, names: list[str]) -> None:
+    """Warn exactly once per entry point per process about legacy kwargs."""
+    with _warn_lock:
+        if entry_point in _warned_entry_points:
+            return
+        _warned_entry_points.add(entry_point)
+    warnings.warn(
+        f"{entry_point} keyword argument(s) {', '.join(sorted(names))} are "
+        "deprecated since 1.7; pass config=ServingConfig(...) instead "
+        "(the legacy values are mapped onto the config unchanged)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_config(
+    config: ServingConfig | None, legacy: dict[str, Any], entry_point: str
+) -> ServingConfig:
+    """Merge legacy keyword arguments into ``config`` with a one-time warning.
+
+    ``legacy`` maps field names to values where :data:`UNSET` marks "not
+    passed".  Passing both ``config`` and a legacy kwarg is ambiguous (which
+    wins?) and raises instead of guessing.
+    """
+    supplied = {name: value for name, value in legacy.items() if value is not UNSET}
+    if config is not None and supplied:
+        raise EngineError(
+            f"{entry_point} received both config=ServingConfig(...) and legacy "
+            f"keyword argument(s) {sorted(supplied)}; put the values on the config"
+        )
+    if config is not None:
+        return config
+    if supplied:
+        _warn_legacy(entry_point, sorted(supplied))
+        return ServingConfig(**supplied)
+    return ServingConfig()

@@ -64,7 +64,12 @@ class AsyncHTTPFrontEnd:
         # bind synchronously so port=0 resolves before serve_forever starts
         self._socket = socket.create_server((host, port), backlog=128)
         self.server_address = self._socket.getsockname()[:2]
-        workers = max_workers if max_workers is not None else router.max_concurrent + 2
+        # size the blocking-call pool from the deployment's ServingConfig:
+        # max_concurrent admitted requests plus slack for /healthz and /statz
+        # probes, which must keep answering while every slot is busy
+        configured = getattr(router, "config", None)
+        admitted = configured.max_concurrent if configured is not None else router.max_concurrent
+        workers = max_workers if max_workers is not None else admitted + 2
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, workers), thread_name_prefix="repro-serve"
         )
@@ -228,11 +233,15 @@ class AsyncHTTPFrontEnd:
     ) -> None:
         status = payload.get("status", 200) if not payload.get("ok") else 200
         body = json.dumps(payload).encode("utf-8")
+        # shed responses tell well-behaved clients (including the replay
+        # load generator) when to come back instead of hammering the queue
+        retry_after = "Retry-After: 1\r\n" if status == 503 else ""
         writer.write(
             (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{retry_after}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
                 "\r\n"
             ).encode("ascii")

@@ -1,18 +1,38 @@
-"""The worker pool: persistent shard processes behind the pool executor.
+"""The worker pool: replicated, self-healing shard processes.
 
-:class:`WorkerPool` spawns ``workers`` persistent processes (default: one
-per shard) over a partitioned snapshot, assigns shards round-robin, and
-multiplexes codec-framed requests over one duplex pipe per worker.  Each
-worker memmaps its shards (OS page cache shared across workers on one
-host), so pool start-up is O(process spawn), not O(data).
+:class:`WorkerPool` spawns persistent processes over a partitioned
+snapshot and multiplexes codec-framed requests over one duplex pipe per
+worker.  Each worker memmaps its shards (OS page cache shared across
+workers on one host), so pool start-up is O(process spawn), not O(data).
+
+**Replication.**  With ``replicas=R`` every shard is served by ``R``
+workers (``base * R`` processes for ``base`` worker slots per replica
+rank).  Requests route to the **least-outstanding live replica**; a
+request whose worker dies — before the first reply or mid-request — or
+whose connection is poisoned by a corrupt frame is transparently retried
+on a surviving replica (excluded-runner pattern: each attempt excludes the
+workers already tried, bounded by ``retry_budget``).  Retries are safe by
+construction: snapshots are immutable, so every replica computes the
+bit-identical answer.  Requests issued with an explicit worker index
+(``request(worker, ...)``) stay **pinned** — they attribute failures to
+that worker instead of failing over, which is what crash tests and the
+close path want.
+
+**Self-healing.**  A supervisor thread health-checks workers every
+``health_interval_seconds`` and restarts dead ones from the immutable
+snapshot with exponential backoff (``restart_backoff_seconds`` doubled per
+consecutive restart, capped), up to ``max_restarts`` per slot; a slot that
+exhausts its budget is marked failed.  :attr:`degraded` is true while any
+slot is dead or failed — surfaced via ``/healthz`` and ``/statz``.
+Failovers, deaths, restarts and failures are reported to the pool's
+observer callback as structured events (the engine wires this into the
+workload log).
 
 **Pipelining.**  Every request frame carries an 8-byte request id
-(:func:`~repro.serving.codec.encode_tagged`); a dedicated reader thread
-per connection matches reply frames to futures by id, so many requests can
-be in flight on one pipe at once — the send lock is held only for the
-write, never for the round trip.  Issuing requests therefore costs one
-pipe write, and the scatter step overlaps every worker without needing a
-thread per backend.
+(:func:`~repro.serving.codec.encode_tagged`); receiving is
+leader/follower per connection, so many requests can be in flight on one
+pipe at once — the send lock is held only for the write, never for the
+round trip.
 
 **Result transport.**  Small replies travel inline on the pipe; replies at
 or above the shared-memory threshold are published to
@@ -25,11 +45,7 @@ state search requests carry only terms and a key — not the df/cf tables.
 :meth:`WorkerPool.shard_backends` returns one :class:`PoolShard` proxy per
 shard — the same backend interface :class:`~repro.engine.executors.InProcessShard`
 implements, so :class:`~repro.engine.executors.PoolExecutor` reuses the
-scatter-gather logic unchanged.  A worker that dies mid-request — or sends
-a frame the codec cannot decode — surfaces as a clean
-:class:`~repro.errors.EngineError` naming the shard and worker, the
-connection is marked dead, and every subsequent request fails fast with
-the same attribution instead of reading garbage frames.
+scatter-gather logic unchanged.
 """
 
 from __future__ import annotations
@@ -44,6 +60,7 @@ import numpy as np
 
 from repro.errors import EngineError
 from repro.serving.codec import encode_tagged, resolve_tagged, split_tagged
+from repro.serving.config import UNSET, ServingConfig, resolve_config
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executors import SearchSpec
@@ -51,6 +68,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.shards import ShardMap
 
 _JOIN_TIMEOUT_SECONDS = 5.0
+
+#: how long a failover will wait for the supervisor to restart a replica
+#: when every replica of a shard is momentarily down (self-healing only)
+_REPLICA_WAIT_SECONDS = 5.0
 
 #: reply code a worker sends when it needs the global statistics re-sent
 GLOBAL_MISSING = "global-missing"
@@ -91,7 +112,13 @@ class _WorkerConnection:
     # -- sending -----------------------------------------------------------------
 
     def send(self, message: dict[str, Any]) -> Future:
-        """Issue one request; returns a future resolving to (kind, body)."""
+        """Issue one request; returns a future resolving to (kind, body).
+
+        Raises :class:`_WorkerDied` synchronously when the connection is
+        already dead **or the write itself fails** — a worker that died
+        between accept and first reply surfaces here exactly like a
+        mid-request death, so callers handle both through one path.
+        """
         with self._state_lock:
             if self._death is not None:
                 raise _WorkerDied(self._death)
@@ -104,7 +131,13 @@ class _WorkerConnection:
                 self.connection.send_bytes(encode_tagged(request_id, message))
         except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as error:
             self.mark_dead(f"pipe write failed: {error!r}")
+            raise _WorkerDied(self._death or f"pipe write failed: {error!r}") from error
         return future
+
+    def outstanding(self) -> int:
+        """In-flight request count (the least-outstanding routing signal)."""
+        with self._state_lock:
+            return len(self._pending)
 
     # -- receiving ---------------------------------------------------------------
 
@@ -189,7 +222,7 @@ class _WorkerConnection:
 
 
 class _PendingReply:
-    """One in-flight request: resolves, attributes errors, post-processes."""
+    """One in-flight request: resolves, fails over, attributes errors."""
 
     def __init__(
         self,
@@ -199,6 +232,12 @@ class _PendingReply:
         op: str | None,
         future: Future,
         transform: Callable[[Any], Any] | None = None,
+        *,
+        connection: _WorkerConnection | None = None,
+        message: dict[str, Any] | None = None,
+        pinned: bool = True,
+        attempted: set[int] | None = None,
+        retries_left: int = 0,
     ):
         self._pool = pool
         self.worker = worker
@@ -206,6 +245,13 @@ class _PendingReply:
         self.op = op
         self._future = future
         self._transform = transform
+        self.connection = connection
+        self.message = message
+        self.pinned = pinned
+        # connection identities (not slot indices): a supervisor restart puts
+        # a fresh connection in the slot, which is fair game to retry
+        self.attempted = attempted if attempted is not None else set()
+        self.retries_left = retries_left
 
     def reply(self, timeout: float | None = None) -> dict[str, Any]:
         """The decoded raw reply dict (``ok`` may be false)."""
@@ -238,11 +284,12 @@ class _SearchPending:
         pool = self._proxy._pool
         reply = self._pending.reply(timeout)
         if not reply.get("ok") and reply.get("code") == GLOBAL_MISSING:
-            # the worker lost (or never had) the cached global statistics;
-            # re-issue the request carrying the full payload
+            # the worker lost (or never had) the cached global statistics
+            # (a failover or restart lands here too); re-issue the request
+            # carrying the full payload — still failover-eligible
             message = self._proxy._search_message(self._spec, self._global, install=True)
             self._pending = pool.begin_request(
-                self._pending.worker, self._pending.shard, message
+                self._pending.worker, self._pending.shard, message, pinned=False
             )
             reply = self._pending.reply(timeout)
         value = pool._unwrap(self._pending, reply)
@@ -255,10 +302,12 @@ class _SearchPending:
 
 
 class PoolShard:
-    """Backend proxy for one shard served by a pool worker.
+    """Backend proxy for one shard served by the pool's replica set.
 
     Every ``begin_*`` method puts the request on the wire immediately and
     returns a pending reply; the blocking methods are ``begin`` + wait.
+    The pool picks the serving replica per request (least outstanding), so
+    the proxy survives individual worker deaths transparently.
     :attr:`pipelined` tells the scatter step it can fan out requests from
     one thread and overlap all workers.
     """
@@ -267,14 +316,14 @@ class PoolShard:
 
     def __init__(self, pool: "WorkerPool", worker: int, shard: int):
         self._pool = pool
-        self.worker = worker
+        self.worker = worker  # home slot (replica 0); routing may pick others
         self.shard = shard
 
     def _begin(
         self, message: dict[str, Any], transform: Callable[[Any], Any] | None = None
     ) -> _PendingReply:
         message["shard"] = self.shard
-        return self._pool.begin_request(self.worker, self.shard, message, transform)
+        return self._pool.begin_request(None, self.shard, message, transform)
 
     def begin_segment(self, plan: Any, table: str) -> _PendingReply:
         return self._begin({"op": "segment", "plan": plan, "table": table})
@@ -304,9 +353,13 @@ class PoolShard:
         from repro.engine.executors import statistics_key
 
         key = statistics_key(spec)
-        install = not self._pool.global_installed(self.worker, key)
+        # pre-pick the replica so the install decision matches the route;
+        # a failover to a replica without the stats triggers the
+        # global-missing handshake, which composes with this path
+        worker = self._pool.pick_worker(self.shard)
+        install = worker is None or not self._pool.global_installed(worker, key)
         message = self._search_message(spec, global_statistics, install=install)
-        pending = self._pool.begin_request(self.worker, self.shard, message)
+        pending = self._pool.begin_request(worker, self.shard, message, pinned=False)
         return _SearchPending(self, spec, global_statistics, key, pending)
 
     def search_shard(
@@ -332,101 +385,288 @@ class PoolShard:
 
 
 class WorkerPool:
-    """Persistent worker processes serving the shards of one snapshot."""
+    """Replicated worker processes serving the shards of one snapshot.
+
+    ``config.workers`` sets the **base** worker count (default: one per
+    shard, never more than the shard count); ``config.replicas`` multiplies
+    it, so ``base * replicas`` processes run and every shard is served by
+    ``replicas`` of them.  Requests route to the least-outstanding live
+    replica and fail over on death; a supervisor thread restarts dead
+    workers from the immutable snapshot (see the module docstring).
+    """
 
     def __init__(
         self,
         shard_map: "ShardMap",
+        config: ServingConfig | None = None,
         *,
-        workers: int | None = None,
-        mmap: bool = True,
-        start_method: str = "spawn",
-        transport: str = "auto",
-        shm_threshold: int | None = None,
+        on_event: Callable[[str, dict[str, Any]], None] | None = None,
+        workers: int | None = UNSET,
+        mmap: bool = UNSET,
+        start_method: str = UNSET,
+        transport: str = UNSET,
+        shm_threshold: int | None = UNSET,
     ):
         from repro.serving import shm as shm_policy
-        from repro.serving.worker import worker_main
 
+        config = resolve_config(
+            config,
+            {
+                "workers": workers,
+                "mmap": mmap,
+                "start_method": start_method,
+                "transport": transport,
+                "shm_threshold": shm_threshold,
+            },
+            "WorkerPool",
+        )
+        self.config = config
         self.shard_map = shard_map
+        self._observer = on_event
         num_shards = shard_map.num_shards
-        self.num_workers = max(1, min(workers if workers is not None else num_shards, num_shards))
+        requested = config.workers if config.workers is not None else num_shards
+        self.base_workers = max(1, min(requested, num_shards))
+        self.replicas = config.replicas
+        self.num_workers = self.base_workers * self.replicas
         self._assignment: dict[int, int] = {
-            shard: shard % self.num_workers for shard in range(num_shards)
+            shard: shard % self.base_workers for shard in shard_map.shards()
         }
         self._closed = False
         # resolve the transport here so `describe` reflects what workers do
         # (workers re-derive the same policy from the name + threshold)
-        self._reply_transport = shm_policy.transport_from_name(transport, shm_threshold)
-        self.transport = transport if self._reply_transport is not None else "inline"
-        self._shm_threshold = shm_threshold
+        self._reply_transport = shm_policy.transport_from_name(
+            config.transport, config.shm_threshold
+        )
+        self.transport = config.transport if self._reply_transport is not None else "inline"
+        self._shm_threshold = config.shm_threshold
 
-        context = multiprocessing.get_context(start_method)
-        self._processes = []
+        self._context = multiprocessing.get_context(config.start_method)
+        self._lock = threading.Lock()
+        self._restarts: dict[int, int] = {}
+        self._restart_at: dict[int, float] = {}
+        self._failed: dict[int, str] = {}
+        self._processes: list[Any] = []
         self._connections: list[_WorkerConnection] = []
         for worker in range(self.num_workers):
-            assigned = sorted(
-                shard for shard, owner in self._assignment.items() if owner == worker
-            )
-            parent, child = context.Pipe(duplex=True)
-            process = context.Process(
-                target=worker_main,
-                args=(str(shard_map.path), assigned, child),
-                kwargs={
-                    "mmap": mmap,
-                    "transport": self.transport,
-                    "shm_threshold": shm_threshold,
-                },
-                daemon=True,
-                name=f"repro-shard-worker-{worker}",
-            )
-            process.start()
-            child.close()
+            process, connection = self._spawn(worker)
             self._processes.append(process)
-            self._connections.append(_WorkerConnection(worker, parent, process))
+            self._connections.append(connection)
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        if config.restart_workers:
+            self._supervisor = threading.Thread(
+                target=self._supervise, daemon=True, name="repro-pool-supervisor"
+            )
+            self._supervisor.start()
+
+    def _spawn(self, worker: int) -> tuple[Any, _WorkerConnection]:
+        """Start the process for slot ``worker`` over its assigned shards."""
+        from repro.serving.worker import worker_main
+
+        assigned = sorted(
+            shard
+            for shard, owner in self._assignment.items()
+            if owner == worker % self.base_workers
+        )
+        parent, child = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=worker_main,
+            args=(str(self.shard_map.path), assigned, child),
+            kwargs={
+                "mmap": self.config.mmap,
+                "transport": self.transport,
+                "shm_threshold": self._shm_threshold,
+                "epoch": self.shard_map.epoch,
+            },
+            daemon=True,
+            name=f"repro-shard-worker-{worker}",
+        )
+        process.start()
+        child.close()
+        return process, _WorkerConnection(worker, parent, process)
+
+    # -- replica routing ---------------------------------------------------------
+
+    def replica_slots(self, shard: int) -> list[int]:
+        """The worker slots serving ``shard``, replica 0 first."""
+        home = self._assignment[shard]
+        return [rank * self.base_workers + home for rank in range(self.replicas)]
+
+    def pick_worker(self, shard: int, exclude: set[int] | None = None) -> int | None:
+        """The least-outstanding live replica for ``shard`` (None if all dead).
+
+        ``exclude`` holds *connection identities* (``id(connection)``), not
+        slot indices: a slot whose worker has been restarted since a failed
+        attempt carries a fresh connection and is eligible again.
+        """
+        exclude = exclude or set()
+        best: tuple[int, int] | None = None
+        for slot in self.replica_slots(shard):
+            with self._lock:
+                if slot in self._failed:
+                    continue
+            connection = self._connections[slot]
+            if id(connection) in exclude:
+                continue
+            if connection.death is not None or not connection.process.is_alive():
+                continue
+            load = (connection.outstanding(), slot)
+            if best is None or load < best:
+                best = load
+        return None if best is None else best[1]
+
+    def _await_replica(self, shard: int, attempted: set[int]) -> int | None:
+        """Wait briefly for the supervisor to restart a replica of ``shard``.
+
+        Only when self-healing is on: a momentary total outage of a shard's
+        replicas (all mid-restart) should stall the request for a beat, not
+        surface an error the supervisor is about to make untrue.
+        """
+        if not self.config.restart_workers:
+            return None
+        deadline = time.monotonic() + _REPLICA_WAIT_SECONDS
+        while time.monotonic() < deadline and not self._closed:
+            worker = self.pick_worker(shard, exclude=attempted)
+            if worker is not None:
+                return worker
+            time.sleep(0.02)
+        return None
 
     # -- request multiplexing ----------------------------------------------------
 
     def begin_request(
         self,
-        worker: int,
+        worker: int | None,
         shard: int,
         message: dict[str, Any],
         transform: Callable[[Any], Any] | None = None,
+        *,
+        pinned: bool | None = None,
     ) -> _PendingReply:
-        """Put one request on a worker's pipe; returns the pending reply."""
+        """Put one request on a replica's pipe; returns the pending reply.
+
+        ``worker=None`` routes to the least-outstanding live replica of
+        ``shard``.  An explicit worker index pins the request to that
+        worker (no failover) unless ``pinned=False`` makes it merely the
+        preferred first attempt.
+        """
         if self._closed:
             raise EngineError("worker pool is closed")
-        connection = self._connections[worker]
         op = message.get("op")
-        try:
-            future = connection.send(message)
-        except _WorkerDied as died:
-            raise self._died_error(worker, shard, op, str(died)) from died
-        return _PendingReply(self, worker, shard, op, future, transform)
+        if pinned is None:
+            pinned = worker is not None
+        budget = 0 if pinned else self.config.retry_budget
+        attempted: set[int] = set()  # id(connection) per attempt
+        while True:
+            if worker is None:
+                worker = self.pick_worker(shard, exclude=attempted)
+                if worker is None:
+                    worker = self._await_replica(shard, attempted)
+                if worker is None:
+                    raise self._no_replica_error(shard, op)
+            connection = self._connections[worker]
+            attempted.add(id(connection))
+            try:
+                future = connection.send(message)
+                break
+            except _WorkerDied as died:
+                if pinned or budget <= 0:
+                    raise self._died_error(worker, shard, op, str(died)) from died
+                budget -= 1
+                self._emit(
+                    "failover",
+                    {
+                        "shard": shard,
+                        "op": op,
+                        "from_worker": worker,
+                        "stage": "send",
+                        "reason": str(died),
+                    },
+                )
+                worker = None
+        return _PendingReply(
+            self,
+            worker,
+            shard,
+            op,
+            future,
+            transform,
+            connection=connection,
+            message=message,
+            pinned=pinned,
+            attempted=attempted,
+            retries_left=budget,
+        )
 
     def request(self, worker: int, shard: int, message: dict[str, Any]) -> Any:
-        """Send one codec frame to ``worker`` and wait for its reply."""
+        """Send one codec frame to ``worker`` (pinned) and wait for its reply."""
         return self.begin_request(worker, shard, message).result()
 
+    def _failover(self, pending: _PendingReply, reason: str) -> bool:
+        """Re-route ``pending`` to a surviving replica; False when impossible."""
+        if pending.pinned or pending.message is None or self._closed:
+            return False
+        while pending.retries_left > 0:
+            worker = self.pick_worker(pending.shard, exclude=pending.attempted)
+            if worker is None:
+                worker = self._await_replica(pending.shard, pending.attempted)
+            if worker is None:
+                return False
+            pending.retries_left -= 1
+            connection = self._connections[worker]
+            pending.attempted.add(id(connection))
+            try:
+                future = connection.send(pending.message)
+            except _WorkerDied:
+                continue
+            self._emit(
+                "failover",
+                {
+                    "shard": pending.shard,
+                    "op": pending.op,
+                    "from_worker": pending.worker,
+                    "to_worker": worker,
+                    "stage": "reply",
+                    "reason": reason,
+                },
+            )
+            pending.worker = worker
+            pending.connection = connection
+            pending._future = future
+            return True
+        return False
+
     def _resolve(self, pending: _PendingReply, timeout: float | None) -> dict[str, Any]:
-        """Wait for a pending reply's frame and decode it (shm-aware)."""
-        connection = self._connections[pending.worker]
-        try:
-            kind, body = connection.wait(pending._future, timeout)
-        except _WorkerDied as died:
-            raise self._died_error(pending.worker, pending.shard, pending.op, str(died)) from died
-        try:
-            return resolve_tagged(kind, body)
-        except EngineError as error:
-            # a corrupt reply frame means the transport itself can no longer
-            # be trusted: attribute it and stop using this connection — later
-            # requests get the clean worker-died error, never garbage frames
-            connection.mark_dead(f"sent a corrupt reply frame: {error}")
-            raise EngineError(
-                f"shard worker {pending.worker} (serving shard {pending.shard}) sent a "
-                f"corrupt reply to {pending.op!r}: {error}; the connection has been "
-                "closed — restart the pool to recover"
-            ) from error
+        """Wait for a pending reply's frame and decode it (shm-aware).
+
+        A worker death — or a poisoned connection — triggers transparent
+        failover to a surviving replica for un-pinned requests, bounded by
+        the retry budget; pinned requests surface the attributed error.
+        """
+        while True:
+            connection = pending.connection or self._connections[pending.worker]
+            try:
+                kind, body = connection.wait(pending._future, timeout)
+            except _WorkerDied as died:
+                if self._failover(pending, str(died)):
+                    continue
+                raise self._died_error(
+                    pending.worker, pending.shard, pending.op, str(died)
+                ) from died
+            try:
+                return resolve_tagged(kind, body)
+            except EngineError as error:
+                # a corrupt reply frame means the transport itself can no
+                # longer be trusted: poison the connection so later requests
+                # get the clean worker-died error, then fail over if allowed
+                connection.mark_dead(f"sent a corrupt reply frame: {error}")
+                if self._failover(pending, f"corrupt reply: {error}"):
+                    continue
+                raise EngineError(
+                    f"shard worker {pending.worker} (serving shard {pending.shard}) sent a "
+                    f"corrupt reply to {pending.op!r}: {error}; the connection has been "
+                    "closed — restart the pool to recover"
+                ) from error
 
     def _unwrap(self, pending: _PendingReply, reply: dict[str, Any]) -> Any:
         if not reply.get("ok"):
@@ -443,6 +683,123 @@ class WorkerPool:
             f"(exit code {process.exitcode}) during {op!r}: {reason}; "
             "restart the pool to recover"
         )
+
+    def _no_replica_error(self, shard: int, op: str | None) -> EngineError:
+        return EngineError(
+            f"every replica serving shard {shard} has died; request {op!r} has no "
+            f"surviving worker (replicas={self.replicas}) — waiting for the "
+            "supervisor to restart one, or restart the pool to recover"
+        )
+
+    # -- self-healing ------------------------------------------------------------
+
+    def _emit(self, name: str, detail: dict[str, Any]) -> None:
+        observer = self._observer
+        if observer is None:
+            return
+        try:
+            observer(name, dict(detail))
+        except Exception:  # noqa: BLE001 - observers must never break serving
+            pass
+
+    def _supervise(self) -> None:
+        """Health-check loop: detect dead workers, restart with backoff."""
+        while not self._stop.wait(self.config.health_interval_seconds):
+            if self._closed:
+                return
+            self._heal(time.monotonic())
+
+    def _heal(self, now: float) -> None:
+        for worker in range(self.num_workers):
+            if self._closed:
+                return
+            connection = self._connections[worker]
+            dead = connection.death is not None or not connection.process.is_alive()
+            if not dead:
+                continue
+            due = False
+            failed_now = False
+            scheduled_delay: float | None = None
+            with self._lock:
+                if worker in self._failed:
+                    continue
+                count = self._restarts.get(worker, 0)
+                if count >= self.config.max_restarts:
+                    self._failed[worker] = (
+                        f"restart budget exhausted after {count} restarts"
+                    )
+                    failed_now = True
+                else:
+                    scheduled = self._restart_at.get(worker)
+                    if scheduled is None:
+                        scheduled_delay = min(
+                            self.config.restart_backoff_cap_seconds,
+                            self.config.restart_backoff_seconds * (2**count),
+                        )
+                        self._restart_at[worker] = now + scheduled_delay
+                    else:
+                        due = now >= scheduled
+            # emit outside the lock: observers may inspect pool state
+            if failed_now:
+                self._emit(
+                    "worker-failed",
+                    {"worker": worker, "restarts": self.config.max_restarts},
+                )
+            elif scheduled_delay is not None:
+                self._emit(
+                    "worker-dead",
+                    {
+                        "worker": worker,
+                        "reason": connection.death or "process exited",
+                        "restart_in_seconds": scheduled_delay,
+                    },
+                )
+            elif due:
+                self._restart(worker)
+
+    def _restart(self, worker: int) -> None:
+        """Replace slot ``worker``'s process with a fresh one (same shards)."""
+        old_connection = self._connections[worker]
+        old_process = self._processes[worker]
+        old_connection.mark_dead("worker is being restarted")
+        old_connection.shutdown()
+        if old_process.is_alive():
+            old_process.terminate()
+        old_process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        process, connection = self._spawn(worker)
+        with self._lock:
+            self._processes[worker] = process
+            self._connections[worker] = connection
+            self._restarts[worker] = self._restarts.get(worker, 0) + 1
+            self._restart_at.pop(worker, None)
+            count = self._restarts[worker]
+        self._emit("worker-restart", {"worker": worker, "pid": process.pid, "restarts": count})
+
+    @property
+    def degraded(self) -> bool:
+        """True while any worker slot is dead, restarting, or failed."""
+        with self._lock:
+            if self._failed:
+                return True
+        for connection in list(self._connections):
+            if connection.death is not None or not connection.process.is_alive():
+                return True
+        return False
+
+    def replication(self) -> dict[str, Any]:
+        """Replication + self-healing posture for health/stats endpoints."""
+        with self._lock:
+            restarts = sum(self._restarts.values())
+            failed = sorted(self._failed)
+        return {
+            "replicas": self.replicas,
+            "base_workers": self.base_workers,
+            "degraded": self.degraded,
+            "restarts": restarts,
+            "failed_workers": failed,
+            "retry_budget": self.config.retry_budget,
+            "self_healing": self.config.restart_workers,
+        }
 
     # -- worker-side global-statistics cache bookkeeping -------------------------
 
@@ -468,34 +825,49 @@ class WorkerPool:
         it only inspects the child processes — so health endpoints can call
         it on every request.
         """
-        return [
-            {
-                "worker": worker,
-                "pid": process.pid,
-                "alive": process.is_alive(),
-                "shards": sorted(
-                    shard
-                    for shard, owner in self._assignment.items()
-                    if owner == worker
-                ),
-            }
-            for worker, process in enumerate(self._processes)
-        ]
+        with self._lock:
+            restarts = dict(self._restarts)
+            failed = dict(self._failed)
+        report = []
+        for worker in range(self.num_workers):
+            connection = self._connections[worker]
+            process = self._processes[worker]
+            report.append(
+                {
+                    "worker": worker,
+                    "pid": process.pid,
+                    "alive": connection.death is None and process.is_alive(),
+                    "shards": sorted(
+                        shard
+                        for shard, owner in self._assignment.items()
+                        if owner == worker % self.base_workers
+                    ),
+                    "replica": worker // self.base_workers,
+                    "restarts": restarts.get(worker, 0),
+                    "failed": failed.get(worker),
+                }
+            )
+        return report
 
     def shard_backends(self) -> list[PoolShard]:
         """One backend proxy per shard, in shard order."""
         return [
             PoolShard(self, self._assignment[shard], shard)
-            for shard in range(self.shard_map.num_shards)
+            for shard in self.shard_map.shards()
         ]
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Ask every worker to exit, then reap (terminate stragglers)."""
+        """Stop the supervisor, ask every worker to exit, then reap."""
         if self._closed:
             return
         self._closed = True
+        self._stop.set()
+        if self._supervisor is not None:
+            # the supervisor may be mid-restart; joining first means the
+            # process/connection lists are stable for the sweep below
+            self._supervisor.join(timeout=_JOIN_TIMEOUT_SECONDS)
         for connection in self._connections:
             try:
                 # wait() (not Future.result) so this thread leads the receive

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Any
 from repro.engine.executors import model_from_descriptor
 from repro.engine.query import result_pairs
 from repro.errors import ReproError
+from repro.serving.config import UNSET, ServingConfig, resolve_config
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine import Engine
@@ -61,18 +62,27 @@ class Router:
     def __init__(
         self,
         engine: "Engine",
+        config: ServingConfig | None = None,
         *,
-        max_concurrent: int = 4,
-        max_queue: int = 64,
+        max_concurrent: int = UNSET,
+        max_queue: int = UNSET,
     ):
-        if max_concurrent < 1:
-            raise ValueError("max_concurrent must be >= 1")
-        if max_queue < 0:
-            raise ValueError("max_queue must be >= 0")
+        if config is None and engine is not None:
+            # an engine opened with open_sharded(config=...) carries the
+            # deployment's config; reuse it unless the caller overrides
+            carried = getattr(engine, "_serving_config", None)
+            if carried is not None and max_concurrent is UNSET and max_queue is UNSET:
+                config = carried
+        config = resolve_config(
+            config,
+            {"max_concurrent": max_concurrent, "max_queue": max_queue},
+            "Router",
+        )
+        self.config = config
         self.engine = engine
-        self.max_concurrent = max_concurrent
-        self.max_queue = max_queue
-        self._execution_slots = threading.BoundedSemaphore(max_concurrent)
+        self.max_concurrent = config.max_concurrent
+        self.max_queue = config.max_queue
+        self._execution_slots = threading.BoundedSemaphore(config.max_concurrent)
         self._admitted = 0
         self._admitted_lock = threading.Lock()
         self._served = 0
@@ -110,9 +120,14 @@ class Router:
         """The ``/healthz`` payload: admission, liveness and cache counters."""
         engine = self.engine
         result_cache = engine.result_cache
+        executor = engine._plan_executor.health()
         return {
             "ok": True,
-            "executor": engine._plan_executor.health(),
+            "executor": executor,
+            # degraded = serving with fewer live replicas than configured
+            # (a worker is dead, restarting, or failed); clients keep
+            # getting answers via failover while the supervisor heals
+            "degraded": bool(executor.get("replication", {}).get("degraded", False)),
             "router": self.statistics(),
             "plan_cache": engine.plan_cache.statistics.to_dict(),
             "result_cache": result_cache.statistics.to_dict() if result_cache else None,
@@ -120,10 +135,13 @@ class Router:
 
     def stats(self) -> dict[str, Any]:
         """The ``/statz`` payload: the workload-log summary plus router counters."""
+        executor = self.engine._plan_executor.health()
         return {
             "ok": True,
             "workload": self.engine.workload_log.summary(),
             "router": self.statistics(),
+            "degraded": bool(executor.get("replication", {}).get("degraded", False)),
+            "replication": executor.get("replication"),
         }
 
     # -- request handling ---------------------------------------------------------
@@ -262,9 +280,10 @@ class Router:
 
     # -- the HTTP front end -------------------------------------------------------
 
-    def serve(self, host: str = "127.0.0.1", port: int = 8080) -> "AsyncHTTPFrontEnd":
+    def serve(self, host: str | None = None, port: int | None = None) -> "AsyncHTTPFrontEnd":
         """Build (but do not start) the asyncio HTTP server for this router.
 
+        ``host``/``port`` default to the router's :class:`ServingConfig`.
         The returned object follows the ``ThreadingHTTPServer`` lifecycle
         contract — ``server_address`` (resolved already, so ``port=0``
         works), ``serve_forever()``, thread-safe ``shutdown()``, and
@@ -273,10 +292,12 @@ class Router:
         """
         from repro.serving.frontend import AsyncHTTPFrontEnd
 
+        host = host if host is not None else self.config.host
+        port = port if port is not None else self.config.port
         return AsyncHTTPFrontEnd(self, host, port)
 
     def start(
-        self, host: str = "127.0.0.1", port: int = 8080
+        self, host: str | None = None, port: int | None = None
     ) -> tuple["AsyncHTTPFrontEnd", threading.Thread]:
         """Start the HTTP server on a daemon thread; returns (server, thread)."""
         server = self.serve(host, port)

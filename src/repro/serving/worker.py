@@ -15,7 +15,7 @@ only a control frame on the pipe.
 ========== ==================================================================
 op         behaviour
 ========== ==================================================================
-ping       liveness check; returns the worker's pid and shard set
+ping       liveness check; returns the worker's pid, shard set and epoch
 segment    evaluate a row-local plan segment against one shard's fragment
 stats      the shard's collection-statistics summary (df/cf/doc-count)
 search     rank one shard against global statistics; returns ids/scores/rows
@@ -52,7 +52,7 @@ def _open_backend(snapshot_path: str, shard: int, mmap: bool):
 
     shard_map = read_shard_map(snapshot_path)
     return InProcessShard(
-        Engine.open(shard_map.shard_directories[shard], mmap=mmap),
+        Engine.open(shard_map.shard_directory(shard), mmap=mmap),
         shard_rowids(shard_map, shard),
     )
 
@@ -65,6 +65,7 @@ def worker_main(
     mmap: bool = True,
     transport: str = "auto",
     shm_threshold: int | None = None,
+    epoch: int = 0,
 ) -> None:
     """Serve shard requests until the connection closes or ``close`` arrives."""
     from repro.serving import shm as shm_policy
@@ -99,7 +100,13 @@ def worker_main(
     def handle(message: dict[str, Any]) -> dict[str, Any]:
         op = message["op"]
         if op == "ping":
-            return {"ok": True, "value": {"pid": os.getpid(), "shards": list(shards)}}
+            # the epoch identifies which versioned shard layout this worker
+            # serves — after a blueprint swap, old- and new-epoch workers
+            # briefly coexist while in-flight requests drain
+            return {
+                "ok": True,
+                "value": {"pid": os.getpid(), "shards": list(shards), "epoch": epoch},
+            }
         if op == "segment":
             result = backend(message["shard"]).evaluate_segment(
                 message["plan"], message["table"]

@@ -58,10 +58,21 @@ def shard_directory_name(index: int) -> str:
 
 
 class ShardMap:
-    """The parsed top-level manifest of a partitioned snapshot."""
+    """The parsed top-level manifest of a partitioned snapshot, versioned.
 
-    def __init__(self, path: Path, manifest: dict[str, Any]) -> None:
+    Beyond the manifest fields, a shard map carries a serving **epoch** — a
+    monotonic version number for online reconfiguration.  FORMAT_VERSION 2
+    snapshots know nothing about epochs; they load at epoch 0 unchanged,
+    and :class:`~repro.serving.blueprint.BlueprintManager` stamps successor
+    layouts via :meth:`at_epoch` when it swaps them in.  All shard-routing
+    questions go through the accessors here (:meth:`shards`,
+    :meth:`shard_for`, :meth:`shard_directory`), so an atomic layout swap
+    has exactly one choke point.
+    """
+
+    def __init__(self, path: Path, manifest: dict[str, Any], *, epoch: int = 0) -> None:
         self.path = Path(path)
+        self.epoch = int(epoch)
         self.num_shards = int(manifest["shards"])
         self.partitioner = dict(manifest["partitioner"])
         self.shard_keys: dict[str, str] = {
@@ -79,6 +90,7 @@ class ShardMap:
                 str(self.path),
             )
         self.shard_directories = [self.path / name for name in directories]
+        self._manifest = dict(manifest)
 
     @property
     def table_names(self) -> list[str]:
@@ -86,6 +98,66 @@ class ShardMap:
 
     def is_partitioned(self, table: str) -> bool:
         return table in self.shard_keys
+
+    # -- the routing accessor API ------------------------------------------------
+
+    def shards(self) -> list[int]:
+        """Every shard index, in shard order."""
+        return list(range(self.num_shards))
+
+    def shard_directory(self, shard: int) -> Path:
+        """The snapshot directory of shard ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise StorageError(
+                f"shard index {shard} out of range for {self.num_shards} shards",
+                str(self.path),
+            )
+        return self.shard_directories[shard]
+
+    def shard_for(self, key: Any) -> int:
+        """The shard holding rows whose shard-key value is ``key``.
+
+        Uses the manifest's partitioner (stable FNV-1a hash ranges), so the
+        answer agrees with how :func:`save_sharded_engine` placed the rows —
+        in every process, on every host.
+        """
+        if self.partitioner.get("name") != HashRangePartitioner.name:
+            raise StorageError(
+                f"unknown partitioner {self.partitioner.get('name')!r}",
+                str(self.path),
+            )
+        from repro.relational.partitioner import fnv1a_64
+
+        hashes = np.asarray([fnv1a_64(str(key))], dtype=np.uint64)
+        return int(HashRangePartitioner(self.num_shards).shard_of_hashes(hashes)[0])
+
+    def at_epoch(self, epoch: int) -> "ShardMap":
+        """This layout stamped with serving ``epoch`` (monotonic; enforced)."""
+        if epoch < self.epoch:
+            raise StorageError(
+                f"epoch must be monotonic: {epoch} < current {self.epoch}",
+                str(self.path),
+            )
+        return ShardMap(self.path, self._manifest, epoch=epoch)
+
+    def with_layout(self, shards: int, out: str | Path) -> "ShardMap":
+        """Materialize this snapshot's data as an ``shards``-shard layout.
+
+        Builds the new partitioned snapshot under ``out`` from the current
+        (immutable) one — the background half of an online reshard — and
+        returns its shard map stamped at ``epoch + 1``, ready for an atomic
+        swap.  The source layout is never touched.
+        """
+        from repro.engine import Engine
+
+        builder = Engine.open_sharded(self.path)
+        try:
+            # carry the source layout's shard keys forward so a reshard
+            # repartitions on the same columns the operator chose originally
+            path = builder.save(out, shards=shards, shard_keys=dict(self.shard_keys))
+        finally:
+            builder.close()
+        return read_shard_map(path).at_epoch(self.epoch + 1)
 
 
 class ShardRowids:

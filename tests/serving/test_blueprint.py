@@ -1,0 +1,185 @@
+"""Online re-sharding: the versioned shard map and the blueprint manager."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import EngineError, StorageError
+from repro.relational.column import Column, DataType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.serving import ServingConfig
+from repro.storage.shards import read_shard_map
+from repro.workloads import generate_auction_triples
+
+PROGRAM = 'out = SELECT [$2="hasAuction"] (triples);'
+
+
+@pytest.fixture(scope="module")
+def source_and_snapshot(tmp_path_factory):
+    workload = generate_auction_triples(120, seed=47)
+    engine = Engine.from_triples(workload.triples)
+    schema = Schema([Field("docID", DataType.STRING), Field("data", DataType.STRING)])
+    engine.create_table(
+        "docs",
+        Relation(
+            schema,
+            [
+                Column(list(workload.lot_descriptions.keys()), DataType.STRING),
+                Column(list(workload.lot_descriptions.values()), DataType.STRING),
+            ],
+        ),
+    )
+    query = " ".join(workload.lot_descriptions["lot1"].split()[:3])
+    engine.search("docs", query).execute()
+    path = engine.save(tmp_path_factory.mktemp("blueprint") / "snap", shards=4)
+    yield engine, path, query
+    engine.close()
+
+
+class TestShardMapAccessors:
+    def test_fresh_map_is_epoch_zero(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        shard_map = read_shard_map(path)
+        assert shard_map.epoch == 0
+        assert shard_map.shards() == [0, 1, 2, 3]
+
+    def test_shard_directory_is_bounds_checked(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        shard_map = read_shard_map(path)
+        assert shard_map.shard_directory(2) == shard_map.shard_directories[2]
+        with pytest.raises(StorageError):
+            shard_map.shard_directory(4)
+        with pytest.raises(StorageError):
+            shard_map.shard_directory(-1)
+
+    def test_shard_for_is_deterministic_and_in_range(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        shard_map = read_shard_map(path)
+        placements = {key: shard_map.shard_for(key) for key in ("lot1", "lot2", "a")}
+        assert all(0 <= shard < 4 for shard in placements.values())
+        again = read_shard_map(path)
+        assert {key: again.shard_for(key) for key in placements} == placements
+
+    def test_at_epoch_is_monotonic(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        shard_map = read_shard_map(path)
+        advanced = shard_map.at_epoch(3)
+        assert advanced.epoch == 3 and advanced.num_shards == shard_map.num_shards
+        with pytest.raises(StorageError, match="monotonic"):
+            advanced.at_epoch(2)
+
+    def test_with_layout_builds_and_stamps_next_epoch(
+        self, source_and_snapshot, tmp_path
+    ):
+        _engine, path, _query = source_and_snapshot
+        shard_map = read_shard_map(path)
+        rebuilt = shard_map.with_layout(2, tmp_path / "two")
+        assert rebuilt.epoch == 1 and rebuilt.num_shards == 2
+        # same tables, same shard keys — only the layout changed
+        assert rebuilt.shard_keys == shard_map.shard_keys
+        assert read_shard_map(path).num_shards == 4  # the source is untouched
+
+
+class TestBlueprintManager:
+    def test_requires_a_sharded_engine(self):
+        engine = Engine.from_triples([("a", "b", "c", 1.0)])
+        try:
+            with pytest.raises(EngineError, match="sharded engine"):
+                engine.blueprint_manager()
+        finally:
+            engine.close()
+
+    def test_current_describes_the_serving_layout(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path)
+        try:
+            blueprint = opened.blueprint_manager().current()
+            described = blueprint.describe()
+            assert described["epoch"] == 0 and described["shards"] == 4
+            assert described["executor"] == "sharded"
+        finally:
+            opened.close()
+
+    def test_swap_requires_epoch_to_advance(self, source_and_snapshot):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path)
+        try:
+            manager = opened.blueprint_manager()
+            stale = read_shard_map(path)  # epoch 0, same as current
+            with pytest.raises(EngineError, match="advance"):
+                manager.swap_to(stale)
+        finally:
+            opened.close()
+
+    @pytest.mark.parametrize("executor", ["sharded", "pool"])
+    def test_reshard_is_bit_identical(self, source_and_snapshot, tmp_path, executor):
+        engine, path, query = source_and_snapshot
+        config = ServingConfig(workers=2) if executor == "pool" else None
+        opened = Engine.open_sharded(path, executor=executor, config=config)
+        try:
+            expected_spinql = engine.spinql(PROGRAM).top(8)
+            expected_search = engine.search("docs", query).top(8)
+            assert opened.spinql(PROGRAM).top(8) == expected_spinql
+            summary = opened.reshard(2, out=tmp_path / f"two-{executor}")
+            assert summary["from_epoch"] == 0 and summary["to_epoch"] == 1
+            assert summary["from_shards"] == 4 and summary["to_shards"] == 2
+            info = opened.executor_info()
+            assert info["shards"] == 2 and info["epoch"] == 1
+            assert opened.spinql(PROGRAM).top(8) == expected_spinql
+            assert opened.search("docs", query).top(8) == expected_search
+        finally:
+            opened.close()
+
+    def test_reshard_chain_keeps_epochs_monotonic(self, source_and_snapshot, tmp_path):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path)
+        try:
+            first = opened.reshard(2, out=tmp_path / "chain-two")
+            second = opened.reshard(3, out=tmp_path / "chain-three")
+            assert (first["from_epoch"], first["to_epoch"]) == (0, 1)
+            assert (second["from_epoch"], second["to_epoch"]) == (1, 2)
+            assert opened.executor_info()["epoch"] == 2
+        finally:
+            opened.close()
+
+    def test_reshard_under_concurrent_queries(self, source_and_snapshot, tmp_path):
+        """Queries racing the swap must all answer, all bit-identically."""
+        engine, path, query = source_and_snapshot
+        opened = Engine.open_sharded(path)
+        expected = engine.search("docs", query).top(8)
+        mismatches: list[object] = []
+        stop = threading.Event()
+
+        def drive() -> None:
+            while not stop.is_set():
+                pairs = opened.search("docs", query).top(8)
+                if pairs != expected:
+                    mismatches.append(pairs)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        try:
+            opened.reshard(2, out=tmp_path / "racing-two")
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+            opened.close()
+        assert not mismatches
+
+    def test_reshard_events_land_in_workload_log(self, source_and_snapshot, tmp_path):
+        _engine, path, _query = source_and_snapshot
+        opened = Engine.open_sharded(path)
+        try:
+            opened.reshard(2, out=tmp_path / "logged-two")
+            events = [
+                entry.request["event"]
+                for entry in opened.workload_log.snapshot()
+                if entry.kind == "event"
+            ]
+            assert "reshard-start" in events and "blueprint-swap" in events
+        finally:
+            opened.close()

@@ -16,7 +16,7 @@ from repro.errors import EngineError
 from repro.relational.column import Column, DataType
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
-from repro.serving import Router
+from repro.serving import Router, ServingConfig
 from repro.serving import shm
 from repro.workloads import generate_auction_triples
 
@@ -72,7 +72,11 @@ class TestPoolExecutor:
 
     def test_worker_crash_surfaces_as_engine_error(self, source_and_snapshot):
         _engine, path, _query = source_and_snapshot
-        opened = Engine.open_sharded(path, executor="pool")
+        # restart_workers=False: this test asserts the *unhealed* failure
+        # mode, so the supervisor must not resurrect the workers mid-assert
+        opened = Engine.open_sharded(
+            path, executor="pool", config=ServingConfig(restart_workers=False)
+        )
         try:
             opened.spinql(PROGRAM).top(3)  # workers are live
             pool = opened._plan_executor._pool
@@ -299,7 +303,11 @@ class TestCorruptReplyHandling:
         self, source_and_snapshot
     ):
         _engine, path, _query = source_and_snapshot
-        opened = Engine.open_sharded(path, executor="pool")
+        # the supervisor would restart the poisoned worker and erase the
+        # fail-fast state this test asserts; keep it off
+        opened = Engine.open_sharded(
+            path, executor="pool", config=ServingConfig(restart_workers=False)
+        )
         try:
             pool = opened._plan_executor._pool
             pool.ping()  # workers are live

@@ -1,0 +1,129 @@
+"""ServingConfig: validation, round-trips, and the legacy-kwarg shim."""
+
+from __future__ import annotations
+
+import argparse
+import warnings
+
+import pytest
+
+from repro.errors import EngineError
+from repro.serving import ServingConfig
+from repro.serving import config as config_module
+from repro.serving.config import UNSET, resolve_config
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test sees the once-per-entry-point warning as if freshly imported."""
+    with config_module._warn_lock:
+        saved = set(config_module._warned_entry_points)
+        config_module._warned_entry_points.clear()
+    yield
+    with config_module._warn_lock:
+        config_module._warned_entry_points.clear()
+        config_module._warned_entry_points.update(saved)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ServingConfig()
+        assert config.replicas == 1 and config.workers is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServingConfig().replicas = 3  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replicas": 0},
+            {"workers": 0},
+            {"workers": -1},
+            {"transport": "carrier-pigeon"},
+            {"start_method": "warp"},
+            {"retry_budget": -1},
+            {"max_restarts": -1},
+            {"health_interval_seconds": 0},
+            {"restart_backoff_seconds": -0.5},
+            {"max_concurrent": 0},
+            {"max_queue": -1},
+            {"shm_threshold": -1},
+            {"port": -1},
+            {"port": 65536},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(EngineError):
+            ServingConfig(**kwargs)
+
+
+class TestRoundTrips:
+    def test_to_dict_from_dict(self):
+        config = ServingConfig(workers=3, replicas=2, transport="inline", port=9999)
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(EngineError, match="unknown"):
+            ServingConfig.from_dict({"warp_factor": 9})
+
+    def test_from_cli_args(self):
+        args = argparse.Namespace(
+            workers=4,
+            replicas=2,
+            transport="inline",
+            shm_threshold=None,
+            max_concurrent=8,
+            max_queue=16,
+            host="0.0.0.0",
+            port=8123,
+            health_interval_seconds=0.1,
+            retry_budget=3,
+        )
+        config = ServingConfig.from_cli_args(args)
+        assert config.workers == 4 and config.replicas == 2
+        assert config.max_concurrent == 8 and config.port == 8123
+        assert config.health_interval_seconds == 0.1 and config.retry_budget == 3
+        # and it survives the serialization round trip
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_from_cli_args_workers_zero_means_default(self):
+        config = ServingConfig.from_cli_args(argparse.Namespace(workers=0))
+        assert config.workers is None
+
+    def test_with_overrides(self):
+        base = ServingConfig(workers=2)
+        assert base.with_overrides(replicas=3).replicas == 3
+        assert base.with_overrides(replicas=3).workers == 2
+        assert base.replicas == 1  # the original is untouched
+
+
+class TestLegacyShim:
+    def test_legacy_kwargs_warn_once_per_entry_point(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = resolve_config(None, {"workers": 2, "mmap": UNSET}, "TestEntry")
+            second = resolve_config(None, {"workers": 3}, "TestEntry")
+            resolve_config(None, {"max_queue": 9}, "OtherEntry")
+        assert first.workers == 2 and second.workers == 3
+        messages = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 2  # one per entry point, not per call
+        assert "TestEntry" in str(messages[0].message)
+
+    def test_no_warning_without_legacy_values(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = resolve_config(None, {"workers": UNSET}, "QuietEntry")
+        assert config == ServingConfig()
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_config_plus_legacy_kwarg_is_an_error(self):
+        with pytest.raises(EngineError, match="both"):
+            resolve_config(ServingConfig(), {"workers": 2}, "ConflictEntry")
+
+    def test_legacy_behaviour_is_identical(self):
+        legacy = resolve_config(
+            None, {"workers": 2, "transport": "inline"}, "ParityEntry"
+        )
+        modern = ServingConfig(workers=2, transport="inline")
+        assert legacy == modern
