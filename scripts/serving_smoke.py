@@ -51,6 +51,12 @@ def main() -> int:
         action="store_true",
         help="SIGKILL one worker mid-run; requires --replicas >= 2",
     )
+    parser.add_argument(
+        "--batching",
+        action="store_true",
+        help="serve with write coalescing enabled and finish with a burst of "
+             "identical concurrent requests (asserts collapse + bit-identity)",
+    )
     args = parser.parse_args()
     if args.kill_worker and args.replicas < 2:
         parser.error("--kill-worker requires --replicas >= 2")
@@ -93,6 +99,7 @@ def main() -> int:
         transport=args.transport,
         shm_threshold=0 if args.transport == "shm" else None,
         max_concurrent=args.workers,
+        max_batch_size=8 if args.batching else 1,
     )
     engine = Engine.open_sharded(snapshot, executor="pool", config=config)
     router = Router(engine)
@@ -152,6 +159,35 @@ def main() -> int:
         stats = router.statistics()
         print(f"router statistics: {stats}")
         assert stats["served"] == len(queries) + 1
+
+        if args.batching:
+            from concurrent.futures import ThreadPoolExecutor
+
+            burst_query = queries[0]
+            expected = [
+                [doc_id, score]
+                for doc_id, score in source.search("docs", burst_query).top(5)
+            ]
+            with ThreadPoolExecutor(max_workers=16) as burst:
+                replies = list(burst.map(ask_search, [burst_query] * 32))
+            for reply in replies:
+                if not reply.get("ok") or reply["results"] != expected:
+                    failures += 1
+                    print(f"MISMATCH in burst:\n  served   {reply}\n  expected {expected}")
+            stats = router.statistics()
+            batching = engine._plan_executor._pool.batching()
+            print(
+                f"burst of 32 identical requests: collapse_hits={stats['collapse_hits']} "
+                f"collapse_leaders={stats['collapse_leaders']} "
+                f"mean_batch_occupancy={batching['mean_occupancy']:.2f} "
+                f"occupancy_histogram={batching['occupancy_histogram']}"
+            )
+            if stats["collapse_hits"] < 1:
+                failures += 1
+                print(
+                    "FAILED: a 32-wide identical-request burst produced zero "
+                    "collapse hits — in-flight collapsing is not engaging"
+                )
 
         if killed_pid is not None:
             health = json.loads(

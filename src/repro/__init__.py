@@ -52,7 +52,10 @@ The package is organised along the paper's sections:
   admission-controlled HTTP router (``python -m repro serve``); 1.7 adds
   shard replicas with transparent failover, a self-healing worker
   supervisor, online re-sharding (``python -m repro reshard``), and the
-  unified :class:`~repro.serving.ServingConfig`;
+  unified :class:`~repro.serving.ServingConfig`; 1.8 adds the
+  micro-batching data plane — coalesced wire frames, vectorized
+  multi-query search, and in-flight request collapsing, all
+  result-invisible by construction;
 * :mod:`repro.workload` — workload awareness, new in 1.5: a bounded query
   log with a JSONL sink (``Engine.workload_log``, ``GET /statz``), a
   deterministic replay/load generator (verbatim or Zipf-synthesized,
@@ -131,6 +134,16 @@ shim that emits one :class:`DeprecationWarning` per entry point per
 process; per the policy above the shim stays for at least two minor
 versions (i.e. through 1.9), and passing both ``config=`` and a legacy
 keyword is an error rather than a silent merge.
+
+Version 1.8 adds the micro-batching data plane (coalesced wire frames,
+vectorized multi-query search, in-flight request collapsing), all of it
+**result-invisible by contract**: a batch of one is byte-identical to an
+unbatched frame, batched execution is bit-identical to request-at-a-time
+execution, and collapsing returns the leader's exact reply — behavior
+differences are bugs, not configuration surprises.  The workload-record
+schema moves to ``v`` = 2 by appending one field (``collapsed``:
+``"leader"``/``"follower"``/absent), which v1 readers ignore per the
+append-only rule above.
 """
 
 from repro.errors import EngineError, ReproError
@@ -155,7 +168,7 @@ from repro.strategy import (
     build_toy_strategy,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # the public facade

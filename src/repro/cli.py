@@ -645,6 +645,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between supervisor health checks of the workers")
     serve.add_argument("--retry-budget", dest="retry_budget", type=int, default=None,
                        help="failover re-routes allowed per request beyond the first try")
+    serve.add_argument("--max-batch-size", dest="max_batch_size", type=int, default=None,
+                       help="co-arriving requests coalesced into one wire frame per "
+                            "worker pipe (1 disables batching; a lone request is "
+                            "never delayed)")
+    serve.add_argument("--max-batch-delay-ms", dest="max_batch_delay_ms", type=float,
+                       default=None,
+                       help="longest a queued frame may wait for stragglers before "
+                            "the batch is flushed")
+    serve.add_argument("--no-collapse", dest="collapse_requests", action="store_false",
+                       default=None,
+                       help="disable in-flight collapsing of identical concurrent "
+                            "requests onto one execution")
     _add_common(serve, top=False)
     serve.set_defaults(handler=_cmd_serve)
 

@@ -69,7 +69,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -1119,6 +1119,148 @@ class Engine:
             statistics_were_cached=was_warm,
             expanded_terms=list(expanded_terms),
         )
+
+    def _search_sharded_many(
+        self,
+        *,
+        table: str,
+        queries: Sequence[str],
+        model: Any | None,
+        pipeline: str,
+        top_k: int | None,
+        expander: Any | None,
+        id_column: str,
+        text_column: str,
+    ) -> list[Any] | None:
+        """Scatter a keyword-query batch to the shards, or ``None`` locally.
+
+        The whole batch rides one scatter: every shard answers all B queries
+        through its vectorized multi-query kernel (shared posting slices),
+        and each merged result is bit-identical to scattering that query
+        alone.
+        """
+        import time
+
+        from repro.ir.search import SearchResult
+
+        self._require_open()
+        executor = self._checkout_executor()
+        try:
+            if not isinstance(executor, (ShardedExecutor, PoolExecutor)):
+                return None
+            started = time.perf_counter()
+            searcher = self._search_engine(
+                table,
+                model=model,
+                pipeline=pipeline,
+                expander=expander,
+                id_column=id_column,
+                text_column=text_column,
+            )
+            analyzed = [searcher.query_terms(query) for query in queries]
+            specs = [
+                SearchSpec(
+                    table=table,
+                    terms=list(terms),
+                    top_k=top_k,
+                    pipeline=pipeline,
+                    id_column=id_column,
+                    text_column=text_column,
+                    model=model,
+                )
+                for _base, _expanded, terms in analyzed
+            ]
+            was_warm = executor.has_global_statistics(specs[0])
+            ranked_lists = executor.search_many(specs)
+        finally:
+            self._release_executor(executor)
+        if ranked_lists is None:
+            return None
+        elapsed = time.perf_counter() - started
+        return [
+            SearchResult(
+                query=query,
+                query_terms=list(base_terms),
+                ranked=ranked,
+                elapsed_seconds=elapsed,
+                statistics_were_cached=was_warm,
+                expanded_terms=list(expanded_terms),
+            )
+            for query, (base_terms, expanded_terms, _terms), ranked in zip(
+                queries, analyzed, ranked_lists
+            )
+        ]
+
+    def search_many(
+        self,
+        table: str,
+        queries: Sequence[str],
+        *,
+        model: Any | None = None,
+        pipeline: str = "direct",
+        top_k: int | None = None,
+        expander: Any | None = None,
+        id_column: str = "docID",
+        text_column: str = "data",
+    ) -> list[Any]:
+        """Run a batch of keyword queries through one vectorized scoring pass.
+
+        On a sharded/pool engine the batch scatters as one multi-query
+        request per shard; locally it runs through
+        :meth:`KeywordSearchEngine.search_many`.  Either way each result is
+        bit-identical to :meth:`search` + ``execute`` on that query alone,
+        and every query still gets its own workload-log record.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        started = time.perf_counter()
+        requests = [
+            {"kind": "search", "table": table, "query": query}
+            | ({"top_k": top_k} if top_k is not None else {})
+            for query in queries
+        ]
+        try:
+            results = self._search_sharded_many(
+                table=table,
+                queries=queries,
+                model=model,
+                pipeline=pipeline,
+                top_k=top_k,
+                expander=expander,
+                id_column=id_column,
+                text_column=text_column,
+            )
+            if results is None:
+                searcher = self._search_engine(
+                    table,
+                    model=model,
+                    pipeline=pipeline,
+                    expander=expander,
+                    id_column=id_column,
+                    text_column=text_column,
+                )
+                results = searcher.search_many(queries, top_k=top_k)
+        except Exception:
+            for query, request in zip(queries, requests):
+                self._record_execution(
+                    kind="search",
+                    fingerprint=f"search::{table}::{query}",
+                    started=started,
+                    rows_out=None,
+                    status="error",
+                    request=request,
+                )
+            raise
+        for query, request, result in zip(queries, requests, results):
+            self._record_execution(
+                kind="search",
+                fingerprint=f"search::{table}::{query}",
+                started=started,
+                rows_out=len(result.ranked),
+                request=request,
+            )
+        return results
 
     def _value_columns_of(self, name: str) -> list[str]:
         try:

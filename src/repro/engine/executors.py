@@ -246,6 +246,39 @@ def rank_shard(
     return list(ranked.doc_ids), np.asarray(ranked.scores, dtype=np.float64), global_indices
 
 
+def rank_shard_many(
+    statistics: CollectionStatistics,
+    global_statistics: GlobalStatistics,
+    doc_rowids: np.ndarray,
+    queries: Sequence[tuple[Sequence[str], int | None]],
+    model: RankingModel,
+) -> list[tuple[list[Any], np.ndarray, np.ndarray]]:
+    """Rank a batch of queries over one shard in a single vectorized pass.
+
+    The shard statistics view and the doc-position map are built once for
+    the whole batch, and :meth:`RankingModel.rank_many` shares scored
+    posting slices across queries.  Each returned triple is bit-identical
+    to :func:`rank_shard` on that query alone.
+    """
+    shard_view = ShardCollectionStatistics(statistics, global_statistics)
+    ranked_lists = model.rank_many(shard_view, queries)
+    position_of = statistics.doc_positions()  # built once per statistics object
+    results = []
+    for ranked in ranked_lists:
+        global_indices = np.asarray(
+            [doc_rowids[position_of[doc_id]] for doc_id in ranked.doc_ids],
+            dtype=np.int64,
+        )
+        results.append(
+            (
+                list(ranked.doc_ids),
+                np.asarray(ranked.scores, dtype=np.float64),
+                global_indices,
+            )
+        )
+    return results
+
+
 def gather_table(backends: Sequence[Any], table: str) -> Relation:
     """Reconstruct the full unsharded table from shard fragments, bit-exactly.
 
@@ -368,6 +401,25 @@ class InProcessShard:
     ) -> _Immediate:
         return _Immediate(self.search_shard(spec, global_statistics))
 
+    def search_shard_many(
+        self, specs: Sequence[SearchSpec], global_statistics: GlobalStatistics
+    ) -> list[tuple[list[Any], np.ndarray, np.ndarray]]:
+        """Rank a batch of same-key specs in one pass (see :func:`rank_shard_many`)."""
+        first = specs[0]
+        model = first.model if first.model is not None else BM25Model()
+        return rank_shard_many(
+            self._searcher(first).statistics,
+            global_statistics,
+            self.rowids.get(first.table),
+            [(spec.terms, spec.top_k) for spec in specs],
+            model,
+        )
+
+    def begin_search_many(
+        self, specs: Sequence[SearchSpec], global_statistics: GlobalStatistics
+    ) -> _Immediate:
+        return _Immediate(self.search_shard_many(specs, global_statistics))
+
     def close(self) -> None:
         self._fragments.clear()
         self.engine.close()
@@ -392,6 +444,10 @@ class PlanExecutor:
 
     def search(self, spec: SearchSpec) -> RankedList | None:
         """Sharded ranking for ``spec``, or ``None`` to use the local path."""
+        return None
+
+    def search_many(self, specs: Sequence[SearchSpec]) -> list[RankedList] | None:
+        """Sharded ranking for a same-key batch, or ``None`` for the local path."""
         return None
 
     def describe(self) -> dict[str, Any]:
@@ -545,6 +601,39 @@ class ScatterGatherExecutor(PlanExecutor):
         }
         return merge_ranked(results, spec.top_k)
 
+    def search_many(self, specs: Sequence[SearchSpec]) -> list[RankedList] | None:
+        """Sharded ranking for a batch of same-key specs, or ``None``.
+
+        All specs must share one :func:`statistics_key` (the engine groups
+        before dispatching); each shard answers the whole batch through its
+        vectorized kernel, and every merged list is bit-identical to
+        :meth:`search` on that spec alone.
+        """
+        if not specs:
+            return []
+        first = specs[0]
+        if not self._search_supported(first):
+            return None
+        key = self._statistics_key(first)
+        if any(self._statistics_key(spec) != key for spec in specs[1:]):
+            raise EngineError("search_many requires specs sharing one statistics key")
+        global_statistics = self._global_for(first)
+        per_backend = self._fan_out(
+            lambda backend: backend.begin_search_many(specs, global_statistics),
+            lambda backend: backend.search_shard_many(specs, global_statistics),
+        )
+        self.last_scatter = {
+            "search": first.table,
+            "batch": len(specs),
+            "per_shard_candidates": [
+                sum(len(ids) for ids, _scores, _rows in shard) for shard in per_backend
+            ],
+        }
+        return [
+            merge_ranked([shard[index] for shard in per_backend], spec.top_k)
+            for index, spec in enumerate(specs)
+        ]
+
     # -- lifecycle ---------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
@@ -598,6 +687,7 @@ class PoolExecutor(ScatterGatherExecutor):
         description = self.describe()
         description["worker_liveness"] = self._pool.liveness()
         description["replication"] = self._pool.replication()
+        description["batching"] = self._pool.batching()
         return description
 
     def close(self) -> None:

@@ -668,6 +668,79 @@ class SearchQuery(Query):
     def top(self, k: int, **parameters: Any) -> list[tuple[Any, float]]:
         return self.execute(top_k=k, **parameters).top(k)
 
+    def _vector_queries(
+        self, batches: Sequence[Mapping[str, Any]]
+    ) -> tuple[list[str], int | None] | None:
+        """``(queries, top_k)`` when the batch can run the vectorized kernel.
+
+        The multi-query kernel handles homogeneous search batches: every
+        parameter set carries only ``query``/``top_k``, every effective query
+        is set, and all elements share one effective ``top_k``.  Anything
+        else returns ``None`` and the generic per-element path runs.
+        """
+        if len(batches) <= 1:
+            return None
+        queries: list[str] = []
+        top_ks: set[int | None] = set()
+        for batch in batches:
+            if set(batch) - {"query", "top_k"}:
+                return None
+            query = batch.get("query", self._query)
+            if query is None:
+                return None
+            queries.append(query)
+            top_ks.add(batch.get("top_k", self._top_k))
+        if len(top_ks) != 1:
+            return None
+        return queries, top_ks.pop()
+
+    def _search_many(self, queries: Sequence[str], top_k: int | None) -> list[Any]:
+        return self._engine.search_many(
+            self.table,
+            queries,
+            model=self._model,
+            pipeline=self._pipeline,
+            top_k=top_k,
+            expander=self._expander,
+            id_column=self._id_column,
+            text_column=self._text_column,
+        )
+
+    def execute_many(
+        self,
+        param_batches: Iterable[Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[Any]:
+        """Batch execution through the vectorized multi-query search kernel.
+
+        Homogeneous batches (see :meth:`_vector_queries`) are scored in one
+        pass over shared postings — results are bit-identical to element-wise
+        :meth:`execute`, in batch order; heterogeneous batches fall back to
+        the generic path.
+        """
+        batches = [dict(batch) for batch in param_batches]
+        vector = self._vector_queries(batches)
+        if vector is None:
+            return super().execute_many(batches, max_workers=max_workers)
+        queries, top_k = vector
+        return self._search_many(queries, top_k)
+
+    def top_many(
+        self,
+        k: int,
+        param_batches: Iterable[Mapping[str, Any]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[list[tuple[Any, float]]]:
+        """:meth:`top` over a batch, vectorized like :meth:`execute_many`."""
+        batches = [dict(batch) for batch in param_batches]
+        vector = self._vector_queries([{**batch, "top_k": k} for batch in batches])
+        if vector is None:
+            return super().top_many(k, batches, max_workers=max_workers)
+        queries, top_k = vector
+        return [result.top(k) for result in self._search_many(queries, top_k)]
+
     def explain(self) -> str:
         searcher = self._search_engine()
         lines = [f"Keyword search over {self.table!r}:"]

@@ -74,6 +74,21 @@ class RankedList:
         return RankedList(list(self.doc_ids), scores)
 
 
+class _BatchTermCache:
+    """Per-batch memo of posting slices, contributions and term bounds.
+
+    One instance is shared across every query of a :meth:`RankingModel.rank_many`
+    batch: a term appearing in several queries has its posting list fetched
+    and scored exactly once (cross-query term deduplication).
+    """
+
+    __slots__ = ("postings", "bounds")
+
+    def __init__(self) -> None:
+        self.postings: dict[str, tuple] = {}
+        self.bounds: dict[str, float | None] = {}
+
+
 class RankingModel:
     """Base class for ranking models.
 
@@ -95,6 +110,14 @@ class RankingModel:
 
     name = "abstract"
 
+    #: whether :meth:`term_score` is *elementwise*: each document's
+    #: contribution depends only on that document's own posting entry, so
+    #: scoring a subset of a posting list equals scoring the full list and
+    #: slicing.  All built-in models are elementwise; a custom model that is
+    #: not must set this to ``False``, which makes :meth:`rank_many` fall
+    #: back to per-query :meth:`rank` instead of sharing scored postings.
+    elementwise = True
+
     def rank(
         self,
         statistics: CollectionStatistics,
@@ -103,15 +126,72 @@ class RankingModel:
         top_k: int | None = None,
     ) -> RankedList:
         """Rank all documents matching at least one query term."""
+        return self._rank_with_cache(statistics, query_terms, top_k, None)
+
+    def rank_many(
+        self,
+        statistics: CollectionStatistics,
+        queries: Sequence[tuple[Sequence[str], int | None]],
+    ) -> list[RankedList]:
+        """Rank a batch of ``(query_terms, top_k)`` queries in one pass.
+
+        Terms shared across the batch have their posting lists sliced and
+        scored once (see :class:`_BatchTermCache`); each returned list is
+        bit-identical to calling :meth:`rank` on that query alone, which is
+        exactly what non-elementwise models fall back to.
+        """
+        if not self.elementwise or len(queries) <= 1:
+            return [
+                self.rank(statistics, terms, top_k=top_k) for terms, top_k in queries
+            ]
+        cache = _BatchTermCache()
+        return [
+            self._rank_with_cache(statistics, terms, top_k, cache)
+            for terms, top_k in queries
+        ]
+
+    def _rank_with_cache(
+        self,
+        statistics: CollectionStatistics,
+        query_terms: Sequence[str],
+        top_k: int | None,
+        cache: _BatchTermCache | None,
+    ) -> RankedList:
         if statistics.num_docs == 0 or not query_terms:
             return RankedList([], np.empty(0, dtype=np.float64))
+
+        def upper_bound(term: str) -> float | None:
+            if cache is None:
+                return self.term_upper_bound(statistics, term)
+            if term not in cache.bounds:
+                cache.bounds[term] = self.term_upper_bound(statistics, term)
+            return cache.bounds[term]
+
+        def postings(term: str) -> tuple:
+            # returns (doc_indices, frequencies, contributions-or-None); the
+            # cached path pre-scores the full posting list so pruning can
+            # slice contributions instead of recomputing (elementwise only)
+            if cache is None:
+                doc_indices, frequencies = statistics.postings_for(term)
+                return doc_indices, frequencies, None
+            entry = cache.postings.get(term)
+            if entry is None:
+                doc_indices, frequencies = statistics.postings_for(term)
+                contributions = (
+                    self.term_score(statistics, term, doc_indices, frequencies)
+                    if len(doc_indices)
+                    else None
+                )
+                entry = (doc_indices, frequencies, contributions)
+                cache.postings[term] = entry
+            return entry
 
         # Per-term contribution bounds enable threshold-style pruning.  The
         # suffix sums give, for each position, the best total score a document
         # first seen at that term could still reach.
         suffix_bounds: np.ndarray | None = None
         if top_k is not None and top_k > 0 and len(query_terms) > 1:
-            bounds = [self.term_upper_bound(statistics, term) for term in query_terms]
+            bounds = [upper_bound(term) for term in query_terms]
             if all(bound is not None for bound in bounds):
                 suffix_bounds = np.cumsum(np.asarray(bounds, dtype=np.float64)[::-1])[::-1]
 
@@ -122,7 +202,7 @@ class RankingModel:
         matched = np.zeros(statistics.accumulator_size, dtype=bool)
         matched_count = 0
         for position, term in enumerate(query_terms):
-            doc_indices, frequencies = statistics.postings_for(term)
+            doc_indices, frequencies, contributions = postings(term)
             if len(doc_indices) == 0:
                 continue
             if (
@@ -141,9 +221,12 @@ class RankingModel:
                     keep = matched[doc_indices]
                     doc_indices = doc_indices[keep]
                     frequencies = frequencies[keep]
+                    if contributions is not None:
+                        contributions = contributions[keep]
                     if len(doc_indices) == 0:
                         continue
-            contributions = self.term_score(statistics, term, doc_indices, frequencies)
+            if contributions is None:
+                contributions = self.term_score(statistics, term, doc_indices, frequencies)
             accumulator[doc_indices] += contributions
             matched[doc_indices] = True
             if suffix_bounds is not None:

@@ -219,6 +219,39 @@ class KeywordSearchEngine:
             expanded_terms=expanded_terms,
         )
 
+    def search_many(
+        self, queries: Sequence[str], *, top_k: int | None = None
+    ) -> list[SearchResult]:
+        """Run a batch of keyword queries through one vectorized scoring pass.
+
+        Every term appearing anywhere in the batch has its posting list
+        sliced and scored exactly once (cross-query term deduplication via
+        :meth:`RankingModel.rank_many`), so B co-arriving queries cost one
+        pass over the shared postings instead of B.  Each result is
+        bit-identical to :meth:`search` on that query alone.
+        """
+        started = time.perf_counter()
+        cached = self._statistics is not None
+        statistics = self.statistics
+        analyzed = [self.query_terms(query) for query in queries]
+        ranked_lists = self.model.rank_many(
+            statistics, [(terms, top_k) for _, _, terms in analyzed]
+        )
+        elapsed = time.perf_counter() - started
+        return [
+            SearchResult(
+                query=query,
+                query_terms=list(base_terms),
+                ranked=ranked,
+                elapsed_seconds=elapsed,
+                statistics_were_cached=cached,
+                expanded_terms=expanded_terms,
+            )
+            for query, (base_terms, expanded_terms, _), ranked in zip(
+                queries, analyzed, ranked_lists
+            )
+        ]
+
     def search_terms(self, terms: Sequence[str], *, top_k: int | None = None) -> RankedList:
         """Rank already-analyzed terms (used by the strategy compiler)."""
         return self.model.rank(self.statistics, terms, top_k=top_k)

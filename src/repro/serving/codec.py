@@ -29,10 +29,15 @@ The request id lets one connection carry many requests in flight (the pool
 pipelines per worker and matches replies to futures by id); the kind byte
 selects the body transport: ``I`` means the body is the message frame
 itself, ``S`` means the body is a tiny control frame naming a shared-memory
-segment holding the real frame (:mod:`repro.serving.shm`).  Workers fall
-back to inline framing per message whenever shared memory is unavailable,
-so every tagged frame is decodable with :func:`resolve_tagged` regardless
-of platform.
+segment holding the real frame (:mod:`repro.serving.shm`), and ``B`` means
+the body is a **batch** — the length-prefixed concatenation of complete
+tagged frames (:func:`encode_batch`/:func:`split_batch`), each keeping its
+own request id, so N co-arriving requests or replies cost one
+``send_bytes`` syscall instead of N.  A batch of one is never wrapped:
+:func:`encode_batch` returns the lone frame unchanged, keeping batch-of-1
+traffic byte-identical to the unbatched path.  Workers fall back to inline
+framing per message whenever shared memory is unavailable, so every tagged
+frame is decodable with :func:`resolve_tagged` regardless of platform.
 
 **Limits.**  :data:`MAX_FRAME_BYTES` is enforced at *both* ends: writers
 (:func:`encode_message`) refuse to emit an oversized frame with a clear
@@ -46,6 +51,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+from collections.abc import Sequence
 from typing import Any, BinaryIO
 
 import numpy as np
@@ -63,9 +69,14 @@ _TAG = struct.Struct(">Q")
 #: frames larger than this are refused by writers and readers alike
 MAX_FRAME_BYTES = 1 << 31
 
-#: tagged-frame kinds: the body is the frame itself / a shm control frame
+#: tagged-frame kinds: the body is the frame itself / a shm control frame /
+#: a coalesced batch of complete tagged frames
 KIND_INLINE = b"I"
 KIND_SHM = b"S"
+KIND_BATCH = b"B"
+
+#: the request id carried by a batch envelope (sub-frames keep their own ids)
+BATCH_ENVELOPE_ID = 0
 
 _PACKED_RELATION = "__packed_relation__"
 _PACKED_PROBABILISTIC = "__packed_probabilistic__"
@@ -214,8 +225,29 @@ def decode_message(frame: bytes) -> dict[str, Any]:
 
 
 def write_frame(stream: BinaryIO, message: dict[str, Any]) -> None:
-    """Write one frame to a byte stream (socket/pipe file object)."""
-    stream.write(encode_message(message))
+    """Write one frame to a byte stream (socket/pipe file object).
+
+    The frame (length prefix + payload) is built in one buffer by
+    :func:`encode_message` and emitted with a single write: on a buffered
+    stream the old ``write(...)`` + ``flush()`` pair copied the frame into
+    the buffer and then drained it — two passes and (for a fresh buffer)
+    two syscalls per frame — so here the frame bypasses the buffer and goes
+    straight to the underlying raw stream after draining any bytes already
+    buffered.  Streams without a ``raw`` attribute keep the portable
+    write-then-flush path.
+    """
+    frame = encode_message(message)
+    raw = getattr(stream, "raw", None)
+    if raw is not None:
+        stream.flush()  # drain previously buffered bytes first, in order
+        view = memoryview(frame)
+        while view.nbytes:
+            written = raw.write(view)
+            if written is None:  # pragma: no cover - non-blocking raw stream
+                continue
+            view = view[written:]
+        return
+    stream.write(frame)
     stream.flush()
 
 
@@ -283,9 +315,75 @@ def split_tagged(data: bytes) -> tuple[int, bytes, bytes]:
         raise EngineError(f"truncated tagged frame: {len(data)} bytes")
     (request_id,) = _TAG.unpack_from(data)
     kind = data[_TAG.size : _TAG.size + 1]
-    if kind not in (KIND_INLINE, KIND_SHM):
+    if kind not in (KIND_INLINE, KIND_SHM, KIND_BATCH):
         raise EngineError(f"unknown tagged-frame kind {kind!r}")
     return request_id, kind, data[_TAG.size + 1 :]
+
+
+def encode_batch(frames: Sequence[bytes]) -> bytes:
+    """Coalesce complete tagged frames into one batch frame.
+
+    A batch of one degenerates to the frame itself — a single request is
+    never wrapped, so batch-of-1 traffic is byte-identical to unbatched
+    traffic by construction.  Larger batches travel as one tagged envelope
+    (request id :data:`BATCH_ENVELOPE_ID`, kind :data:`KIND_BATCH`) whose
+    body is the length-prefixed concatenation of the sub-frames, each of
+    which keeps its own request id and kind.  An empty batch, or one whose
+    envelope would exceed :data:`MAX_FRAME_BYTES`, is refused — callers
+    split oversized batches instead of poisoning the pipe.
+    """
+    if not frames:
+        raise EngineError("cannot encode an empty batch frame")
+    if len(frames) == 1:
+        return frames[0]
+    body_parts: list[bytes] = []
+    total = 0
+    for frame in frames:
+        body_parts.append(_LENGTH.pack(len(frame)))
+        body_parts.append(frame)
+        total += _LENGTH.size + len(frame)
+    if total > MAX_FRAME_BYTES:
+        raise EngineError(
+            f"refusing to encode a {total}-byte batch frame of {len(frames)} "
+            f"sub-frames: the wire limit is {MAX_FRAME_BYTES} bytes (send "
+            "smaller batches)"
+        )
+    return _TAG.pack(BATCH_ENVELOPE_ID) + KIND_BATCH + b"".join(body_parts)
+
+
+def split_batch(body: bytes) -> list[bytes]:
+    """Split a batch frame's body back into its tagged sub-frames.
+
+    Every malformed shape — a truncated length prefix, a sub-frame length
+    past the buffer or above :data:`MAX_FRAME_BYTES`, an empty batch —
+    raises a clean :class:`~repro.errors.EngineError`, mirroring
+    :func:`decode_message`'s contract that garbage never escapes as
+    ``struct`` internals.
+    """
+    frames: list[bytes] = []
+    offset = 0
+    view = memoryview(body)
+    while offset < len(body):
+        if offset + _LENGTH.size > len(body):
+            raise EngineError(
+                f"truncated batch frame: {len(body) - offset} trailing bytes"
+            )
+        (length,) = _LENGTH.unpack_from(body, offset)
+        offset += _LENGTH.size
+        if length > MAX_FRAME_BYTES:
+            raise EngineError(
+                f"batch sub-frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit"
+            )
+        if offset + length > len(body):
+            raise EngineError(
+                f"batch sub-frame length prefix says {length} bytes, "
+                f"{len(body) - offset} remain"
+            )
+        frames.append(bytes(view[offset : offset + length]))
+        offset += length
+    if not frames:
+        raise EngineError("batch frame carries no sub-frames")
+    return frames
 
 
 def resolve_tagged(kind: bytes, body: bytes) -> dict[str, Any]:
@@ -293,7 +391,14 @@ def resolve_tagged(kind: bytes, body: bytes) -> dict[str, Any]:
 
     For :data:`KIND_SHM` bodies this claims (and unlinks) the published
     segment, so it must be called exactly once per frame, by the consumer.
+    Batch envelopes carry *frames*, not one message — split them with
+    :func:`split_batch` and resolve each sub-frame instead.
     """
+    if kind == KIND_BATCH:
+        raise EngineError(
+            "batch frames carry multiple tagged sub-frames; split with "
+            "split_batch() and resolve each sub-frame"
+        )
     if kind == KIND_SHM:
         control = decode_message(body).get("shm")
         if not isinstance(control, dict):

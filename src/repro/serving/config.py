@@ -13,6 +13,11 @@ four call sites.  :class:`ServingConfig` collects all of them:
   ``max_restarts``, ``restart_backoff_seconds`` (doubled per consecutive
   restart, capped at ``restart_backoff_cap_seconds``), ``retry_budget``
   (failover re-routes per request beyond the first attempt);
+* **micro-batching** — ``max_batch_size`` (requests coalesced into one
+  pipe write while a worker connection is busy; 1 disables),
+  ``max_batch_delay_ms`` (optional straggler wait for short batches),
+  ``collapse_requests`` (identical in-flight router requests share one
+  execution);
 * **admission** — ``max_concurrent``, ``max_queue``;
 * **HTTP** — ``host``, ``port``.
 
@@ -59,6 +64,11 @@ class ServingConfig:
     restart_backoff_cap_seconds: float = 10.0
     retry_budget: int = 2  # failover re-routes per request beyond the first try
 
+    # -- micro-batching ---------------------------------------------------------
+    max_batch_size: int = 1  # > 1 coalesces co-arriving requests per pipe write
+    max_batch_delay_ms: float = 0.0  # extra wait for stragglers when a batch is short
+    collapse_requests: bool = True  # identical in-flight requests share one execution
+
     # -- router admission -------------------------------------------------------
     max_concurrent: int = 4
     max_queue: int = 64
@@ -99,6 +109,12 @@ class ServingConfig:
             )
         if self.retry_budget < 0:
             raise EngineError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.max_batch_size < 1:
+            raise EngineError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_batch_delay_ms < 0:
+            raise EngineError(
+                f"max_batch_delay_ms must be >= 0, got {self.max_batch_delay_ms}"
+            )
         if self.max_concurrent < 1:
             raise EngineError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
         if self.max_queue < 0:

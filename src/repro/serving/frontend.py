@@ -66,10 +66,12 @@ class AsyncHTTPFrontEnd:
         self.server_address = self._socket.getsockname()[:2]
         # size the blocking-call pool from the deployment's ServingConfig:
         # max_concurrent admitted requests plus slack for /healthz and /statz
-        # probes, which must keep answering while every slot is busy
+        # probes, which must keep answering while every slot is busy, and for
+        # collapse followers, which wait on a leader's future without holding
+        # an execution slot but do occupy a pool thread
         configured = getattr(router, "config", None)
         admitted = configured.max_concurrent if configured is not None else router.max_concurrent
-        workers = max_workers if max_workers is not None else admitted + 2
+        workers = max_workers if max_workers is not None else admitted + 4
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, workers), thread_name_prefix="repro-serve"
         )

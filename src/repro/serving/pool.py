@@ -59,7 +59,15 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from repro.errors import EngineError
-from repro.serving.codec import encode_tagged, resolve_tagged, split_tagged
+from repro.serving.codec import (
+    KIND_BATCH,
+    MAX_FRAME_BYTES,
+    encode_batch,
+    encode_tagged,
+    resolve_tagged,
+    split_batch,
+    split_tagged,
+)
 from repro.serving.config import UNSET, ServingConfig, resolve_config
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -96,7 +104,16 @@ class _WorkerConnection:
     hand-off, which on a busy host saves two context switches per reply.
     """
 
-    def __init__(self, worker: int, connection: Any, process: Any):
+    def __init__(
+        self,
+        worker: int,
+        connection: Any,
+        process: Any,
+        *,
+        max_batch_size: int = 1,
+        batch_delay_seconds: float = 0.0,
+        on_batch: Callable[[int], None] | None = None,
+    ):
         self.worker = worker
         self.connection = connection
         self.process = process
@@ -108,6 +125,10 @@ class _WorkerConnection:
         self._pending: dict[int, Future] = {}
         self._next_id = 0
         self._death: str | None = None
+        self._max_batch = max(1, int(max_batch_size))
+        self._batch_delay = max(0.0, batch_delay_seconds)
+        self._on_batch = on_batch
+        self._outbox: list[bytes] = []  # encoded tagged frames awaiting a flush
 
     # -- sending -----------------------------------------------------------------
 
@@ -118,6 +139,15 @@ class _WorkerConnection:
         already dead **or the write itself fails** — a worker that died
         between accept and first reply surfaces here exactly like a
         mid-request death, so callers handle both through one path.
+
+        With ``max_batch_size > 1`` the frame is *queued* instead of written:
+        the queue drains as one coalesced batch frame either when it reaches
+        the batch bound or — crucially — at the top of the sender's own
+        :meth:`wait` call, so a lone request is flushed immediately by its
+        own waiter (zero added latency) while requests enqueued by other
+        threads during a busy pipe ride along in the same ``send_bytes``
+        syscall.  A write failure on the queued path surfaces through the
+        pending future (every caller waits), not synchronously.
         """
         with self._state_lock:
             if self._death is not None:
@@ -126,13 +156,63 @@ class _WorkerConnection:
             request_id = self._next_id
             future: Future = Future()
             self._pending[request_id] = future
+        if self._max_batch <= 1:
+            try:
+                with self._send_lock:
+                    self.connection.send_bytes(encode_tagged(request_id, message))
+            except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as error:
+                self.mark_dead(f"pipe write failed: {error!r}")
+                raise _WorkerDied(self._death or f"pipe write failed: {error!r}") from error
+            return future
+        with self._send_lock:
+            self._outbox.append(encode_tagged(request_id, message))
+            overflow = len(self._outbox) >= self._max_batch
+        if overflow:
+            self.flush()
+        return future
+
+    def flush(self, *, straggler_wait: bool = False) -> None:
+        """Drain the send queue as coalesced batch frames (one write each).
+
+        Batches are bounded by ``max_batch_size`` and by the wire frame
+        limit; a queue of one drains as a plain tagged frame
+        (:func:`~repro.serving.codec.encode_batch` never wraps a lone
+        frame).  With ``straggler_wait`` and a configured batch delay, a
+        short queue waits once — up to the delay — for more requests to
+        arrive before draining; the default is purely opportunistic.
+        Raises :class:`_WorkerDied` after failing all pending requests when
+        the pipe write fails.
+        """
+        if not self._outbox:
+            return
+        if straggler_wait and self._batch_delay > 0:
+            with self._send_lock:
+                short = 0 < len(self._outbox) < self._max_batch
+            if short:
+                time.sleep(self._batch_delay)
         try:
             with self._send_lock:
-                self.connection.send_bytes(encode_tagged(request_id, message))
-        except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as error:
+                while self._outbox:
+                    chunk: list[bytes] = []
+                    size = 16  # envelope tag + kind, over-estimated
+                    while self._outbox and len(chunk) < self._max_batch:
+                        next_size = 4 + len(self._outbox[0])
+                        if chunk and size + next_size > MAX_FRAME_BYTES:
+                            break
+                        chunk.append(self._outbox.pop(0))
+                        size += next_size
+                    self.connection.send_bytes(encode_batch(chunk))
+                    if self._on_batch is not None:
+                        self._on_batch(len(chunk))
+        except (
+            BrokenPipeError,
+            ConnectionResetError,
+            OSError,
+            ValueError,
+            EngineError,
+        ) as error:
             self.mark_dead(f"pipe write failed: {error!r}")
             raise _WorkerDied(self._death or f"pipe write failed: {error!r}") from error
-        return future
 
     def outstanding(self) -> int:
         """In-flight request count (the least-outstanding routing signal)."""
@@ -146,7 +226,14 @@ class _WorkerConnection:
 
         Raises the future's exception (:class:`_WorkerDied`) on a dead
         connection and :class:`concurrent.futures.TimeoutError` on expiry.
+
+        Every sender waits for its own reply, so flushing the send queue
+        here guarantees no queued request is ever stranded: the first
+        waiter drains everything enqueued while the pipe was busy as one
+        coalesced frame.
         """
+        if self._outbox:
+            self.flush(straggler_wait=True)
         deadline = None if timeout is None else time.monotonic() + timeout
         while not future.done():
             if deadline is not None and time.monotonic() >= deadline:
@@ -170,7 +257,12 @@ class _WorkerConnection:
         return future.result(timeout=0)
 
     def _lead(self, future: Future, deadline: float | None) -> None:
-        """Drain reply frames until ``future`` resolves (or death/deadline)."""
+        """Drain reply frames until ``future`` resolves (or death/deadline).
+
+        A batch reply frame resolves every sub-frame's future in one drain
+        step — the worker coalesces the replies of a request batch exactly
+        like the coordinator coalesced the requests.
+        """
         while not future.done() and self._death is None:
             try:
                 if deadline is not None:
@@ -186,16 +278,21 @@ class _WorkerConnection:
                 return
             try:
                 request_id, kind, body = split_tagged(data)
+                if kind == KIND_BATCH:
+                    replies = [split_tagged(sub) for sub in split_batch(body)]
+                else:
+                    replies = [(request_id, kind, body)]
             except EngineError as error:
                 self.mark_dead(f"sent an unreadable frame: {error}")
                 return
-            with self._state_lock:
-                target = self._pending.pop(request_id, None)
-            if target is not None and not target.done():
-                target.set_result((kind, body))
-                if target is not future:
-                    with self._turnstile:
-                        self._turnstile.notify_all()
+            for reply_id, reply_kind, reply_body in replies:
+                with self._state_lock:
+                    target = self._pending.pop(reply_id, None)
+                if target is not None and not target.done():
+                    target.set_result((reply_kind, reply_body))
+                    if target is not future:
+                        with self._turnstile:
+                            self._turnstile.notify_all()
 
     def mark_dead(self, reason: str) -> None:
         """Fail every in-flight request and reject all future ones."""
@@ -301,6 +398,54 @@ class _SearchPending:
         )
 
 
+class _SearchManyPending:
+    """A pipelined ``search_many`` request with the global-statistics retry.
+
+    The worker answers a whole query batch through its vectorized
+    multi-query kernel and replies once; the ``global-missing`` handshake
+    works exactly as for single searches — the re-issued request carries
+    the payload and stays failover-eligible.
+    """
+
+    def __init__(
+        self,
+        shard_proxy: "PoolShard",
+        specs: "list[SearchSpec]",
+        global_statistics: "GlobalStatistics",
+        key: tuple,
+        pending: _PendingReply,
+    ):
+        self._proxy = shard_proxy
+        self._specs = specs
+        self._global = global_statistics
+        self._key = key
+        self._pending = pending
+
+    def result(
+        self, timeout: float | None = None
+    ) -> list[tuple[list[Any], np.ndarray, np.ndarray]]:
+        pool = self._proxy._pool
+        reply = self._pending.reply(timeout)
+        if not reply.get("ok") and reply.get("code") == GLOBAL_MISSING:
+            message = self._proxy._search_many_message(
+                self._specs, self._global, install=True
+            )
+            self._pending = pool.begin_request(
+                self._pending.worker, self._pending.shard, message, pinned=False
+            )
+            reply = self._pending.reply(timeout)
+        value = pool._unwrap(self._pending, reply)
+        pool.mark_global_installed(self._pending.worker, self._key)
+        return [
+            (
+                list(entry["doc_ids"]),
+                np.asarray(entry["scores"], dtype=np.float64),
+                np.asarray(entry["rows"], dtype=np.int64),
+            )
+            for entry in value
+        ]
+
+
 class PoolShard:
     """Backend proxy for one shard served by the pool's replica set.
 
@@ -366,6 +511,46 @@ class PoolShard:
         self, spec: "SearchSpec", global_statistics: "GlobalStatistics"
     ) -> tuple[list[Any], np.ndarray, np.ndarray]:
         return self.begin_search(spec, global_statistics).result()
+
+    def _search_many_message(
+        self,
+        specs: "list[SearchSpec]",
+        global_statistics: "GlobalStatistics",
+        *,
+        install: bool,
+    ) -> dict[str, Any]:
+        message: dict[str, Any] = {
+            "op": "search_many",
+            "specs": list(specs),
+            "shard": self.shard,
+        }
+        if install:
+            message["global"] = global_statistics.to_payload()
+        return message
+
+    def begin_search_many(
+        self, specs: "list[SearchSpec]", global_statistics: "GlobalStatistics"
+    ) -> _SearchManyPending:
+        """One wire request ranking a whole query batch on this shard.
+
+        All specs must share one statistics key (same table/pipeline/columns)
+        — the executor groups before calling.  The worker answers through
+        its vectorized multi-query kernel with a single coalesced reply.
+        """
+        from repro.engine.executors import statistics_key
+
+        specs = list(specs)
+        key = statistics_key(specs[0])
+        worker = self._pool.pick_worker(self.shard)
+        install = worker is None or not self._pool.global_installed(worker, key)
+        message = self._search_many_message(specs, global_statistics, install=install)
+        pending = self._pool.begin_request(worker, self.shard, message, pinned=False)
+        return _SearchManyPending(self, specs, global_statistics, key, pending)
+
+    def search_shard_many(
+        self, specs: "list[SearchSpec]", global_statistics: "GlobalStatistics"
+    ) -> list[tuple[list[Any], np.ndarray, np.ndarray]]:
+        return self.begin_search_many(specs, global_statistics).result()
 
     def begin_fragment(self, table: str) -> _PendingReply:
         return self._begin(
@@ -442,6 +627,7 @@ class WorkerPool:
 
         self._context = multiprocessing.get_context(config.start_method)
         self._lock = threading.Lock()
+        self._batch_sizes: dict[int, int] = {}  # flush occupancy -> count
         self._restarts: dict[int, int] = {}
         self._restart_at: dict[int, float] = {}
         self._failed: dict[int, str] = {}
@@ -483,7 +669,41 @@ class WorkerPool:
         )
         process.start()
         child.close()
-        return process, _WorkerConnection(worker, parent, process)
+        return process, _WorkerConnection(
+            worker,
+            parent,
+            process,
+            max_batch_size=self.config.max_batch_size,
+            batch_delay_seconds=self.config.max_batch_delay_ms / 1000.0,
+            on_batch=self._note_batch,
+        )
+
+    def _note_batch(self, size: int) -> None:
+        """Count one coalesced pipe write of ``size`` frames (occupancy stats)."""
+        with self._lock:
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    def batching(self) -> dict[str, Any]:
+        """Batching posture + occupancy histogram for stats endpoints.
+
+        Occupancy counts cover the batched send path only (``max_batch_size
+        > 1``); ``mean_occupancy`` is frames per pipe write — the fraction
+        of the per-request syscall cost the coalescer amortized away.
+        """
+        with self._lock:
+            sizes = dict(self._batch_sizes)
+        writes = sum(sizes.values())
+        frames = sum(size * count for size, count in sizes.items())
+        return {
+            "max_batch_size": self.config.max_batch_size,
+            "max_batch_delay_ms": self.config.max_batch_delay_ms,
+            "writes": writes,
+            "frames": frames,
+            "mean_occupancy": (frames / writes) if writes else 0.0,
+            "occupancy_histogram": {
+                str(size): count for size, count in sorted(sizes.items())
+            },
+        }
 
     # -- replica routing ---------------------------------------------------------
 

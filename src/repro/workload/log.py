@@ -30,8 +30,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, IO
 
-#: the shape every record serialises to; see the stability note in ``repro``
-RECORD_SCHEMA_VERSION = 1
+#: the shape every record serialises to; see the stability note in ``repro``.
+#: v2 (additive, 1.8): ``collapsed`` — "leader"/"follower" under in-flight
+#: request collapsing, ``None`` for requests that executed alone
+RECORD_SCHEMA_VERSION = 2
 
 DEFAULT_CAPACITY = 2048
 
@@ -58,6 +60,7 @@ class WorkloadRecord:
     shard_fanout: int = 0
     status: str = "ok"
     cost_units: dict[str, float] = field(default_factory=dict)
+    collapsed: str | None = None  # "leader" | "follower" | None (ran alone)
 
     def to_dict(self) -> dict[str, Any]:
         payload = asdict(self)
@@ -242,5 +245,9 @@ def summarize(records: list[WorkloadRecord], *, top: int = 10) -> dict[str, Any]
             "hit_rate": (cache.get("hit", 0) / lookups) if lookups else 0.0,
         },
         "shard_fanout_max": max((entry.shard_fanout for entry in records), default=0),
+        "collapsed": {
+            "leaders": sum(1 for entry in records if entry.collapsed == "leader"),
+            "followers": sum(1 for entry in records if entry.collapsed == "follower"),
+        },
         "top_fingerprints": top_fingerprints(records, top),
     }
